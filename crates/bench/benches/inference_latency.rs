@@ -1,0 +1,36 @@
+//! The §V-F timing claim in benchmark form: DELRec end-to-end request
+//! latency (prompt build + LM forward + verbalizer) vs the bare backbone —
+//! the paper reports 0.182 s vs 0.161 s per request at 3B scale; the
+//! comparable quantity here is the relative overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delrec_bench::methods::fit_delrec_variant;
+use delrec_bench::{ExperimentContext, Method, Scale};
+use delrec_core::{TeacherKind, Variant};
+use delrec_data::synthetic::DatasetProfile;
+use delrec_data::CandidateSampler;
+use delrec_eval::Ranker;
+use std::hint::black_box;
+
+fn bench_request_latency(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, Scale::Smoke, 7);
+    let delrec = fit_delrec_variant(&ctx, TeacherKind::SASRec, Variant::Default);
+    let backbone = Method::FlanT5Xl.fit(&ctx);
+    let sampler = CandidateSampler::new(ctx.dataset.num_items(), 15);
+    let ex = &ctx.dataset.examples(delrec_data::Split::Test)[0];
+    let cands = sampler.candidates(ex.target, 7, 0);
+
+    c.bench_function("delrec_request", |b| {
+        b.iter(|| black_box(delrec.score_candidates(black_box(&ex.prefix), black_box(&cands))))
+    });
+    c.bench_function("backbone_only_request", |b| {
+        b.iter(|| black_box(backbone.score_candidates(black_box(&ex.prefix), black_box(&cands))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_request_latency
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Benchmarks MiniLM prompt-length forward passes (mask filling), with and
+//! without soft prompts and AdaLoRA adapters — the inference-side cost
+//! breakdown behind the paper's §V-F timing claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delrec_lm::{AdaLoraConfig, LmToken, MiniLm, MiniLmConfig, SoftPrompt};
+use delrec_tensor::{Ctx, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const VOCAB: usize = 500;
+const PROMPT_LEN: usize = 140;
+
+fn tokens(with_soft: Option<usize>) -> Vec<LmToken> {
+    let mut t: Vec<LmToken> = (0..PROMPT_LEN - 1)
+        .map(|i| LmToken::Vocab((4 + i % (VOCAB - 4)) as u32))
+        .collect();
+    if let Some(k) = with_soft {
+        for (slot, pos) in (20..20 + k).enumerate() {
+            t[pos] = LmToken::Soft(slot);
+        }
+    }
+    t.push(LmToken::Vocab(1)); // mask
+    t
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let lm = MiniLm::new(MiniLmConfig::xl(VOCAB), 1);
+    let plain = tokens(None);
+    c.bench_function("lm_mask_logits_140tok", |b| {
+        b.iter(|| {
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, lm.store(), false);
+            let mut rng = StdRng::seed_from_u64(0);
+            black_box(tape.get(lm.mask_logits(
+                &ctx,
+                black_box(&plain),
+                None,
+                PROMPT_LEN - 1,
+                &mut rng,
+            )))
+        })
+    });
+
+    // With soft prompts spliced in (DELRec inference).
+    let mut lm_sp = MiniLm::new(MiniLmConfig::xl(VOCAB), 1);
+    let d_model = lm_sp.cfg.d_model;
+    let sp = SoftPrompt::init(lm_sp.store_mut(), "bench", 16, d_model, 2);
+    let with_soft = tokens(Some(16));
+    c.bench_function("lm_mask_logits_140tok_with_soft_prompts", |b| {
+        b.iter(|| {
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, lm_sp.store(), false);
+            let mut rng = StdRng::seed_from_u64(0);
+            let table = sp.var(&ctx);
+            black_box(tape.get(lm_sp.mask_logits(
+                &ctx,
+                black_box(&with_soft),
+                Some(table),
+                PROMPT_LEN - 1,
+                &mut rng,
+            )))
+        })
+    });
+
+    // With AdaLoRA attached (fine-tuned model serving).
+    let mut lm_ada = MiniLm::new(MiniLmConfig::xl(VOCAB), 1);
+    lm_ada.attach_adalora(AdaLoraConfig::default(), 3);
+    c.bench_function("lm_mask_logits_140tok_with_adalora", |b| {
+        b.iter(|| {
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, lm_ada.store(), false);
+            let mut rng = StdRng::seed_from_u64(0);
+            black_box(tape.get(lm_ada.mask_logits(
+                &ctx,
+                black_box(&plain),
+                None,
+                PROMPT_LEN - 1,
+                &mut rng,
+            )))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_forward
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks the conventional models' full-catalog scoring — the teacher
+//! operation DELRec calls once per RPS training example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delrec_data::ItemId;
+use delrec_seqrec::{Caser, Gru4Rec, Kda, SasRec, SequentialRecommender};
+use std::hint::black_box;
+
+const N_ITEMS: usize = 500;
+
+fn prefix() -> Vec<ItemId> {
+    (0..9).map(ItemId).collect()
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let p = prefix();
+    let sasrec = SasRec::new(N_ITEMS, Default::default(), 1);
+    c.bench_function("sasrec_score_500_items", |b| {
+        b.iter(|| black_box(sasrec.scores(black_box(&p))))
+    });
+    let gru = Gru4Rec::new(N_ITEMS, Default::default(), 1);
+    c.bench_function("gru4rec_score_500_items", |b| {
+        b.iter(|| black_box(gru.scores(black_box(&p))))
+    });
+    let caser = Caser::new(N_ITEMS, Default::default(), 1);
+    c.bench_function("caser_score_500_items", |b| {
+        b.iter(|| black_box(caser.scores(black_box(&p))))
+    });
+    let kda = Kda::new(N_ITEMS, Default::default(), 1);
+    c.bench_function("kda_score_500_items", |b| {
+        b.iter(|| black_box(kda.scores(black_box(&p))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_scoring
+}
+criterion_main!(benches);

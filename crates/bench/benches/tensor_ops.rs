@@ -1,0 +1,80 @@
+//! Microbenchmarks for the autograd substrate's hot kernels: matmul,
+//! softmax, layer norm, and a full forward+backward through a small
+//! attention-shaped graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delrec_tensor::{init, matmul_raw, Tape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[32usize, 128] {
+        let a = init::normal([n, n], 1.0, &mut rng);
+        let b = init::normal([n, n], 1.0, &mut rng);
+        c.bench_function(&format!("matmul_raw_{n}x{n}"), |bch| {
+            bch.iter(|| {
+                let mut out = vec![0.0f32; n * n];
+                matmul_raw(black_box(a.data()), black_box(b.data()), &mut out, n, n, n);
+                black_box(out)
+            })
+        });
+    }
+}
+
+fn bench_softmax_and_norm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = init::normal([150, 64], 1.0, &mut rng);
+    c.bench_function("softmax_150x64", |bch| {
+        bch.iter(|| {
+            let tape = Tape::new();
+            let v = tape.leaf(black_box(x.clone()));
+            black_box(tape.get(tape.softmax(v)))
+        })
+    });
+    let g = Tensor::full([64], 1.0);
+    let b = Tensor::zeros([64]);
+    c.bench_function("layer_norm_150x64", |bch| {
+        bch.iter(|| {
+            let tape = Tape::new();
+            let v = tape.leaf(black_box(x.clone()));
+            let gv = tape.leaf(g.clone());
+            let bv = tape.leaf(b.clone());
+            black_box(tape.get(tape.layer_norm(v, gv, bv)))
+        })
+    });
+}
+
+fn bench_attention_fwd_bwd(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let (t, d) = (140usize, 32usize);
+    let x = init::normal([t, d], 0.1, &mut rng);
+    let wq = init::xavier(d, d, &mut rng);
+    let wk = init::xavier(d, d, &mut rng);
+    let wv = init::xavier(d, d, &mut rng);
+    c.bench_function("attention_forward_backward_140tok", |bch| {
+        bch.iter(|| {
+            let tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let q = tape.matmul(xv, tape.leaf(wq.clone()));
+            let k = tape.matmul(xv, tape.leaf(wk.clone()));
+            let v = tape.matmul(xv, tape.leaf(wv.clone()));
+            let kt = tape.transpose(k);
+            let scores = tape.matmul(q, kt);
+            let scores = tape.scale(scores, 1.0 / (d as f32).sqrt());
+            let attn = tape.softmax(scores);
+            let out = tape.matmul(attn, v);
+            let loss = tape.mean_all(tape.sqr(out));
+            let grads = tape.backward(loss);
+            black_box(grads.get(xv).map(|g| g.sum()))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_softmax_and_norm, bench_attention_fwd_bwd
+}
+criterion_main!(benches);

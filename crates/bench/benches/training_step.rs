@@ -1,0 +1,123 @@
+//! Training-side costs: one optimizer step of each stage — teacher training,
+//! Stage 1 distillation (soft prompts only), and Stage 2 fine-tuning — plus
+//! an ablation bench for the AdaLoRA delta construction called out in
+//! DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delrec_bench::{ExperimentContext, Scale};
+use delrec_core::prompt::{PromptBuilder, SoftMode};
+use delrec_core::stage1::{build_rps_items, build_ta_items};
+use delrec_core::{LmPreset, TeacherKind};
+use delrec_lm::{AdaLoraConfig, SoftPrompt};
+use delrec_seqrec::trainer::{train, TrainConfig};
+use delrec_seqrec::SasRec;
+use delrec_tensor::{Ctx, Tape};
+use std::hint::black_box;
+
+use delrec_data::synthetic::DatasetProfile;
+
+fn bench_teacher_step(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, Scale::Smoke, 9);
+    let examples = ctx.dataset.examples(delrec_data::Split::Train).to_vec();
+    c.bench_function("sasrec_train_16_examples", |b| {
+        b.iter(|| {
+            let mut model = SasRec::new(ctx.dataset.num_items(), Default::default(), 9);
+            let cfg = TrainConfig {
+                max_examples: Some(16),
+                ..TrainConfig::adam(1, 1e-3)
+            };
+            black_box(train(&mut model, &examples, &cfg))
+        })
+    });
+}
+
+fn bench_distillation_batch(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, Scale::Smoke, 9);
+    let mut lm = ctx.lm(LmPreset::Xl);
+    let d_model = lm.cfg.d_model;
+    let sp = SoftPrompt::init(lm.store_mut(), "bench", 8, d_model, 9);
+    lm.set_backbone_trainable(false);
+    let teacher = ctx.teacher(TeacherKind::SASRec);
+    let pb = PromptBuilder::new(&ctx.pipeline.vocab, &ctx.pipeline.items, "sasrec");
+    let ta = build_ta_items(
+        &ctx.dataset,
+        &pb,
+        &ctx.pipeline.items,
+        4,
+        15,
+        SoftMode::Slots(8),
+        4,
+        1,
+    );
+    let rps = build_rps_items(
+        &ctx.dataset,
+        teacher.as_ref(),
+        &pb,
+        &ctx.pipeline.items,
+        5,
+        15,
+        SoftMode::Slots(8),
+        4,
+        1,
+    );
+    let items: Vec<_> = ta.iter().chain(&rps).collect();
+    c.bench_function("stage1_distill_batch8_fwd_bwd", |b| {
+        b.iter(|| {
+            let tape = Tape::new();
+            let cx = Ctx::new(&tape, lm.store(), true);
+            let mut rng = rand::SeedableRng::seed_from_u64(0);
+            let table = sp.var(&cx);
+            let loss = delrec_core_batch_loss(&lm, &cx, Some(table), &items, &mut rng);
+            let mut grads = tape.backward(loss);
+            black_box(cx.grads(&mut grads))
+        })
+    });
+}
+
+// batch_loss is crate-private in delrec-core; reproduce the exact shape here.
+fn delrec_core_batch_loss(
+    lm: &delrec_lm::MiniLm,
+    ctx: &Ctx<'_>,
+    soft: Option<delrec_tensor::Var>,
+    items: &[&delrec_core::stage1::TrainItem],
+    rng: &mut rand::rngs::StdRng,
+) -> delrec_tensor::Var {
+    let tape = ctx.tape;
+    let mut rows = Vec::new();
+    let mut targets = Vec::new();
+    for item in items {
+        let logits = lm.mask_logits(ctx, &item.prompt.tokens, soft, item.prompt.mask_pos, rng);
+        rows.push(delrec_lm::verbalizer::candidate_scores(
+            tape,
+            logits,
+            &item.candidates,
+        ));
+        targets.push(item.target_idx);
+    }
+    let scores = tape.stack_rows(&rows);
+    tape.cross_entropy(scores, &targets)
+}
+
+fn bench_adalora_delta(c: &mut Criterion) {
+    // Ablation bench (DESIGN.md): the cost of constructing ΔW = P·diag(e)·Q
+    // per forward pass.
+    let mut lm = delrec_lm::MiniLm::new(delrec_lm::MiniLmConfig::xl(300), 3);
+    lm.attach_adalora(AdaLoraConfig::default(), 3);
+    let ada = lm.adalora().unwrap();
+    c.bench_function("adalora_delta_all_targets", |b| {
+        b.iter(|| {
+            let tape = Tape::new();
+            let cx = Ctx::new(&tape, lm.store(), false);
+            for i in 0..ada.len() {
+                black_box(tape.get(ada.delta(&cx, i)));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_teacher_step, bench_distillation_batch, bench_adalora_delta
+}
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Minimal CLI argument parsing shared by all experiment binaries (the
+//! workspace deliberately avoids an argument-parsing dependency).
+
+use crate::scale::Scale;
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+pub struct CliArgs {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Dataset-name substrings to include (empty = all).
+    pub datasets: Vec<String>,
+    /// Output directory for JSON results.
+    pub out: String,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            scale: Scale::Small,
+            seed: 42,
+            datasets: Vec::new(),
+            out: "results".to_string(),
+        }
+    }
+}
+
+impl CliArgs {
+    /// Parse `std::env::args()`-style tokens. Exits with a usage message on
+    /// malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> CliArgs {
+        match Self::try_parse(args) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: [--scale smoke|small|full] [--seed N] [--datasets a,b] [--out DIR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Fallible parse (for tests).
+    pub fn try_parse<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, String> {
+        let mut out = CliArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value_for =
+                |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+            match arg.as_str() {
+                "--scale" => {
+                    let v = value_for("--scale")?;
+                    out.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?;
+                }
+                "--seed" => {
+                    let v = value_for("--seed")?;
+                    out.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+                }
+                "--datasets" => {
+                    let v = value_for("--datasets")?;
+                    out.datasets = v
+                        .split(',')
+                        .map(|s| s.trim().to_lowercase())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                }
+                "--out" => {
+                    out.out = value_for("--out")?;
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse from the process environment (skipping `argv[0]`).
+    pub fn from_env() -> CliArgs {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Whether a dataset name passes the `--datasets` filter.
+    pub fn includes(&self, dataset_name: &str) -> bool {
+        if self.datasets.is_empty() {
+            return true;
+        }
+        let lower = dataset_name.to_lowercase();
+        self.datasets.iter().any(|d| lower.contains(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<CliArgs, String> {
+        CliArgs::try_parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_empty() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, Scale::Small);
+        assert_eq!(a.seed, 42);
+        assert!(a.includes("MovieLens-100K"));
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let a = parse(&[
+            "--scale",
+            "smoke",
+            "--seed",
+            "7",
+            "--datasets",
+            "steam,beauty",
+            "--out",
+            "/tmp/r",
+        ])
+        .unwrap();
+        assert_eq!(a.scale, Scale::Smoke);
+        assert_eq!(a.seed, 7);
+        assert!(a.includes("Steam (synthetic)"));
+        assert!(a.includes("Beauty (synthetic)"));
+        assert!(!a.includes("MovieLens-100K"));
+        assert_eq!(a.out, "/tmp/r");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--scale", "giant"]).is_err());
+        assert!(parse(&["--seed", "abc"]).is_err());
+        assert!(parse(&["--mystery"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Diagnostics (not a paper artifact): measures how much learnable signal a
+//! synthetic profile carries and how quickly each model family extracts it.
+//! Used to calibrate the generator so the paper's *shape* (conventional ≫
+//! random, DELRec ≥ conventional) is reproducible.
+
+use delrec_bench::{CliArgs, ConventionalRanker};
+use delrec_core::{build_teacher, TeacherKind};
+use delrec_data::synthetic::{DatasetProfile, SyntheticConfig};
+use delrec_data::Split;
+use delrec_eval::{evaluate, EvalConfig, FnRanker};
+use delrec_seqrec::{MarkovRecommender, PopularityRecommender, SequentialRecommender};
+use std::rc::Rc;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let ds = SyntheticConfig::profile(DatasetProfile::MovieLens100K)
+        .scaled(args.scale.dataset_factor())
+        .generate(args.seed);
+    let stats = ds.stats();
+    println!(
+        "dataset: {} — {} seqs, {} items, {} inter, sparsity {:.2}%",
+        ds.name,
+        stats.sequences,
+        stats.items,
+        stats.interactions,
+        stats.sparsity * 100.0
+    );
+    println!(
+        "signals: {}",
+        delrec_data::synthetic::validate::signal_summary(&ds)
+    );
+    println!(
+        "splits: train {}, val {}, test {}",
+        ds.examples(Split::Train).len(),
+        ds.examples(Split::Val).len(),
+        ds.examples(Split::Test).len()
+    );
+    let cfg = EvalConfig {
+        max_examples: Some(300),
+        ..Default::default()
+    };
+
+    let random = FnRanker::new("random", |_p, c: &[delrec_data::ItemId]| vec![0.0; c.len()]);
+    let rep = evaluate(&random, &ds, Split::Test, &cfg);
+    println!(
+        "random      : HR@1 {:.3} HR@5 {:.3} HR@10 {:.3}",
+        rep.hr(1),
+        rep.hr(5),
+        rep.hr(10)
+    );
+
+    let pop: Rc<dyn SequentialRecommender> = Rc::new(PopularityRecommender::fit(&ds));
+    let rep = evaluate(&ConventionalRanker::new(pop), &ds, Split::Test, &cfg);
+    println!(
+        "popularity  : HR@1 {:.3} HR@5 {:.3} HR@10 {:.3}",
+        rep.hr(1),
+        rep.hr(5),
+        rep.hr(10)
+    );
+
+    let mk: Rc<dyn SequentialRecommender> = Rc::new(MarkovRecommender::fit(&ds));
+    let rep = evaluate(&ConventionalRanker::new(mk), &ds, Split::Test, &cfg);
+    println!(
+        "markov      : HR@1 {:.3} HR@5 {:.3} HR@10 {:.3}",
+        rep.hr(1),
+        rep.hr(5),
+        rep.hr(10)
+    );
+
+    for epochs in [8usize, 16] {
+        let t = std::time::Instant::now();
+        let teacher: Rc<dyn SequentialRecommender> = Rc::from(build_teacher(
+            &ds,
+            TeacherKind::SASRec,
+            epochs,
+            None,
+            args.seed,
+        ));
+        let rep = evaluate(&ConventionalRanker::new(teacher), &ds, Split::Test, &cfg);
+        println!(
+            "sasrec e{epochs:<3}: HR@1 {:.3} HR@5 {:.3} HR@10 {:.3}  ({:.1}s)",
+            rep.hr(1),
+            rep.hr(5),
+            rep.hr(10),
+            t.elapsed().as_secs_f32()
+        );
+    }
+
+    // DELRec learning check: default vs the no-soft-prompt ablation.
+    use delrec_bench::ExperimentContext;
+    use delrec_core::{DelRec, LmPreset, Variant};
+    let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, args.scale, args.seed);
+
+    // Zero-shot check: is the pretrained LM above chance at all?
+    {
+        use delrec_core::baselines::ZeroShotLm;
+        let zs = ZeroShotLm::new(
+            "zs",
+            ctx.lm(LmPreset::Xl),
+            ctx.pipeline.vocab.clone(),
+            ctx.pipeline.items.clone(),
+        );
+        let rep = evaluate(&zs, &ctx.dataset, Split::Test, &ctx.eval_config());
+        println!(
+            "zero-shot XL: HR@1 {:.3} HR@5 {:.3} HR@10 {:.3}",
+            rep.hr(1),
+            rep.hr(5),
+            rep.hr(10)
+        );
+    }
+
+    for variant in [Variant::WithoutSP, Variant::Default] {
+        let t = std::time::Instant::now();
+        let mut cfg = ctx.delrec_config(TeacherKind::SASRec);
+        cfg.variant = variant;
+        cfg.stage1.epochs = std::env::var("DELREC_S1_EPOCHS")
+            .map(|v| v.parse().unwrap())
+            .unwrap_or(4);
+        cfg.stage1.max_examples = None;
+        if let Ok(k) = std::env::var("DELREC_K") {
+            cfg.k_soft = k.parse().unwrap();
+        }
+        cfg.stage2.epochs = std::env::var("DELREC_S2_EPOCHS")
+            .map(|v| v.parse().unwrap())
+            .unwrap_or(6);
+        cfg.stage2.max_examples = None;
+        if let Ok(lr) = std::env::var("DELREC_S2_LR") {
+            cfg.stage2.lr = lr.parse().unwrap();
+        }
+        if let Ok(lr) = std::env::var("DELREC_S1_LR") {
+            cfg.stage1.lr = lr.parse().unwrap();
+        }
+        let model = DelRec::fit(
+            &ctx.dataset,
+            &ctx.pipeline,
+            ctx.teacher(TeacherKind::SASRec).as_ref(),
+            ctx.lm(LmPreset::Xl),
+            &cfg,
+        );
+        let rep = evaluate(&model, &ctx.dataset, Split::Test, &ctx.eval_config());
+        println!(
+            "delrec {:<9}: HR@1 {:.3} HR@5 {:.3} HR@10 {:.3}  ({:.1}s)  s1={:?} s2={:?}",
+            variant.label(),
+            rep.hr(1),
+            rep.hr(5),
+            rep.hr(10),
+            t.elapsed().as_secs_f32(),
+            model.stage1_stats.rps_losses,
+            model.stage2_losses,
+        );
+    }
+}

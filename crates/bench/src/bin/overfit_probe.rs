@@ -1,0 +1,74 @@
+//! Diagnostics: verify the LM + verbalizer training path can overfit a tiny
+//! fixed set of recommendation prompts. If this cannot reach near-zero loss,
+//! the training pipeline (not the task) is broken.
+
+use delrec_bench::{CliArgs, ExperimentContext};
+use delrec_core::prompt::{PromptBuilder, SoftMode};
+use delrec_core::stage2::build_lsr_items;
+use delrec_core::LmPreset;
+use delrec_data::synthetic::DatasetProfile;
+use delrec_lm::verbalizer;
+use delrec_tensor::optim::{clip_grad_norm, Adam, Optimizer};
+use delrec_tensor::{Ctx, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let ctx_exp = ExperimentContext::new(DatasetProfile::MovieLens100K, args.scale, args.seed);
+    let mut lm = ctx_exp.lm(LmPreset::Xl);
+    lm.set_backbone_trainable(true);
+    let pb = PromptBuilder::new(&ctx_exp.pipeline.vocab, &ctx_exp.pipeline.items, "sasrec");
+    let items = build_lsr_items(
+        &ctx_exp.dataset,
+        &pb,
+        &ctx_exp.pipeline.items,
+        15,
+        SoftMode::None,
+        16,
+        1,
+    );
+    println!(
+        "overfitting {} items, prompt len {}",
+        items.len(),
+        items[0].prompt.tokens.len()
+    );
+    let mut opt = Adam::new(2e-3);
+    let mut rng = StdRng::seed_from_u64(0);
+    for epoch in 0..60 {
+        let (loss_value, mut updates) = {
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, lm.store(), true);
+            let mut rows = Vec::new();
+            let mut targets = Vec::new();
+            for item in &items {
+                let logits = lm.mask_logits(
+                    &ctx,
+                    &item.prompt.tokens,
+                    None,
+                    item.prompt.mask_pos,
+                    &mut rng,
+                );
+                rows.push(verbalizer::candidate_scores(
+                    &tape,
+                    logits,
+                    &item.candidates,
+                ));
+                targets.push(item.target_idx);
+            }
+            let scores = tape.stack_rows(&rows);
+            let loss = tape.cross_entropy(scores, &targets);
+            let v = tape.get(loss).item();
+            let mut grads = tape.backward(loss);
+            (v, ctx.grads(&mut grads))
+        };
+        clip_grad_norm(&mut updates, 5.0);
+        opt.apply(lm.store_mut(), &updates);
+        if epoch % 10 == 0 || epoch == 59 {
+            println!(
+                "epoch {epoch:>3}: loss {loss_value:.4} (chance {:.4})",
+                (15f32).ln()
+            );
+        }
+    }
+}

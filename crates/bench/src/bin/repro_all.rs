@@ -1,0 +1,41 @@
+//! Runs every reproduction binary in sequence with shared arguments.
+//! Equivalent to invoking `repro_table1` … `repro_case_study` one by one;
+//! useful for producing a complete `results/` directory in one command.
+
+use std::process::Command;
+
+const BINARIES: [&str; 9] = [
+    "repro_table1",
+    "repro_table2",
+    "repro_table3",
+    "repro_table4",
+    "repro_table5",
+    "repro_fig7",
+    "repro_fig8",
+    "repro_rq5",
+    "repro_design_ablations",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    for bin in BINARIES.iter().chain(["repro_case_study"].iter()) {
+        eprintln!("\n===== {bin} =====");
+        let status = Command::new(bin_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} FAILED with {status}");
+            failures.push(*bin);
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("\nall reproductions completed");
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

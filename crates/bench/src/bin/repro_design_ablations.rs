@@ -1,0 +1,71 @@
+//! Design-choice ablations called out in DESIGN.md (not a paper table):
+//!
+//! * **Dynamic λ (Eq. 6)** vs pinned λ ∈ {0.25, 0.5, 0.75} — does the
+//!   descent-rate weighting of the two distillation tasks matter?
+//! * **AdaLoRA pruning** on vs off — does importance-based rank reallocation
+//!   change accuracy at this scale?
+
+use delrec_bench::{banner, write_json, CliArgs, ExperimentContext};
+use delrec_core::{DelRec, LmPreset, TeacherKind};
+use delrec_data::synthetic::DatasetProfile;
+use delrec_data::Split;
+use delrec_eval::evaluate;
+use delrec_eval::json::Json;
+use delrec_eval::report::Table;
+
+fn main() {
+    let args = CliArgs::from_env();
+    banner(&format!("Design ablations (scale: {})", args.scale));
+    let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, args.scale, args.seed);
+    let teacher = ctx.teacher(TeacherKind::SASRec);
+    let eval_cfg = ctx.eval_config();
+
+    let mut table = Table::new(["Configuration", "HR@1", "HR@5", "NDCG@10"]);
+    let mut rows = Vec::new();
+    let mut run = |label: &str, mutate: &dyn Fn(&mut delrec_core::DelRecConfig)| {
+        let mut cfg = ctx.delrec_config(TeacherKind::SASRec);
+        mutate(&mut cfg);
+        let model = DelRec::fit(
+            &ctx.dataset,
+            &ctx.pipeline,
+            teacher.as_ref(),
+            ctx.lm(LmPreset::Xl),
+            &cfg,
+        );
+        let rep = evaluate(&model, &ctx.dataset, Split::Test, &eval_cfg);
+        eprintln!("[design] {label}: HR@1 {:.4}", rep.hr(1));
+        table.row([
+            label.to_string(),
+            format!("{:.4}", rep.hr(1)),
+            format!("{:.4}", rep.hr(5)),
+            format!("{:.4}", rep.ndcg(10)),
+        ]);
+        rows.push(Json::obj([
+            ("config", Json::from(label)),
+            ("hr1", Json::from(rep.hr(1))),
+            ("hr5", Json::from(rep.hr(5))),
+            ("ndcg10", Json::from(rep.ndcg(10))),
+        ]));
+    };
+
+    run("dynamic λ (default)", &|_| {});
+    for pinned in [0.25f32, 0.5, 0.75] {
+        run(&format!("fixed λ = {pinned}"), &|cfg| {
+            cfg.fixed_lambda = Some(pinned);
+        });
+    }
+    run("no AdaLoRA pruning", &|cfg| {
+        cfg.adalora_prune_every = 0;
+    });
+    run("aggressive pruning (every 5 steps)", &|cfg| {
+        cfg.adalora_prune_every = 5;
+    });
+
+    println!("{}", table.to_markdown());
+    let blob = Json::obj([
+        ("experiment", Json::from("design_ablations")),
+        ("scale", Json::from(args.scale.to_string())),
+        ("rows", Json::arr(rows)),
+    ]);
+    write_json(&args.out, "design_ablations", &blob).expect("write results");
+}

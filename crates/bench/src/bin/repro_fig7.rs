@@ -1,0 +1,69 @@
+//! Reproduces **Figure 7** — HR@1 as a function of the soft-prompt size `k`.
+//! The paper sweeps k up to 120 and finds a plateau around k = 80 on its 3B
+//! backbone; our MiniLM sweeps a proportionally smaller range.
+
+use delrec_bench::{banner, write_json, CliArgs, ExperimentContext};
+use delrec_core::{DelRec, LmPreset, TeacherKind};
+use delrec_data::synthetic::DatasetProfile;
+use delrec_data::Split;
+use delrec_eval::evaluate;
+use delrec_eval::json::Json;
+use delrec_eval::report::{ascii_chart, Table};
+
+const K_SWEEP: [usize; 5] = [4, 8, 16, 24, 32];
+
+fn main() {
+    let args = CliArgs::from_env();
+    banner(&format!(
+        "Figure 7 — HR@1 vs soft-prompt size k (scale: {})",
+        args.scale
+    ));
+    let mut table = Table::new(
+        std::iter::once("Dataset".to_string())
+            .chain(K_SWEEP.iter().map(|k| format!("k={k}")))
+            .collect::<Vec<_>>(),
+    );
+    let mut all = Vec::new();
+    for profile in DatasetProfile::TABLE2 {
+        if !args.includes(profile.name()) {
+            continue;
+        }
+        let ctx = ExperimentContext::new(profile, args.scale, args.seed);
+        let teacher = ctx.teacher(TeacherKind::SASRec);
+        let mut cells = vec![ctx.dataset.name.clone()];
+        let mut series = Vec::new();
+        let mut points: Vec<(String, f64)> = Vec::new();
+        for &k in &K_SWEEP {
+            let mut cfg = ctx.delrec_config(TeacherKind::SASRec);
+            cfg.k_soft = k;
+            let model = DelRec::fit(
+                &ctx.dataset,
+                &ctx.pipeline,
+                teacher.as_ref(),
+                ctx.lm(LmPreset::Xl),
+                &cfg,
+            );
+            let hr1 = evaluate(&model, &ctx.dataset, Split::Test, &ctx.eval_config()).hr(1);
+            eprintln!("[{}] k={k}: HR@1 {hr1:.4}", ctx.dataset.name);
+            cells.push(format!("{hr1:.4}"));
+            points.push((format!("k={k}"), hr1));
+            series.push(Json::obj([("k", Json::from(k)), ("hr1", Json::from(hr1))]));
+        }
+        table.row(cells);
+        println!(
+            "{}",
+            ascii_chart(&format!("HR@1 on {}", ctx.dataset.name), &points, 40)
+        );
+        all.push(Json::obj([
+            ("dataset", Json::from(ctx.dataset.name.clone())),
+            ("series", Json::arr(series)),
+        ]));
+    }
+    println!("{}", table.to_markdown());
+    let blob = Json::obj([
+        ("experiment", Json::from("fig7")),
+        ("scale", Json::from(args.scale.to_string())),
+        ("datasets", Json::arr(all)),
+    ]);
+    write_json(&args.out, "fig7", &blob).expect("write results");
+}

@@ -1,0 +1,70 @@
+//! Reproduces **Figure 8** — HR@1 as a function of the teacher top-`h` size
+//! shown to the LM during Recommendation Pattern Simulating. The paper finds
+//! a peak (more context helps) followed by a decline (long noisy lists hurt
+//! attention).
+
+use delrec_bench::{banner, write_json, CliArgs, ExperimentContext};
+use delrec_core::{DelRec, LmPreset, TeacherKind};
+use delrec_data::synthetic::DatasetProfile;
+use delrec_data::Split;
+use delrec_eval::evaluate;
+use delrec_eval::json::Json;
+use delrec_eval::report::{ascii_chart, Table};
+
+const H_SWEEP: [usize; 5] = [1, 3, 5, 7, 9];
+
+fn main() {
+    let args = CliArgs::from_env();
+    banner(&format!(
+        "Figure 8 — HR@1 vs teacher top-h size (scale: {})",
+        args.scale
+    ));
+    let mut table = Table::new(
+        std::iter::once("Dataset".to_string())
+            .chain(H_SWEEP.iter().map(|h| format!("h={h}")))
+            .collect::<Vec<_>>(),
+    );
+    let mut all = Vec::new();
+    for profile in DatasetProfile::TABLE2 {
+        if !args.includes(profile.name()) {
+            continue;
+        }
+        let ctx = ExperimentContext::new(profile, args.scale, args.seed);
+        let teacher = ctx.teacher(TeacherKind::SASRec);
+        let mut cells = vec![ctx.dataset.name.clone()];
+        let mut series = Vec::new();
+        let mut points: Vec<(String, f64)> = Vec::new();
+        for &h in &H_SWEEP {
+            let mut cfg = ctx.delrec_config(TeacherKind::SASRec);
+            cfg.h_top = h;
+            let model = DelRec::fit(
+                &ctx.dataset,
+                &ctx.pipeline,
+                teacher.as_ref(),
+                ctx.lm(LmPreset::Xl),
+                &cfg,
+            );
+            let hr1 = evaluate(&model, &ctx.dataset, Split::Test, &ctx.eval_config()).hr(1);
+            eprintln!("[{}] h={h}: HR@1 {hr1:.4}", ctx.dataset.name);
+            cells.push(format!("{hr1:.4}"));
+            points.push((format!("h={h}"), hr1));
+            series.push(Json::obj([("h", Json::from(h)), ("hr1", Json::from(hr1))]));
+        }
+        table.row(cells);
+        println!(
+            "{}",
+            ascii_chart(&format!("HR@1 on {}", ctx.dataset.name), &points, 40)
+        );
+        all.push(Json::obj([
+            ("dataset", Json::from(ctx.dataset.name.clone())),
+            ("series", Json::arr(series)),
+        ]));
+    }
+    println!("{}", table.to_markdown());
+    let blob = Json::obj([
+        ("experiment", Json::from("fig8")),
+        ("scale", Json::from(args.scale.to_string())),
+        ("datasets", Json::arr(all)),
+    ]);
+    write_json(&args.out, "fig8", &blob).expect("write results");
+}

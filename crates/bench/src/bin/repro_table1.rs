@@ -1,0 +1,67 @@
+//! Reproduces **Table I** — dataset statistics (sequences, items,
+//! interactions, sparsity) for the synthetic profiles, side by side with the
+//! paper's published values for the real datasets.
+
+use delrec_bench::{banner, write_json, CliArgs};
+use delrec_data::synthetic::{DatasetProfile, SyntheticConfig};
+use delrec_eval::json::Json;
+use delrec_eval::report::Table;
+
+fn main() {
+    let args = CliArgs::from_env();
+    banner(&format!(
+        "Table I — dataset statistics (scale: {})",
+        args.scale
+    ));
+    let mut table = Table::new([
+        "Dataset",
+        "sequences",
+        "items",
+        "interactions",
+        "sparsity",
+        "paper sparsity",
+    ]);
+    let mut rows = Vec::new();
+    for profile in [
+        DatasetProfile::MovieLens100K,
+        DatasetProfile::Steam,
+        DatasetProfile::Beauty,
+        DatasetProfile::HomeKitchen,
+        DatasetProfile::KuaiRec,
+    ] {
+        if !args.includes(profile.name()) {
+            continue;
+        }
+        let ds = SyntheticConfig::profile(profile)
+            .scaled(args.scale.dataset_factor())
+            .generate(args.seed);
+        let st = ds.stats();
+        table.row([
+            ds.name.clone(),
+            st.sequences.to_string(),
+            st.items.to_string(),
+            st.interactions.to_string(),
+            format!("{:.2}%", st.sparsity * 100.0),
+            format!("{:.2}%", profile.paper_sparsity() * 100.0),
+        ]);
+        rows.push(Json::obj([
+            ("dataset", Json::from(ds.name.clone())),
+            ("sequences", Json::from(st.sequences)),
+            ("items", Json::from(st.items)),
+            ("interactions", Json::from(st.interactions)),
+            ("sparsity", Json::from(st.sparsity)),
+            ("paper_sparsity", Json::from(profile.paper_sparsity())),
+        ]));
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "Note: absolute sizes are scaled to CPU budgets; the preserved \
+         property is the sparsity/size *ordering* (see DESIGN.md)."
+    );
+    let blob = Json::obj([
+        ("experiment", Json::from("table1")),
+        ("scale", Json::from(args.scale.to_string())),
+        ("rows", Json::arr(rows)),
+    ]);
+    write_json(&args.out, "table1", &blob).expect("write results");
+}

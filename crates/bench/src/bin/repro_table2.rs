@@ -1,0 +1,117 @@
+//! Reproduces **Table II** — overall performance of conventional models,
+//! LLM-based baselines, and DELRec on the four benchmark datasets, with
+//! paired t-test significance stars against each DELRec row's conventional
+//! backbone.
+
+use delrec_bench::{banner, write_json, CliArgs, ExperimentContext, Method};
+use delrec_core::TeacherKind;
+use delrec_data::synthetic::DatasetProfile;
+use delrec_data::Split;
+use delrec_eval::json::Json;
+use delrec_eval::report::Table;
+use delrec_eval::{evaluate, paired_t_test, RankingReport};
+
+const KS: [usize; 5] = [1, 5, 5, 10, 10];
+const METRIC_NAMES: [&str; 5] = ["HR@1", "HR@5", "NDCG@5", "HR@10", "NDCG@10"];
+
+fn metric(report: &RankingReport, idx: usize) -> f64 {
+    match idx {
+        0 => report.hr(1),
+        1 => report.hr(5),
+        2 => report.ndcg(5),
+        3 => report.hr(10),
+        _ => report.ndcg(10),
+    }
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    let mut all = Vec::new();
+    for profile in DatasetProfile::TABLE2 {
+        if !args.includes(profile.name()) {
+            continue;
+        }
+        let ctx = ExperimentContext::new(profile, args.scale, args.seed);
+        banner(&format!(
+            "Table II — {} (scale: {})",
+            ctx.dataset.name, args.scale
+        ));
+        let eval_cfg = ctx.eval_config();
+
+        let mut reports: Vec<(Method, RankingReport)> = Vec::new();
+        for method in Method::TABLE2 {
+            let ranker = method.fit(&ctx);
+            let report = evaluate(ranker.as_ref(), &ctx.dataset, Split::Test, &eval_cfg);
+            eprintln!(
+                "[{}] {}: HR@1 {:.4}, HR@10 {:.4}",
+                ctx.dataset.name,
+                method.label(),
+                report.hr(1),
+                report.hr(10)
+            );
+            reports.push((method, report));
+        }
+
+        // Significance: DELRec(x) vs its conventional backbone, per metric.
+        let backbone_report = |kind: TeacherKind| {
+            reports
+                .iter()
+                .find(|(m, _)| *m == Method::Conventional(kind))
+                .map(|(_, r)| r.clone())
+                .expect("backbone evaluated")
+        };
+
+        let mut table = Table::new(
+            ["Group", "Method"]
+                .into_iter()
+                .map(String::from)
+                .chain(METRIC_NAMES.iter().map(|s| s.to_string()))
+                .collect::<Vec<_>>(),
+        );
+        let mut json_rows = Vec::new();
+        for (method, report) in &reports {
+            let mut cells = vec![method.group().to_string(), method.label()];
+            let mut json_metrics = Vec::new();
+            for (mi, name) in METRIC_NAMES.iter().enumerate() {
+                let value = metric(report, mi);
+                let stars = if let Method::DelRec(kind) = method {
+                    let base = backbone_report(*kind);
+                    let (ours, theirs) = if name.starts_with("HR") {
+                        (report.per_example_hr(KS[mi]), base.per_example_hr(KS[mi]))
+                    } else {
+                        (
+                            report.per_example_ndcg(KS[mi]),
+                            base.per_example_ndcg(KS[mi]),
+                        )
+                    };
+                    paired_t_test(&ours, &theirs).improvement_stars()
+                } else {
+                    ""
+                };
+                cells.push(format!("{value:.4}{stars}"));
+                json_metrics.push((name.to_string(), Json::from(value)));
+            }
+            table.row(cells);
+            json_rows.push(Json::obj(
+                [
+                    ("method".to_string(), Json::from(method.label())),
+                    ("group".to_string(), Json::from(method.group())),
+                ]
+                .into_iter()
+                .chain(json_metrics),
+            ));
+        }
+        println!("{}", table.to_markdown());
+        all.push(Json::obj([
+            ("dataset", Json::from(ctx.dataset.name.clone())),
+            ("rows", Json::arr(json_rows)),
+        ]));
+    }
+    let blob = Json::obj([
+        ("experiment", Json::from("table2")),
+        ("scale", Json::from(args.scale.to_string())),
+        ("seed", Json::from(args.seed as f64)),
+        ("datasets", Json::arr(all)),
+    ]);
+    write_json(&args.out, "table2", &blob).expect("write results");
+}

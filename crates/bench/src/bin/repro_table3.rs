@@ -1,0 +1,74 @@
+//! Reproduces **Table III** — Ablation Study I: what the *learned soft
+//! prompts* contribute. Uses the SASRec backbone (as the paper does) and
+//! compares `w/o SP`, `w MCP` (manual textual construction), and `w USP`
+//! (untrained random soft prompts) against the full method.
+
+use delrec_bench::methods::fit_delrec_variant;
+use delrec_bench::{banner, write_json, CliArgs, ExperimentContext};
+use delrec_core::{TeacherKind, Variant};
+use delrec_data::synthetic::DatasetProfile;
+use delrec_data::Split;
+use delrec_eval::json::Json;
+use delrec_eval::report::Table;
+use delrec_eval::{evaluate, RankingReport};
+
+fn metrics(r: &RankingReport) -> [f64; 5] {
+    [r.hr(1), r.hr(5), r.ndcg(5), r.hr(10), r.ndcg(10)]
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    let variants: Vec<Variant> = Variant::TABLE3
+        .into_iter()
+        .chain([Variant::Default])
+        .collect();
+    let mut all = Vec::new();
+    for profile in DatasetProfile::TABLE2 {
+        if !args.includes(profile.name()) {
+            continue;
+        }
+        let ctx = ExperimentContext::new(profile, args.scale, args.seed);
+        banner(&format!(
+            "Table III — {} (SASRec backbone, scale: {})",
+            ctx.dataset.name, args.scale
+        ));
+        let eval_cfg = ctx.eval_config();
+        let mut table = Table::new(["Variant", "HR@1", "HR@5", "NDCG@5", "HR@10", "NDCG@10"]);
+        let mut rows = Vec::new();
+        for &variant in &variants {
+            let model = fit_delrec_variant(&ctx, TeacherKind::SASRec, variant);
+            let report = evaluate(&model, &ctx.dataset, Split::Test, &eval_cfg);
+            let m = metrics(&report);
+            eprintln!(
+                "[{}] {}: HR@1 {:.4}",
+                ctx.dataset.name,
+                variant.label(),
+                m[0]
+            );
+            table.row(
+                std::iter::once(variant.label().to_string())
+                    .chain(m.iter().map(|v| format!("{v:.4}")))
+                    .collect::<Vec<_>>(),
+            );
+            rows.push(Json::obj([
+                ("variant", Json::from(variant.label())),
+                ("hr1", Json::from(m[0])),
+                ("hr5", Json::from(m[1])),
+                ("ndcg5", Json::from(m[2])),
+                ("hr10", Json::from(m[3])),
+                ("ndcg10", Json::from(m[4])),
+            ]));
+        }
+        println!("{}", table.to_markdown());
+        all.push(Json::obj([
+            ("dataset", Json::from(ctx.dataset.name.clone())),
+            ("rows", Json::arr(rows)),
+        ]));
+    }
+    let blob = Json::obj([
+        ("experiment", Json::from("table3")),
+        ("scale", Json::from(args.scale.to_string())),
+        ("datasets", Json::arr(all)),
+    ]);
+    write_json(&args.out, "table3", &blob).expect("write results");
+}

@@ -1,0 +1,41 @@
+//! Experiment harness regenerating every table and figure of the DELRec
+//! paper (see DESIGN.md's per-experiment index).
+//!
+//! Each `repro_*` binary prints the paper-shaped markdown table to stdout and
+//! writes machine-readable JSON under `results/`. All binaries accept:
+//!
+//! * `--scale smoke|small|full` — dataset/training budget (default `small`);
+//! * `--seed N` — master seed (default 42);
+//! * `--datasets a,b,…` — restrict to named datasets (substring match);
+//! * `--out DIR` — results directory (default `results`).
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod context;
+pub mod methods;
+pub mod scale;
+
+pub use args::CliArgs;
+pub use context::ExperimentContext;
+pub use methods::{ConventionalRanker, Method};
+pub use scale::Scale;
+
+use delrec_eval::json::Json;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Write a JSON result blob under `out_dir/name.json`.
+pub fn write_json(out_dir: &str, name: &str, value: &Json) -> std::io::Result<()> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = Path::new(out_dir).join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{value}")?;
+    eprintln!("[results] wrote {}", path.display());
+    Ok(())
+}
+
+/// Pretty banner for experiment sections.
+pub fn banner(title: &str) {
+    println!("\n## {title}\n");
+}

@@ -1,0 +1,287 @@
+//! The full method roster of Table II, each buildable from an
+//! [`ExperimentContext`].
+
+use crate::context::ExperimentContext;
+use delrec_core::baselines::{
+    KdaLrd, LlamaRec, Llara, Llm2Bert4Rec, LlmSeqPrompt, LlmSeqSim, LlmTrsr, RecRanker, ZeroShotLm,
+};
+use delrec_core::{DelRec, LmPreset, TeacherKind, Variant};
+use delrec_data::ItemId;
+use delrec_eval::Ranker;
+use delrec_seqrec::SequentialRecommender;
+use std::rc::Rc;
+
+/// Adapter: a full-catalog conventional scorer as a candidate [`Ranker`].
+pub struct ConventionalRanker {
+    teacher: Rc<dyn SequentialRecommender>,
+}
+
+impl ConventionalRanker {
+    /// Wrap a trained conventional model.
+    pub fn new(teacher: Rc<dyn SequentialRecommender>) -> Self {
+        ConventionalRanker { teacher }
+    }
+}
+
+impl Ranker for ConventionalRanker {
+    fn name(&self) -> &str {
+        self.teacher.name()
+    }
+
+    fn score_candidates(&self, prefix: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
+        let all = self.teacher.scores(prefix);
+        candidates.iter().map(|c| all[c.index()]).collect()
+    }
+}
+
+/// Every row of Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Conventional SR model used directly.
+    Conventional(TeacherKind),
+    /// Unpretrained MiniLM-Large zero-shot (the "Bert-Large" row).
+    BertLarge,
+    /// Pretrained MiniLM-Large zero-shot.
+    FlanT5Large,
+    /// Pretrained MiniLM-XL zero-shot.
+    FlanT5Xl,
+    /// Paradigm 3: teacher recall + verbalizer rerank.
+    LlamaRec,
+    /// Paradigm 1: teacher results as prompt text, instruction-tuned.
+    RecRanker,
+    /// Paradigm 2: projected teacher embeddings in the prompt.
+    Llara,
+    /// Paradigm 1: prompt-only fine-tuning.
+    LlmSeqPrompt,
+    /// Paradigm 2: PCA-projected LM embeddings initializing BERT4Rec.
+    Llm2Bert4Rec,
+    /// Paradigm 3: LM-embedding session similarity.
+    LlmSeqSim,
+    /// Paradigm 1: recurrent-summary prompts.
+    LlmTrsr,
+    /// Paradigm 3: KDA + LM-discovered latent relations.
+    KdaLrd,
+    /// Ours, per teacher backbone.
+    DelRec(TeacherKind),
+}
+
+impl Method {
+    /// Table II's row order.
+    pub const TABLE2: [Method; 17] = [
+        Method::Conventional(TeacherKind::Caser),
+        Method::Conventional(TeacherKind::GRU4Rec),
+        Method::Conventional(TeacherKind::SASRec),
+        Method::BertLarge,
+        Method::FlanT5Large,
+        Method::FlanT5Xl,
+        Method::LlamaRec,
+        Method::RecRanker,
+        Method::Llara,
+        Method::LlmSeqPrompt,
+        Method::Llm2Bert4Rec,
+        Method::LlmSeqSim,
+        Method::LlmTrsr,
+        Method::KdaLrd,
+        Method::DelRec(TeacherKind::Caser),
+        Method::DelRec(TeacherKind::GRU4Rec),
+        Method::DelRec(TeacherKind::SASRec),
+    ];
+
+    /// Paper row label.
+    pub fn label(self) -> String {
+        match self {
+            Method::Conventional(t) => match t {
+                TeacherKind::Caser => "Caser".into(),
+                TeacherKind::GRU4Rec => "GRU4Rec".into(),
+                TeacherKind::SASRec => "SASRec".into(),
+            },
+            Method::BertLarge => "Bert-Large".into(),
+            Method::FlanT5Large => "Flan-T5-Large".into(),
+            Method::FlanT5Xl => "Flan-T5-XL".into(),
+            Method::LlamaRec => "LlamaRec".into(),
+            Method::RecRanker => "RecRanker".into(),
+            Method::Llara => "LLaRA".into(),
+            Method::LlmSeqPrompt => "LLMSEQPROMPT".into(),
+            Method::Llm2Bert4Rec => "LLM2BERT4Rec".into(),
+            Method::LlmSeqSim => "LLMSEQSIM".into(),
+            Method::LlmTrsr => "LLM-TRSR".into(),
+            Method::KdaLrd => "KDA_LRD".into(),
+            Method::DelRec(t) => match t {
+                TeacherKind::Caser => "DELRec (Caser)".into(),
+                TeacherKind::GRU4Rec => "DELRec (GRU4Rec)".into(),
+                TeacherKind::SASRec => "DELRec (SASRec)".into(),
+            },
+        }
+    }
+
+    /// Paper group label (for the table's left column).
+    pub fn group(self) -> &'static str {
+        match self {
+            Method::Conventional(_) => "Conventional",
+            Method::DelRec(_) => "Ours",
+            _ => "LLMs-based",
+        }
+    }
+
+    /// Build (train, if needed) the ranker.
+    pub fn fit(self, ctx: &ExperimentContext) -> Box<dyn Ranker> {
+        eprintln!("[{}] fitting {} …", ctx.dataset.name, self.label());
+        match self {
+            Method::Conventional(kind) => Box::new(ConventionalRanker::new(ctx.teacher(kind))),
+            Method::BertLarge => Box::new(ZeroShotLm::new(
+                "bert-large",
+                ctx.raw_lm(LmPreset::Large),
+                ctx.pipeline.vocab.clone(),
+                ctx.pipeline.items.clone(),
+            )),
+            Method::FlanT5Large => Box::new(ZeroShotLm::new(
+                "flan-t5-large",
+                ctx.lm(LmPreset::Large),
+                ctx.pipeline.vocab.clone(),
+                ctx.pipeline.items.clone(),
+            )),
+            Method::FlanT5Xl => Box::new(ZeroShotLm::new(
+                "flan-t5-xl",
+                ctx.lm(LmPreset::Xl),
+                ctx.pipeline.vocab.clone(),
+                ctx.pipeline.items.clone(),
+            )),
+            Method::LlamaRec => Box::new(LlamaRec::new(
+                ctx.lm(LmPreset::Xl),
+                ctx.pipeline.vocab.clone(),
+                ctx.pipeline.items.clone(),
+                ctx.teacher(TeacherKind::SASRec),
+            )),
+            Method::RecRanker => Box::new(RecRanker::fit(
+                &ctx.dataset,
+                &ctx.pipeline,
+                ctx.teacher(TeacherKind::SASRec),
+                ctx.lm(LmPreset::Xl),
+                &ctx.scale.baseline_stage(),
+                5,
+                ctx.seed,
+            )),
+            Method::Llara => {
+                let teacher = ctx.teacher(TeacherKind::SASRec);
+                let emb = teacher
+                    .item_embeddings()
+                    .expect("SASRec teacher exposes embeddings");
+                Box::new(Llara::fit(
+                    &ctx.dataset,
+                    &ctx.pipeline,
+                    emb,
+                    ctx.lm(LmPreset::Xl),
+                    &ctx.scale.baseline_stage(),
+                    ctx.seed,
+                ))
+            }
+            Method::LlmSeqPrompt => Box::new(LlmSeqPrompt::fit(
+                &ctx.dataset,
+                &ctx.pipeline,
+                ctx.lm(LmPreset::Xl),
+                &ctx.scale.baseline_stage(),
+                ctx.seed,
+            )),
+            Method::Llm2Bert4Rec => {
+                let (epochs, cap) = ctx.scale.teacher_budget();
+                Box::new(Llm2Bert4Rec::fit(
+                    &ctx.dataset,
+                    &ctx.pipeline,
+                    &ctx.lm(LmPreset::Xl),
+                    epochs,
+                    cap,
+                    ctx.seed,
+                ))
+            }
+            Method::LlmSeqSim => Box::new(LlmSeqSim::build(
+                &ctx.dataset,
+                &ctx.pipeline,
+                &ctx.lm(LmPreset::Xl),
+            )),
+            Method::LlmTrsr => Box::new(LlmTrsr::fit(
+                &ctx.dataset,
+                &ctx.pipeline,
+                ctx.lm(LmPreset::Xl),
+                &ctx.scale.baseline_stage(),
+                ctx.seed,
+            )),
+            Method::KdaLrd => {
+                let (epochs, cap) = ctx.scale.teacher_budget();
+                Box::new(KdaLrd::fit(
+                    &ctx.dataset,
+                    &ctx.pipeline,
+                    &ctx.lm(LmPreset::Xl),
+                    epochs,
+                    cap,
+                    ctx.seed,
+                ))
+            }
+            Method::DelRec(kind) => Box::new(fit_delrec_variant(ctx, kind, Variant::Default)),
+        }
+    }
+}
+
+/// Fit a DELRec variant (used by Table II's "Ours" rows and the ablations).
+pub fn fit_delrec_variant(
+    ctx: &ExperimentContext,
+    teacher: TeacherKind,
+    variant: Variant,
+) -> DelRec {
+    let mut cfg = ctx.delrec_config(teacher);
+    cfg.variant = variant;
+    let preset = if variant.forces_large_backbone() {
+        LmPreset::Large
+    } else {
+        LmPreset::Xl
+    };
+    cfg.lm = preset;
+    let lm = ctx.lm(preset);
+    let teacher_model = ctx.teacher(teacher);
+    DelRec::fit(
+        &ctx.dataset,
+        &ctx.pipeline,
+        teacher_model.as_ref(),
+        lm,
+        &cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use delrec_data::synthetic::DatasetProfile;
+
+    #[test]
+    fn table2_has_17_rows_with_unique_labels() {
+        let mut labels: Vec<String> = Method::TABLE2.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 17);
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 17, "duplicate method labels");
+    }
+
+    #[test]
+    fn groups_partition_correctly() {
+        assert_eq!(
+            Method::Conventional(TeacherKind::SASRec).group(),
+            "Conventional"
+        );
+        assert_eq!(Method::KdaLrd.group(), "LLMs-based");
+        assert_eq!(Method::DelRec(TeacherKind::SASRec).group(), "Ours");
+    }
+
+    #[test]
+    fn cheap_methods_fit_and_rank_at_smoke_scale() {
+        let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, Scale::Smoke, 5);
+        for m in [
+            Method::Conventional(TeacherKind::SASRec),
+            Method::BertLarge,
+            Method::LlmSeqSim,
+        ] {
+            let ranker = m.fit(&ctx);
+            let scores = ranker.score_candidates(&[ItemId(0), ItemId(1)], &[ItemId(2), ItemId(3)]);
+            assert_eq!(scores.len(), 2, "{}", m.label());
+        }
+    }
+}

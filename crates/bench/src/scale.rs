@@ -1,0 +1,128 @@
+//! Experiment scales: how much data/compute each run uses.
+//!
+//! The paper trains a 3B-parameter LLM on 10 GPUs; we run a two-layer MiniLM
+//! on one CPU core. `Scale` maps the paper's budgets onto feasible ones while
+//! keeping every code path identical.
+
+use delrec_core::{DelRecConfig, TeacherKind};
+use delrec_lm::PretrainConfig;
+
+/// Experiment size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds per method — CI/sanity runs.
+    Smoke,
+    /// Tens of seconds per method — the default recorded runs.
+    Small,
+    /// Minutes per method — the fullest CPU-feasible setting.
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Factor applied to each dataset profile's user/item counts.
+    pub fn dataset_factor(self) -> f64 {
+        match self {
+            Scale::Smoke => 0.08,
+            Scale::Small => 0.18,
+            Scale::Full => 0.35,
+        }
+    }
+
+    /// MLM pretraining budget.
+    pub fn pretrain(self) -> PretrainConfig {
+        match self {
+            Scale::Smoke => PretrainConfig {
+                epochs: 3,
+                lr: 5e-3,
+                max_sentences: Some(80),
+                ..Default::default()
+            },
+            Scale::Small => PretrainConfig {
+                epochs: 6,
+                lr: 5e-3,
+                max_sentences: Some(300),
+                ..Default::default()
+            },
+            Scale::Full => PretrainConfig {
+                epochs: 10,
+                lr: 5e-3,
+                max_sentences: Some(800),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Teacher training epochs and example cap.
+    pub fn teacher_budget(self) -> (usize, Option<usize>) {
+        match self {
+            Scale::Smoke => (1, Some(150)),
+            Scale::Small => (8, None),
+            Scale::Full => (16, Some(6000)),
+        }
+    }
+
+    /// DELRec configuration for a teacher at this scale.
+    pub fn delrec_config(self, teacher: TeacherKind) -> DelRecConfig {
+        match self {
+            Scale::Smoke => DelRecConfig::smoke(teacher),
+            Scale::Small => DelRecConfig::small(teacher),
+            Scale::Full => DelRecConfig::full(teacher),
+        }
+    }
+
+    /// Cap on test examples per evaluation.
+    pub fn eval_examples(self) -> Option<usize> {
+        match self {
+            Scale::Smoke => Some(60),
+            Scale::Small => Some(250),
+            Scale::Full => Some(600),
+        }
+    }
+
+    /// Fine-tuning budget for the LLM baselines (mirrors DELRec's stage 2).
+    pub fn baseline_stage(self) -> delrec_core::StageConfig {
+        self.delrec_config(TeacherKind::SASRec).stage2
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Scale::Smoke => "smoke",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in [Scale::Smoke, Scale::Small, Scale::Full] {
+            assert_eq!(Scale::parse(&s.to_string()), Some(s));
+        }
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn budgets_grow_with_scale() {
+        assert!(Scale::Smoke.dataset_factor() < Scale::Small.dataset_factor());
+        assert!(Scale::Small.dataset_factor() < Scale::Full.dataset_factor());
+        assert!(Scale::Smoke.pretrain().epochs < Scale::Full.pretrain().epochs);
+        assert!(Scale::Smoke.eval_examples() < Scale::Full.eval_examples());
+    }
+}

@@ -1,0 +1,163 @@
+//! Ablation variants (paper Tables III and IV).
+//!
+//! Every variant is expressed as a set of toggles over the two stages, so
+//! [`crate::DelRec::fit`] covers all of them with one code path:
+//!
+//! | Variant | Table | Meaning |
+//! |---|---|---|
+//! | `Default` | — | full DELRec |
+//! | `WithoutSP` / `WithoutDPSM` | III / IV | no soft prompts at all (these two rows coincide in the paper's numbers) |
+//! | `WithMCP` | III | soft prompts replaced by a natural-language description of the teacher |
+//! | `WithUSP` | III | soft prompts present but *untrained* (random) |
+//! | `WithoutLSR` | IV | Stage 1 only; no fine-tuning |
+//! | `WithoutTA` | IV | distillation without Temporal Analysis |
+//! | `WithoutRPS` | IV | distillation without Recommendation Pattern Simulating |
+//! | `UpdateBothDPSM` | IV | Stage 1 also updates the LM ("w UDPSM") |
+//! | `UpdateBothLSR` | IV | Stage 2 also updates the soft prompts ("w ULSR") |
+//! | `LargeBackbone` | IV | Flan-T5-Large-sized MiniLM ("w Flan-T5-Large") |
+
+/// One ablation configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Full DELRec.
+    Default,
+    /// `w/o SP`: remove soft prompts and the reference instruction.
+    WithoutSP,
+    /// `w MCP`: manual textual construction instead of soft prompts.
+    WithMCP,
+    /// `w USP`: randomly initialized, untrained soft prompts.
+    WithUSP,
+    /// `w/o DPSM`: skip the entire distillation stage (= `WithoutSP`).
+    WithoutDPSM,
+    /// `w/o LSR`: skip Stage 2 fine-tuning.
+    WithoutLSR,
+    /// `w/o TA`: distill without the Temporal Analysis task.
+    WithoutTA,
+    /// `w/o RPS`: distill without the Recommendation Pattern Simulating task.
+    WithoutRPS,
+    /// `w UDPSM`: update both soft prompts and LM parameters in Stage 1.
+    UpdateBothDPSM,
+    /// `w ULSR`: update both soft prompts and LM parameters in Stage 2.
+    UpdateBothLSR,
+    /// `w Flan-T5-Large`: smaller LM backbone.
+    LargeBackbone,
+}
+
+impl Variant {
+    /// Paper row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Default => "Default",
+            Variant::WithoutSP => "w/o SP",
+            Variant::WithMCP => "w MCP",
+            Variant::WithUSP => "w USP",
+            Variant::WithoutDPSM => "w/o DPSM",
+            Variant::WithoutLSR => "w/o LSR",
+            Variant::WithoutTA => "w/o TA",
+            Variant::WithoutRPS => "w/o RPS",
+            Variant::UpdateBothDPSM => "w UDPSM",
+            Variant::UpdateBothLSR => "w ULSR",
+            Variant::LargeBackbone => "w Flan-T5-Large",
+        }
+    }
+
+    /// Rows of Ablation Study I (Table III), excluding Default.
+    pub const TABLE3: [Variant; 3] = [Variant::WithoutSP, Variant::WithMCP, Variant::WithUSP];
+
+    /// Rows of Ablation Study II (Table IV), excluding Default.
+    pub const TABLE4: [Variant; 7] = [
+        Variant::WithoutDPSM,
+        Variant::WithoutLSR,
+        Variant::WithoutTA,
+        Variant::WithoutRPS,
+        Variant::UpdateBothDPSM,
+        Variant::UpdateBothLSR,
+        Variant::LargeBackbone,
+    ];
+
+    /// Whether trainable soft-prompt slots exist at all.
+    pub fn uses_soft_prompts(self) -> bool {
+        !matches!(
+            self,
+            Variant::WithoutSP | Variant::WithMCP | Variant::WithoutDPSM
+        )
+    }
+
+    /// Whether Stage 1 distillation runs.
+    pub fn runs_distillation(self) -> bool {
+        self.uses_soft_prompts() && self != Variant::WithUSP
+    }
+
+    /// Whether the TA task is part of distillation.
+    pub fn uses_ta(self) -> bool {
+        self != Variant::WithoutTA
+    }
+
+    /// Whether the RPS task is part of distillation.
+    pub fn uses_rps(self) -> bool {
+        self != Variant::WithoutRPS
+    }
+
+    /// Whether Stage 2 fine-tuning runs.
+    pub fn runs_finetuning(self) -> bool {
+        self != Variant::WithoutLSR
+    }
+
+    /// Whether the LM backbone stays frozen during Stage 1.
+    pub fn freezes_backbone_in_stage1(self) -> bool {
+        self != Variant::UpdateBothDPSM
+    }
+
+    /// Whether the soft prompts stay frozen during Stage 2.
+    pub fn freezes_soft_in_stage2(self) -> bool {
+        self != Variant::UpdateBothLSR
+    }
+
+    /// Whether this variant forces the smaller LM backbone.
+    pub fn forces_large_backbone(self) -> bool {
+        self == Variant::LargeBackbone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_everything() {
+        let v = Variant::Default;
+        assert!(v.uses_soft_prompts());
+        assert!(v.runs_distillation());
+        assert!(v.uses_ta() && v.uses_rps());
+        assert!(v.runs_finetuning());
+        assert!(v.freezes_backbone_in_stage1());
+        assert!(v.freezes_soft_in_stage2());
+    }
+
+    #[test]
+    fn soft_prompt_ablations() {
+        assert!(!Variant::WithoutSP.uses_soft_prompts());
+        assert!(!Variant::WithMCP.uses_soft_prompts());
+        assert!(!Variant::WithoutDPSM.uses_soft_prompts());
+        assert!(Variant::WithUSP.uses_soft_prompts());
+        assert!(!Variant::WithUSP.runs_distillation());
+    }
+
+    #[test]
+    fn stage_toggles() {
+        assert!(!Variant::WithoutLSR.runs_finetuning());
+        assert!(!Variant::WithoutRPS.uses_rps());
+        assert!(Variant::WithoutRPS.uses_ta());
+        assert!(!Variant::WithoutTA.uses_ta());
+        assert!(Variant::WithoutTA.uses_rps());
+        assert!(!Variant::UpdateBothDPSM.freezes_backbone_in_stage1());
+        assert!(!Variant::UpdateBothLSR.freezes_soft_in_stage2());
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(Variant::WithoutDPSM.label(), "w/o DPSM");
+        assert_eq!(Variant::UpdateBothLSR.label(), "w ULSR");
+        assert_eq!(Variant::LargeBackbone.label(), "w Flan-T5-Large");
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared machinery for the LLM-based baselines.
+
+use crate::prompt::{ItemTokens, Prompt};
+use delrec_data::{ItemId, Vocab};
+use delrec_lm::{verbalizer, LmToken, MiniLm};
+use delrec_tensor::{Ctx, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run one eval-mode forward pass and rank `candidates` with the verbalizer.
+pub fn rank_with_prompt(
+    lm: &MiniLm,
+    items: &ItemTokens,
+    prompt: &Prompt,
+    candidates: &[ItemId],
+) -> Vec<f32> {
+    let tape = Tape::new();
+    let ctx = Ctx::new(&tape, lm.store(), false);
+    let mut rng = StdRng::seed_from_u64(0);
+    let logits = lm.mask_logits(&ctx, &prompt.tokens, None, prompt.mask_pos, &mut rng);
+    let logits = tape.get(logits);
+    verbalizer::rank_candidates(&logits, &items.titles_of(candidates))
+}
+
+/// Append an item title plus separator as hard tokens.
+pub fn push_title(items: &ItemTokens, vocab: &Vocab, id: ItemId, out: &mut Vec<LmToken>) {
+    for &t in items.title(id) {
+        out.push(LmToken::Vocab(t));
+    }
+    out.push(LmToken::Vocab(vocab.sep()));
+}
+
+/// Encode known instruction words (panicking on vocabulary misses, like the
+/// prompt builder does).
+pub fn push_words(vocab: &Vocab, text: &str, out: &mut Vec<LmToken>) {
+    for w in text.split_whitespace() {
+        let id = vocab
+            .id_strict(w)
+            .unwrap_or_else(|| panic!("prompt word {w:?} missing from vocab"));
+        out.push(LmToken::Vocab(id));
+    }
+}
+
+/// Cosine similarity of two equal-length vectors (0 when either is zero).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Min-max normalize scores to `[0, 1]` (constant input → all zeros);
+/// used when mixing score sources of different scales (paradigm 3).
+pub fn minmax(scores: &[f32]) -> Vec<f32> {
+    let lo = scores.iter().cloned().fold(f32::INFINITY, f32::min);
+    let hi = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if !(hi - lo).is_normal() {
+        return vec![0.0; scores.len()];
+    }
+    scores.iter().map(|&s| (s - lo) / (hi - lo)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn minmax_normalizes_and_handles_constants() {
+        assert_eq!(minmax(&[1.0, 3.0, 2.0]), vec![0.0, 1.0, 0.5]);
+        assert_eq!(minmax(&[5.0, 5.0]), vec![0.0, 0.0]);
+    }
+}

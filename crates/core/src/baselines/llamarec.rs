@@ -1,0 +1,108 @@
+//! LlamaRec (Yue et al., 2023) — paradigm 3.
+//!
+//! Two-stage retrieve-then-rerank: the conventional model recalls its top
+//! items with its embeddings; the LM's verbalizer converts output logits
+//! into a candidate probability distribution to rerank. Scores combine the
+//! teacher's recall strength with the LM's verbalized preference.
+
+use crate::baselines::common::{minmax, rank_with_prompt};
+use crate::prompt::{ItemTokens, PromptBuilder, SoftMode};
+use delrec_data::{ItemId, Vocab};
+use delrec_eval::Ranker;
+use delrec_lm::MiniLm;
+use delrec_seqrec::SequentialRecommender;
+use std::rc::Rc;
+
+/// Retrieval + verbalizer reranking.
+pub struct LlamaRec {
+    lm: MiniLm,
+    vocab: Vocab,
+    items: ItemTokens,
+    teacher: Rc<dyn SequentialRecommender>,
+    /// Mixing weight of the teacher's recall score (0 = LM only).
+    pub recall_weight: f32,
+}
+
+impl LlamaRec {
+    /// Assemble from a pretrained LM and a trained teacher (no further
+    /// training — LlamaRec's ranker here is the frozen verbalizer head).
+    pub fn new(
+        lm: MiniLm,
+        vocab: Vocab,
+        items: ItemTokens,
+        teacher: Rc<dyn SequentialRecommender>,
+    ) -> Self {
+        LlamaRec {
+            lm,
+            vocab,
+            items,
+            teacher,
+            recall_weight: 0.6,
+        }
+    }
+}
+
+impl Ranker for LlamaRec {
+    fn name(&self) -> &str {
+        "llamarec"
+    }
+
+    fn score_candidates(&self, prefix: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
+        // Stage A: teacher recall scores for the candidates.
+        let teacher_all = self.teacher.scores(prefix);
+        let teacher_scores: Vec<f32> = candidates.iter().map(|c| teacher_all[c.index()]).collect();
+        // Stage B: LM verbalizer over the candidate set.
+        let pb = PromptBuilder::new(&self.vocab, &self.items, self.teacher.name());
+        let take = prefix.len().min(9);
+        let prompt = pb.recommendation(&prefix[prefix.len() - take..], candidates, SoftMode::None);
+        let lm_scores = rank_with_prompt(&self.lm, &self.items, &prompt, candidates);
+        // Mix on a common [0, 1] scale.
+        let t = minmax(&teacher_scores);
+        let l = minmax(&lm_scores);
+        t.iter()
+            .zip(&l)
+            .map(|(&ts, &ls)| self.recall_weight * ts + (1.0 - self.recall_weight) * ls)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use delrec_lm::MiniLmConfig;
+    use delrec_seqrec::PopularityRecommender;
+
+    #[test]
+    fn mixes_teacher_and_lm_scores() {
+        let ds = delrec_data::synthetic::SyntheticConfig::profile(
+            delrec_data::synthetic::DatasetProfile::MovieLens100K,
+        )
+        .scaled(0.08)
+        .generate(17);
+        let p = Pipeline::build(&ds);
+        let lm = MiniLm::new(MiniLmConfig::large(p.vocab.len()), 1);
+        let teacher: Rc<dyn SequentialRecommender> = Rc::new(PopularityRecommender::fit(&ds));
+        let mut model = LlamaRec::new(lm, p.vocab.clone(), p.items.clone(), teacher.clone());
+
+        let cands = vec![ItemId(0), ItemId(1), ItemId(2)];
+        let prefix = vec![ItemId(3)];
+        // With recall_weight = 1 the ordering equals the teacher's.
+        model.recall_weight = 1.0;
+        let s = model.score_candidates(&prefix, &cands);
+        let t_all = teacher.scores(&prefix);
+        let t: Vec<f32> = cands.iter().map(|c| t_all[c.index()]).collect();
+        let order = |v: &[f32]| {
+            let mut idx: Vec<usize> = (0..v.len()).collect();
+            idx.sort_by(|&a, &b| v[b].partial_cmp(&v[a]).unwrap());
+            idx
+        };
+        assert_eq!(order(&s), order(&t));
+        // With recall_weight = 0 the scores still come back finite (LM-only).
+        model.recall_weight = 0.0;
+        assert!(model
+            .score_candidates(&prefix, &cands)
+            .iter()
+            .all(|v| v.is_finite()));
+    }
+}

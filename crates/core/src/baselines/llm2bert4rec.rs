@@ -1,0 +1,107 @@
+//! LLM2BERT4Rec (Harte et al., RecSys 2023) — paradigm 2.
+//!
+//! Initializes BERT4Rec's item-embedding table with the LM's title
+//! embeddings, reduced to BERT4Rec's width with **PCA** (the projector whose
+//! information loss the paper criticizes), then trains BERT4Rec as usual.
+
+use crate::pipeline::Pipeline;
+use delrec_data::{Dataset, ItemId, Split};
+use delrec_eval::Ranker;
+use delrec_lm::{pca, MiniLm};
+use delrec_seqrec::bert4rec::{Bert4Rec, Bert4RecConfig};
+use delrec_seqrec::trainer::{train, TrainConfig};
+use delrec_seqrec::SequentialRecommender;
+use delrec_tensor::Tensor;
+
+/// BERT4Rec warm-started from PCA-projected LM title embeddings.
+pub struct Llm2Bert4Rec {
+    model: Bert4Rec,
+}
+
+impl Llm2Bert4Rec {
+    /// Build LM title embeddings, PCA them down to `embed_dim`, initialize
+    /// and train BERT4Rec.
+    pub fn fit(
+        dataset: &Dataset,
+        pipeline: &Pipeline,
+        lm: &MiniLm,
+        epochs: usize,
+        max_examples: Option<usize>,
+        seed: u64,
+    ) -> Self {
+        let cfg = Bert4RecConfig::default();
+        // LM title embeddings for every item.
+        let raw: Vec<Vec<f32>> = (0..dataset.num_items())
+            .map(|i| lm.title_embedding(pipeline.items.title(ItemId(i as u32))))
+            .collect();
+        let k = cfg.embed_dim.min(lm.cfg.d_model);
+        let components = pca::fit_components(&raw, k, 40);
+        let projected = pca::project(&raw, &components);
+        // Pad (if k < embed_dim) and scale to a healthy init magnitude.
+        let mut flat = vec![0.0f32; dataset.num_items() * cfg.embed_dim];
+        let norm: f32 = projected
+            .iter()
+            .flat_map(|r| r.iter().map(|v| v * v))
+            .sum::<f32>()
+            .sqrt()
+            .max(1e-6);
+        let scale = 0.05 * (dataset.num_items() as f32 * cfg.embed_dim as f32).sqrt() / norm;
+        for (i, row) in projected.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                flat[i * cfg.embed_dim + j] = v * scale;
+            }
+        }
+        let mut model = Bert4Rec::new(dataset.num_items(), cfg.clone(), seed);
+        model.set_item_embeddings(Tensor::new([dataset.num_items(), cfg.embed_dim], flat));
+        let tc = TrainConfig {
+            max_examples,
+            seed,
+            ..TrainConfig::adam(epochs, 1e-3)
+        };
+        train(&mut model, dataset.examples(Split::Train), &tc);
+        Llm2Bert4Rec { model }
+    }
+}
+
+impl Ranker for Llm2Bert4Rec {
+    fn name(&self) -> &str {
+        "llm2bert4rec"
+    }
+
+    fn score_candidates(&self, prefix: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
+        let all = self.model.scores(prefix);
+        candidates.iter().map(|c| all[c.index()]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{pretrained_lm, LmPreset};
+    use delrec_lm::PretrainConfig;
+
+    #[test]
+    fn fits_from_pca_initialized_embeddings() {
+        let ds = delrec_data::synthetic::SyntheticConfig::profile(
+            delrec_data::synthetic::DatasetProfile::MovieLens100K,
+        )
+        .scaled(0.08)
+        .generate(15);
+        let p = Pipeline::build(&ds);
+        let lm = pretrained_lm(
+            &ds,
+            &p,
+            LmPreset::Large,
+            &PretrainConfig {
+                epochs: 1,
+                max_sentences: Some(100),
+                ..Default::default()
+            },
+            2,
+        );
+        let model = Llm2Bert4Rec::fit(&ds, &p, &lm, 1, Some(40), 7);
+        let scores = model.score_candidates(&[ItemId(0), ItemId(1)], &[ItemId(2), ItemId(3)]);
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}

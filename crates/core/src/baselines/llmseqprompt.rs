@@ -1,0 +1,111 @@
+//! LLMSEQPROMPT (Harte et al., RecSys 2023) — paradigm 1.
+//!
+//! "Injects domain knowledge into the prompts of LLMs": the session (item
+//! list) is the prompt, the next item the completion, and the LM is
+//! fine-tuned. No conventional-model signal at all — this isolates what
+//! prompt fine-tuning alone achieves.
+
+use crate::baselines::common::rank_with_prompt;
+use crate::config::StageConfig;
+use crate::pipeline::Pipeline;
+use crate::prompt::{ItemTokens, PromptBuilder, SoftMode};
+use crate::stage2::{build_lsr_items, finetune, Stage2Options};
+use delrec_data::{Dataset, ItemId, Vocab};
+use delrec_eval::Ranker;
+use delrec_lm::{AdaLoraConfig, MiniLm};
+
+/// Fine-tuned prompt-only recommender.
+pub struct LlmSeqPrompt {
+    lm: MiniLm,
+    vocab: Vocab,
+    items: ItemTokens,
+}
+
+impl LlmSeqPrompt {
+    /// Fine-tune a pretrained LM on history→next-item prompts.
+    pub fn fit(
+        dataset: &Dataset,
+        pipeline: &Pipeline,
+        mut lm: MiniLm,
+        stage: &StageConfig,
+        seed: u64,
+    ) -> Self {
+        lm.attach_adalora(AdaLoraConfig::default(), seed);
+        let pb = PromptBuilder::new(&pipeline.vocab, &pipeline.items, "sasrec");
+        let items = build_lsr_items(
+            dataset,
+            &pb,
+            &pipeline.items,
+            15,
+            SoftMode::None,
+            stage.max_examples.unwrap_or(usize::MAX),
+            seed,
+        );
+        finetune(
+            &mut lm,
+            None,
+            &items,
+            stage,
+            0,
+            Stage2Options::default(),
+            seed ^ 0x11,
+        );
+        LlmSeqPrompt {
+            lm,
+            vocab: pipeline.vocab.clone(),
+            items: pipeline.items.clone(),
+        }
+    }
+}
+
+impl Ranker for LlmSeqPrompt {
+    fn name(&self) -> &str {
+        "llmseqprompt"
+    }
+
+    fn score_candidates(&self, prefix: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
+        let pb = PromptBuilder::new(&self.vocab, &self.items, "sasrec");
+        let take = prefix.len().min(9);
+        let prompt = pb.recommendation(&prefix[prefix.len() - take..], candidates, SoftMode::None);
+        rank_with_prompt(&self.lm, &self.items, &prompt, candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{pretrained_lm, LmPreset};
+    use delrec_data::synthetic::{DatasetProfile, SyntheticConfig};
+    use delrec_lm::PretrainConfig;
+
+    #[test]
+    fn fits_and_ranks() {
+        let ds = SyntheticConfig::profile(DatasetProfile::MovieLens100K)
+            .scaled(0.08)
+            .generate(11);
+        let p = Pipeline::build(&ds);
+        let lm = pretrained_lm(
+            &ds,
+            &p,
+            LmPreset::Large,
+            &PretrainConfig {
+                epochs: 1,
+                max_sentences: Some(100),
+                ..Default::default()
+            },
+            2,
+        );
+        let stage = StageConfig {
+            epochs: 1,
+            batch_size: 4,
+            max_examples: Some(12),
+            lr: 2e-3,
+            weight_decay: 1e-6,
+            optimizer: crate::config::StageOptimizer::Adam,
+        };
+        let model = LlmSeqPrompt::fit(&ds, &p, lm, &stage, 7);
+        let scores = model.score_candidates(&[ItemId(0), ItemId(1)], &[ItemId(2), ItemId(3)]);
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}

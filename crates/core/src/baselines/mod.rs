@@ -1,0 +1,40 @@
+//! The paper's LLM-based comparison systems (Table II), reimplemented at
+//! paradigm fidelity on the shared MiniLM + seqrec substrates.
+//!
+//! Paradigm 1 — *textual information from conventional SR models in the
+//! prompt*: [`recranker`], [`llmseqprompt`], [`llmtrsr`]. The shared failure
+//! mode the paper highlights — text cannot fully describe a model's
+//! behaviour — is inherent in the construction.
+//!
+//! Paradigm 2 — *conventional-model embeddings injected through a
+//! projector*: [`llara`] (trainable linear projector into the LM's embedding
+//! space), [`llm2bert4rec`] (PCA-projected LM embeddings initializing
+//! BERT4Rec). The projector's information loss is real, not simulated.
+//!
+//! Paradigm 3 — *combining embeddings from LLMs and conventional models*:
+//! [`llamarec`] (teacher recall + LM verbalizer rerank), [`llmseqsim`]
+//! (LM-embedding session similarity), [`kda_lrd`] (KDA plus latent relations
+//! discovered from LM title embeddings).
+//!
+//! Raw LLM rows (Bert-Large / Flan-T5-Large / Flan-T5-XL) are [`zero_shot`].
+
+pub mod common;
+pub mod kda_lrd;
+pub mod llamarec;
+pub mod llara;
+pub mod llm2bert4rec;
+pub mod llmseqprompt;
+pub mod llmseqsim;
+pub mod llmtrsr;
+pub mod recranker;
+pub mod zero_shot;
+
+pub use kda_lrd::KdaLrd;
+pub use llamarec::LlamaRec;
+pub use llara::Llara;
+pub use llm2bert4rec::Llm2Bert4Rec;
+pub use llmseqprompt::LlmSeqPrompt;
+pub use llmseqsim::LlmSeqSim;
+pub use llmtrsr::LlmTrsr;
+pub use recranker::RecRanker;
+pub use zero_shot::ZeroShotLm;

@@ -1,0 +1,134 @@
+//! RecRanker (Luo et al., 2023) — paradigm 1.
+//!
+//! Integrates the conventional model's recommendation *results as text* into
+//! the prompt and instruction-tunes the LM to rank. The teacher's top-h list
+//! appears verbatim in both training and inference prompts; the only channel
+//! for the teacher's behaviour is that text — the information bottleneck the
+//! paper's analysis calls out.
+
+use crate::baselines::common::rank_with_prompt;
+use crate::config::StageConfig;
+use crate::pipeline::Pipeline;
+use crate::prompt::{ItemTokens, PromptBuilder};
+use crate::stage1::TrainItem;
+use crate::stage2::{finetune, Stage2Options};
+use delrec_data::{CandidateSampler, Dataset, ItemId, Split, Vocab};
+use delrec_eval::Ranker;
+use delrec_lm::{AdaLoraConfig, MiniLm};
+use delrec_seqrec::SequentialRecommender;
+use std::rc::Rc;
+
+/// RecRanker: teacher results as prompt text + instruction tuning.
+pub struct RecRanker {
+    lm: MiniLm,
+    vocab: Vocab,
+    items: ItemTokens,
+    teacher: Rc<dyn SequentialRecommender>,
+    h: usize,
+}
+
+impl RecRanker {
+    /// Fine-tune on ground truth with teacher hints in the prompt.
+    pub fn fit(
+        dataset: &Dataset,
+        pipeline: &Pipeline,
+        teacher: Rc<dyn SequentialRecommender>,
+        mut lm: MiniLm,
+        stage: &StageConfig,
+        h: usize,
+        seed: u64,
+    ) -> Self {
+        lm.attach_adalora(AdaLoraConfig::default(), seed);
+        let pb = PromptBuilder::new(&pipeline.vocab, &pipeline.items, teacher.name());
+        let sampler = CandidateSampler::new(dataset.num_items(), 15);
+        let mut items = Vec::new();
+        let cap = stage.max_examples.unwrap_or(usize::MAX);
+        for (i, ex) in dataset.examples(Split::Train).iter().enumerate() {
+            if items.len() >= cap {
+                break;
+            }
+            let hints = teacher.recommend(&ex.prefix, h);
+            let candidates = sampler.candidates(ex.target, seed, i);
+            let target_idx = candidates.iter().position(|&c| c == ex.target).unwrap();
+            let prompt = pb.recommendation_with_hints(&ex.prefix, &hints, &candidates);
+            items.push(TrainItem {
+                prompt,
+                candidates: pipeline.items.titles_of(&candidates),
+                target_idx,
+            });
+        }
+        finetune(
+            &mut lm,
+            None,
+            &items,
+            stage,
+            0,
+            Stage2Options::default(),
+            seed ^ 0x22,
+        );
+        RecRanker {
+            lm,
+            vocab: pipeline.vocab.clone(),
+            items: pipeline.items.clone(),
+            teacher,
+            h,
+        }
+    }
+}
+
+impl Ranker for RecRanker {
+    fn name(&self) -> &str {
+        "recranker"
+    }
+
+    fn score_candidates(&self, prefix: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
+        let pb = PromptBuilder::new(&self.vocab, &self.items, self.teacher.name());
+        let take = prefix.len().min(9);
+        let history = &prefix[prefix.len() - take..];
+        let hints = self.teacher.recommend(prefix, self.h);
+        let prompt = pb.recommendation_with_hints(history, &hints, candidates);
+        rank_with_prompt(&self.lm, &self.items, &prompt, candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{pretrained_lm, LmPreset};
+    use delrec_lm::PretrainConfig;
+    use delrec_seqrec::PopularityRecommender;
+
+    #[test]
+    fn fits_and_ranks_with_teacher_hints() {
+        let ds = delrec_data::synthetic::SyntheticConfig::profile(
+            delrec_data::synthetic::DatasetProfile::MovieLens100K,
+        )
+        .scaled(0.08)
+        .generate(12);
+        let p = Pipeline::build(&ds);
+        let lm = pretrained_lm(
+            &ds,
+            &p,
+            LmPreset::Large,
+            &PretrainConfig {
+                epochs: 1,
+                max_sentences: Some(100),
+                ..Default::default()
+            },
+            2,
+        );
+        let teacher: Rc<dyn SequentialRecommender> = Rc::new(PopularityRecommender::fit(&ds));
+        let stage = StageConfig {
+            epochs: 1,
+            batch_size: 4,
+            max_examples: Some(12),
+            lr: 2e-3,
+            weight_decay: 1e-6,
+            optimizer: crate::config::StageOptimizer::Adam,
+        };
+        let model = RecRanker::fit(&ds, &p, teacher, lm, &stage, 3, 7);
+        let scores = model.score_candidates(&[ItemId(0), ItemId(1)], &[ItemId(2), ItemId(3)]);
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}

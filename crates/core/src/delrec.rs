@@ -1,0 +1,345 @@
+//! The end-to-end DELRec model: fit both stages, then rank candidates.
+
+use crate::ablation::Variant;
+use crate::config::DelRecConfig;
+use crate::pipeline::Pipeline;
+use crate::prompt::{ItemTokens, PromptBuilder, SoftMode};
+use crate::stage1::{build_rps_items, build_ta_items, distill, Stage1Options, Stage1Stats};
+use crate::stage2::{build_lsr_items, finetune, Stage2Options};
+use delrec_data::{Dataset, ItemId, Vocab};
+use delrec_eval::Ranker;
+use delrec_lm::{verbalizer, MiniLm, SoftPrompt};
+use delrec_seqrec::SequentialRecommender;
+use delrec_tensor::{Ctx, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fitted DELRec recommender.
+///
+/// Holds the fine-tuned MiniLM and the distilled soft prompts. The teacher
+/// model is *not* needed at inference: its pattern lives in the soft prompts
+/// — exactly the paper's deployment story.
+pub struct DelRec {
+    lm: MiniLm,
+    sp: Option<SoftPrompt>,
+    vocab: Vocab,
+    items: ItemTokens,
+    cfg: DelRecConfig,
+    /// Stage 1 training diagnostics (empty if distillation was skipped).
+    pub stage1_stats: Stage1Stats,
+    /// Stage 2 loss curve (empty if fine-tuning was skipped).
+    pub stage2_losses: Vec<f32>,
+}
+
+impl DelRec {
+    /// Fit DELRec (or an ablation variant) given a dataset, a trained
+    /// teacher, and a *pretrained* MiniLM backbone.
+    pub fn fit(
+        dataset: &Dataset,
+        pipeline: &Pipeline,
+        teacher: &dyn SequentialRecommender,
+        mut lm: MiniLm,
+        cfg: &DelRecConfig,
+    ) -> DelRec {
+        let variant = cfg.variant;
+        let pb = PromptBuilder::new(&pipeline.vocab, &pipeline.items, teacher.name());
+
+        // --- Soft prompts & Stage 1 ---
+        let (sp, stage1_stats) = if variant.uses_soft_prompts() {
+            let d_model = lm.cfg.d_model;
+            let sp = SoftPrompt::init(
+                lm.store_mut(),
+                "delrec",
+                cfg.k_soft,
+                d_model,
+                cfg.seed ^ 0x50F7,
+            );
+            let stats = if variant.runs_distillation() {
+                let soft = SoftMode::Slots(cfg.k_soft);
+                let cap = cfg.stage1.max_examples.unwrap_or(usize::MAX);
+                let ta = build_ta_items(
+                    dataset,
+                    &pb,
+                    &pipeline.items,
+                    cfg.alpha_icl,
+                    cfg.m_candidates,
+                    soft,
+                    cap,
+                    cfg.seed ^ 0x7A,
+                );
+                let rps = build_rps_items(
+                    dataset,
+                    teacher,
+                    &pb,
+                    &pipeline.items,
+                    cfg.h_top,
+                    cfg.m_candidates,
+                    soft,
+                    cap,
+                    cfg.seed ^ 0x395,
+                );
+                distill(
+                    &mut lm,
+                    &sp,
+                    &ta,
+                    &rps,
+                    &cfg.stage1,
+                    Stage1Options {
+                        use_ta: variant.uses_ta(),
+                        use_rps: variant.uses_rps(),
+                        freeze_backbone: variant.freezes_backbone_in_stage1(),
+                        fixed_lambda: cfg.fixed_lambda,
+                    },
+                    cfg.seed ^ 0x51,
+                )
+            } else {
+                // `w USP`: keep the random initialization.
+                Stage1Stats::default()
+            };
+            (Some(sp), stats)
+        } else {
+            (None, Stage1Stats::default())
+        };
+
+        // --- Stage 2 ---
+        let stage2_losses = if variant.runs_finetuning() {
+            lm.attach_adalora(cfg.adalora.clone(), cfg.seed ^ 0xADA);
+            let soft = DelRec::soft_mode_static(&sp, variant, cfg);
+            let items = build_lsr_items(
+                dataset,
+                &pb,
+                &pipeline.items,
+                cfg.m_candidates,
+                soft,
+                cfg.stage2.max_examples.unwrap_or(usize::MAX),
+                cfg.seed ^ 0x152,
+            );
+            finetune(
+                &mut lm,
+                sp.as_ref(),
+                &items,
+                &cfg.stage2,
+                cfg.adalora_prune_every,
+                Stage2Options {
+                    freeze_soft: variant.freezes_soft_in_stage2(),
+                    ..Default::default()
+                },
+                cfg.seed ^ 0x52,
+            )
+        } else {
+            Vec::new()
+        };
+
+        DelRec {
+            lm,
+            sp,
+            vocab: pipeline.vocab.clone(),
+            items: pipeline.items.clone(),
+            cfg: cfg.clone(),
+            stage1_stats,
+            stage2_losses,
+        }
+    }
+
+    fn soft_mode_static(sp: &Option<SoftPrompt>, variant: Variant, cfg: &DelRecConfig) -> SoftMode {
+        if variant == Variant::WithMCP {
+            SoftMode::Manual
+        } else if sp.is_some() {
+            SoftMode::Slots(cfg.k_soft)
+        } else {
+            SoftMode::None
+        }
+    }
+
+    fn soft_mode(&self) -> SoftMode {
+        Self::soft_mode_static(&self.sp, self.cfg.variant, &self.cfg)
+    }
+
+    /// Serialize all fitted parameters (LM, soft prompts, adapters).
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        delrec_tensor::serialize::save_params(self.lm.store(), w)
+    }
+
+    /// Restore a fitted model from [`DelRec::save`] output. `cfg` must match
+    /// the configuration the model was fitted with (it determines the
+    /// parameter layout: backbone size, soft-prompt count, adapters).
+    pub fn load<R: std::io::Read>(
+        pipeline: &Pipeline,
+        cfg: &DelRecConfig,
+        r: &mut R,
+    ) -> std::io::Result<DelRec> {
+        // Reconstruct the parameter layout in the same order as `fit`.
+        let mut lm = MiniLm::new(cfg.lm.config(pipeline.vocab.len()), cfg.seed);
+        let sp = if cfg.variant.uses_soft_prompts() {
+            let d_model = lm.cfg.d_model;
+            Some(SoftPrompt::init(
+                lm.store_mut(),
+                "delrec",
+                cfg.k_soft,
+                d_model,
+                cfg.seed ^ 0x50F7,
+            ))
+        } else {
+            None
+        };
+        if cfg.variant.runs_finetuning() {
+            lm.attach_adalora(cfg.adalora.clone(), cfg.seed ^ 0xADA);
+        }
+        delrec_tensor::serialize::load_params(lm.store_mut(), r)?;
+        Ok(DelRec {
+            lm,
+            sp,
+            vocab: pipeline.vocab.clone(),
+            items: pipeline.items.clone(),
+            cfg: cfg.clone(),
+            stage1_stats: Stage1Stats::default(),
+            stage2_losses: Vec::new(),
+        })
+    }
+
+    /// The underlying language model (for diagnostics: parameter counts,
+    /// adapter state).
+    pub fn lm(&self) -> &MiniLm {
+        &self.lm
+    }
+
+    /// The distilled soft prompts, if this variant has them.
+    pub fn soft_prompt(&self) -> Option<&SoftPrompt> {
+        self.sp.as_ref()
+    }
+
+    /// Explain a candidate's score: `(title word, log-probability)` pairs
+    /// whose mean is exactly the score [`Ranker::score_candidates`] assigns.
+    /// Exposes which words of the candidate's title the model believed in,
+    /// given this history — the interpretability advantage the paper claims
+    /// for prompt-based recommendation.
+    pub fn explain(
+        &self,
+        prefix: &[ItemId],
+        candidates: &[ItemId],
+        which: usize,
+    ) -> Vec<(String, f32)> {
+        assert!(which < candidates.len(), "candidate index out of range");
+        let pb = PromptBuilder::new(&self.vocab, &self.items, self.cfg.teacher.name());
+        let take = prefix.len().min(9);
+        let history = &prefix[prefix.len() - take..];
+        let prompt = pb.recommendation(history, candidates, self.soft_mode());
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, self.lm.store(), false);
+        let soft_table = self.sp.as_ref().map(|s| s.var(&ctx));
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits =
+            self.lm
+                .mask_logits(&ctx, &prompt.tokens, soft_table, prompt.mask_pos, &mut rng);
+        let logits = tape.get(logits);
+        verbalizer::explain_candidate(&logits, self.items.title(candidates[which]))
+            .into_iter()
+            .map(|(tok, s)| (self.vocab.word(tok).to_string(), s))
+            .collect()
+    }
+}
+
+impl Ranker for DelRec {
+    fn name(&self) -> &str {
+        "delrec"
+    }
+
+    fn score_candidates(&self, prefix: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
+        let pb = PromptBuilder::new(&self.vocab, &self.items, self.cfg.teacher.name());
+        // Cap history to the paper's n − 1 most recent interactions.
+        let take = prefix.len().min(9);
+        let history = &prefix[prefix.len() - take..];
+        let prompt = pb.recommendation(history, candidates, self.soft_mode());
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, self.lm.store(), false);
+        let soft_table = self.sp.as_ref().map(|s| s.var(&ctx));
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits =
+            self.lm
+                .mask_logits(&ctx, &prompt.tokens, soft_table, prompt.mask_pos, &mut rng);
+        let logits = tape.get(logits);
+        verbalizer::rank_candidates(&logits, &self.items.titles_of(candidates))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TeacherKind;
+    use crate::pipeline::{build_teacher, pretrained_lm, LmPreset};
+    use delrec_data::synthetic::{DatasetProfile, SyntheticConfig};
+    use delrec_data::Split;
+    use delrec_eval::{evaluate, EvalConfig};
+
+    #[test]
+    fn end_to_end_smoke_fit_and_rank() {
+        let ds = SyntheticConfig::profile(DatasetProfile::MovieLens100K)
+            .scaled(0.08)
+            .generate(9);
+        let pipeline = Pipeline::build(&ds);
+        let lm = pretrained_lm(
+            &ds,
+            &pipeline,
+            LmPreset::Large,
+            &delrec_lm::PretrainConfig {
+                epochs: 1,
+                max_sentences: Some(120),
+                ..Default::default()
+            },
+            2,
+        );
+        let teacher = build_teacher(&ds, TeacherKind::SASRec, 1, Some(60), 5);
+        let mut cfg = DelRecConfig::smoke(TeacherKind::SASRec);
+        cfg.lm = LmPreset::Large;
+        let model = DelRec::fit(&ds, &pipeline, teacher.as_ref(), lm, &cfg);
+        assert!(!model.stage1_stats.lambdas.is_empty());
+        assert!(!model.stage2_losses.is_empty());
+
+        let report = evaluate(
+            &model,
+            &ds,
+            Split::Test,
+            &EvalConfig {
+                max_examples: Some(20),
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.len(), 20);
+        assert_eq!(report.hr(15), 1.0);
+    }
+
+    #[test]
+    fn save_load_roundtrip_reproduces_predictions() {
+        let ds = SyntheticConfig::profile(DatasetProfile::MovieLens100K)
+            .scaled(0.08)
+            .generate(19);
+        let pipeline = Pipeline::build(&ds);
+        let lm = pretrained_lm(
+            &ds,
+            &pipeline,
+            LmPreset::Large,
+            &delrec_lm::PretrainConfig {
+                epochs: 1,
+                max_sentences: Some(20),
+                ..Default::default()
+            },
+            2,
+        );
+        let teacher = build_teacher(&ds, TeacherKind::SASRec, 1, Some(30), 5);
+        let mut cfg = DelRecConfig::smoke(TeacherKind::SASRec);
+        cfg.lm = LmPreset::Large;
+        let model = DelRec::fit(&ds, &pipeline, teacher.as_ref(), lm, &cfg);
+
+        let mut blob = Vec::new();
+        model.save(&mut blob).expect("serialize");
+        let restored = DelRec::load(&pipeline, &cfg, &mut blob.as_slice()).expect("restore");
+
+        let ex = &ds.examples(Split::Test)[0];
+        let cands: Vec<_> = ds.catalog.ids().take(6).collect();
+        assert_eq!(
+            model.score_candidates(&ex.prefix, &cands),
+            restored.score_candidates(&ex.prefix, &cands),
+            "restored model must predict identically"
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! Prompt construction (paper §IV-A, Figures 4–6).
+//!
+//! Every prompt is a token stream mixing:
+//! * **instruction** words describing the task (and naming the teacher model,
+//!   to "harness the pre-existing knowledge of LLMs");
+//! * the **processed interaction sequence** — item *titles*, not ids;
+//! * the **candidate set** titles;
+//! * **soft prompts** (k trainable slots), absent, or a *manual textual
+//!   description* (the `w MCP` ablation);
+//! * a single **`[mask]`** the model must fill; the verbalizer scores each
+//!   candidate's title tokens at this position.
+
+use delrec_data::{ItemCatalog, ItemId, Vocab};
+use delrec_lm::LmToken;
+
+/// Pre-tokenized item titles (index = item id).
+#[derive(Clone, Debug)]
+pub struct ItemTokens {
+    titles: Vec<Vec<u32>>,
+}
+
+impl ItemTokens {
+    /// Tokenize every catalog title under the shared vocabulary.
+    pub fn build(catalog: &ItemCatalog, vocab: &Vocab) -> Self {
+        let titles = catalog
+            .items()
+            .iter()
+            .map(|item| {
+                item.title_words
+                    .iter()
+                    .map(|w| {
+                        vocab
+                            .id_strict(w)
+                            .unwrap_or_else(|| panic!("title word {w:?} missing from vocab"))
+                    })
+                    .collect()
+            })
+            .collect();
+        ItemTokens { titles }
+    }
+
+    /// Token ids of one item's title.
+    pub fn title(&self, id: ItemId) -> &[u32] {
+        &self.titles[id.index()]
+    }
+
+    /// Titles of several items (for the verbalizer).
+    pub fn titles_of(&self, ids: &[ItemId]) -> Vec<Vec<u32>> {
+        ids.iter().map(|&i| self.title(i).to_vec()).collect()
+    }
+
+    /// Number of items covered.
+    pub fn len(&self) -> usize {
+        self.titles.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.titles.is_empty()
+    }
+}
+
+/// How the prompt's soft-prompt section is filled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SoftMode {
+    /// No soft prompts and no reference instruction (`w/o SP`).
+    None,
+    /// `k` soft slots (the DELRec default).
+    Slots(usize),
+    /// A natural-language description of the teacher's behaviour instead of
+    /// learned embeddings (`w MCP`).
+    Manual,
+}
+
+/// A finished prompt: the token stream and where the mask sits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Prompt {
+    /// Mixed hard/soft token stream.
+    pub tokens: Vec<LmToken>,
+    /// Position of the `[mask]` token.
+    pub mask_pos: usize,
+}
+
+/// Builds the three DELRec prompts over a shared vocabulary.
+pub struct PromptBuilder<'a> {
+    vocab: &'a Vocab,
+    items: &'a ItemTokens,
+    teacher_name: &'a str,
+}
+
+impl<'a> PromptBuilder<'a> {
+    /// New builder. `teacher_name` must be a vocabulary word (e.g. "sasrec").
+    pub fn new(vocab: &'a Vocab, items: &'a ItemTokens, teacher_name: &'a str) -> Self {
+        assert!(
+            vocab.id_strict(teacher_name).is_some(),
+            "teacher name {teacher_name:?} is not in the vocabulary"
+        );
+        PromptBuilder {
+            vocab,
+            items,
+            teacher_name,
+        }
+    }
+
+    /// Encode instruction words, panicking on any out-of-vocabulary word
+    /// (catches template drift at test time rather than silently emitting
+    /// `[unk]`).
+    fn words(&self, text: &str, out: &mut Vec<LmToken>) {
+        for w in text.split_whitespace() {
+            let id = self
+                .vocab
+                .id_strict(w)
+                .unwrap_or_else(|| panic!("prompt word {w:?} missing from vocab"));
+            out.push(LmToken::Vocab(id));
+        }
+    }
+
+    fn push_item(&self, id: ItemId, out: &mut Vec<LmToken>) {
+        for &t in self.items.title(id) {
+            out.push(LmToken::Vocab(t));
+        }
+        out.push(LmToken::Vocab(self.vocab.sep()));
+    }
+
+    fn push_items(&self, ids: &[ItemId], out: &mut Vec<LmToken>) {
+        for &id in ids {
+            self.push_item(id, out);
+        }
+    }
+
+    fn push_soft(&self, mode: SoftMode, out: &mut Vec<LmToken>) {
+        match mode {
+            SoftMode::None => {}
+            SoftMode::Slots(k) => {
+                out.extend((0..k).map(LmToken::Soft));
+                out.push(LmToken::Vocab(self.vocab.sep()));
+            }
+            SoftMode::Manual => {
+                // The `w MCP` ablation: describe the teacher's pattern in
+                // natural language (necessarily lossy — that is the point).
+                self.words(
+                    &format!(
+                        "the {} model recommends items similar to the most recent \
+                         items of the user history and popular items",
+                        self.teacher_name
+                    ),
+                    out,
+                );
+                out.push(LmToken::Vocab(self.vocab.sep()));
+            }
+        }
+    }
+
+    fn push_candidates(&self, candidates: &[ItemId], out: &mut Vec<LmToken>) {
+        self.words("candidates", out);
+        out.push(LmToken::Vocab(self.vocab.sep()));
+        self.push_items(candidates, out);
+    }
+
+    /// Finish with the mask slot; returns the completed prompt.
+    fn finish(&self, mut tokens: Vec<LmToken>) -> Prompt {
+        self.words("answer", &mut tokens);
+        let mask_pos = tokens.len();
+        tokens.push(LmToken::Vocab(self.vocab.mask()));
+        Prompt { tokens, mask_pos }
+    }
+
+    /// Figure 4 — *Temporal Analysis* (PMRI). The in-context example shows
+    /// that `icl_next` followed `icl_history`; the query gives
+    /// `query_history` (whose final item is masked out of the history and is
+    /// the label) and reveals `query_next`, the item that came after the
+    /// masked one.
+    pub fn temporal_analysis(
+        &self,
+        icl_history: &[ItemId],
+        icl_next: ItemId,
+        query_history_without_label: &[ItemId],
+        query_next: ItemId,
+        candidates: &[ItemId],
+        soft: SoftMode,
+    ) -> Prompt {
+        let mut t = Vec::new();
+        self.words(
+            &format!(
+                "analyze the temporal order of the user history as the {} model and \
+                 predict the most recent item",
+                self.teacher_name
+            ),
+            &mut t,
+        );
+        t.push(LmToken::Vocab(self.vocab.sep()));
+        // Soft prompts sit directly after the instruction in every template,
+        // so their positions are nearly identical across the three tasks.
+        self.push_soft(soft, &mut t);
+        self.words("example", &mut t);
+        t.push(LmToken::Vocab(self.vocab.sep()));
+        self.push_items(icl_history, &mut t);
+        self.words("next", &mut t);
+        self.push_item(icl_next, &mut t);
+        self.words("question", &mut t);
+        t.push(LmToken::Vocab(self.vocab.sep()));
+        self.push_items(query_history_without_label, &mut t);
+        // The masked most-recent item sits here, then the revealed next item.
+        t.push(LmToken::Vocab(self.vocab.mask()));
+        let mask_pos = t.len() - 1;
+        t.push(LmToken::Vocab(self.vocab.sep()));
+        self.words("then", &mut t);
+        self.push_item(query_next, &mut t);
+        self.push_candidates(candidates, &mut t);
+        Prompt {
+            tokens: t,
+            mask_pos,
+        }
+    }
+
+    /// Figure 5 — *Recommendation Pattern Simulating*. `top_h` is the
+    /// teacher's top-h set presented in shuffled order; the label (elsewhere)
+    /// is the teacher's actual #1.
+    pub fn pattern_simulating(
+        &self,
+        history: &[ItemId],
+        top_h_shuffled: &[ItemId],
+        candidates: &[ItemId],
+        soft: SoftMode,
+    ) -> Prompt {
+        let mut t = Vec::new();
+        self.words(
+            &format!(
+                "simulate the {} model and predict the item the {} model recommends \
+                 next for the user history",
+                self.teacher_name, self.teacher_name
+            ),
+            &mut t,
+        );
+        t.push(LmToken::Vocab(self.vocab.sep()));
+        self.push_soft(soft, &mut t);
+        self.words("history", &mut t);
+        t.push(LmToken::Vocab(self.vocab.sep()));
+        self.push_items(history, &mut t);
+        self.words(
+            &format!("top items by the {} model", self.teacher_name),
+            &mut t,
+        );
+        t.push(LmToken::Vocab(self.vocab.sep()));
+        self.push_items(top_h_shuffled, &mut t);
+        self.push_candidates(candidates, &mut t);
+        self.finish(t)
+    }
+
+    /// Paradigm-1 baseline prompt (RecRanker-style): the ground-truth task
+    /// with the teacher's top items included as *textual* hints.
+    pub fn recommendation_with_hints(
+        &self,
+        history: &[ItemId],
+        teacher_hints: &[ItemId],
+        candidates: &[ItemId],
+    ) -> Prompt {
+        let mut t = Vec::new();
+        self.words(
+            &format!(
+                "predict the next item for the user based on their history with the \
+                 {} model top items as reference",
+                self.teacher_name
+            ),
+            &mut t,
+        );
+        t.push(LmToken::Vocab(self.vocab.sep()));
+        self.words("history", &mut t);
+        t.push(LmToken::Vocab(self.vocab.sep()));
+        self.push_items(history, &mut t);
+        self.words(
+            &format!("top items by the {} model", self.teacher_name),
+            &mut t,
+        );
+        t.push(LmToken::Vocab(self.vocab.sep()));
+        self.push_items(teacher_hints, &mut t);
+        self.push_candidates(candidates, &mut t);
+        self.finish(t)
+    }
+
+    /// Figure 6 — *LLMs-based Sequential Recommendation*: the Stage 2 /
+    /// inference prompt. With `SoftMode::None`, the "reference" clause is
+    /// dropped too (the `w/o SP` ablation removes both).
+    pub fn recommendation(
+        &self,
+        history: &[ItemId],
+        candidates: &[ItemId],
+        soft: SoftMode,
+    ) -> Prompt {
+        let mut t = Vec::new();
+        self.words(
+            "predict the next item for the user based on their history",
+            &mut t,
+        );
+        if soft != SoftMode::None {
+            self.words(
+                &format!(
+                    "with the {} model pattern as auxiliary reference",
+                    self.teacher_name
+                ),
+                &mut t,
+            );
+        }
+        t.push(LmToken::Vocab(self.vocab.sep()));
+        self.push_soft(soft, &mut t);
+        self.words("history", &mut t);
+        t.push(LmToken::Vocab(self.vocab.sep()));
+        self.push_items(history, &mut t);
+        self.push_candidates(candidates, &mut t);
+        self.finish(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delrec_data::corpus::build_vocab;
+    use delrec_data::synthetic::{DatasetProfile, SyntheticConfig};
+    use delrec_data::Dataset;
+
+    fn setup() -> (Dataset, Vocab) {
+        let ds = SyntheticConfig::profile(DatasetProfile::MovieLens100K)
+            .scaled(0.08)
+            .generate(5);
+        let vocab = build_vocab(&ds.catalog);
+        (ds, vocab)
+    }
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    #[test]
+    fn recommendation_prompt_has_one_mask_at_recorded_position() {
+        let (ds, vocab) = setup();
+        let items = ItemTokens::build(&ds.catalog, &vocab);
+        let pb = PromptBuilder::new(&vocab, &items, "sasrec");
+        let p = pb.recommendation(&ids(&[0, 1, 2]), &ids(&[3, 4, 5]), SoftMode::Slots(4));
+        let masks: Vec<usize> = p
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == LmToken::Vocab(vocab.mask()))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(masks, vec![p.mask_pos]);
+    }
+
+    #[test]
+    fn soft_slots_appear_in_order() {
+        let (ds, vocab) = setup();
+        let items = ItemTokens::build(&ds.catalog, &vocab);
+        let pb = PromptBuilder::new(&vocab, &items, "sasrec");
+        let p = pb.recommendation(&ids(&[0]), &ids(&[1, 2]), SoftMode::Slots(3));
+        let softs: Vec<usize> = p
+            .tokens
+            .iter()
+            .filter_map(|t| match t {
+                LmToken::Soft(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(softs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn none_mode_has_no_soft_tokens_and_no_reference_clause() {
+        let (ds, vocab) = setup();
+        let items = ItemTokens::build(&ds.catalog, &vocab);
+        let pb = PromptBuilder::new(&vocab, &items, "sasrec");
+        let with = pb.recommendation(&ids(&[0]), &ids(&[1, 2]), SoftMode::Slots(3));
+        let without = pb.recommendation(&ids(&[0]), &ids(&[1, 2]), SoftMode::None);
+        assert!(without
+            .tokens
+            .iter()
+            .all(|t| !matches!(t, LmToken::Soft(_))));
+        assert!(without.tokens.len() < with.tokens.len());
+        let aux = vocab.id_strict("auxiliary").unwrap();
+        assert!(!without.tokens.contains(&LmToken::Vocab(aux)));
+    }
+
+    #[test]
+    fn manual_mode_describes_the_teacher_in_hard_tokens() {
+        let (ds, vocab) = setup();
+        let items = ItemTokens::build(&ds.catalog, &vocab);
+        let pb = PromptBuilder::new(&vocab, &items, "gru4rec");
+        let p = pb.recommendation(&ids(&[0]), &ids(&[1, 2]), SoftMode::Manual);
+        assert!(p.tokens.iter().all(|t| !matches!(t, LmToken::Soft(_))));
+        let teacher = vocab.id_strict("gru4rec").unwrap();
+        let count = p
+            .tokens
+            .iter()
+            .filter(|t| **t == LmToken::Vocab(teacher))
+            .count();
+        assert!(count >= 2, "teacher named in instruction and description");
+    }
+
+    #[test]
+    fn temporal_analysis_mask_is_mid_prompt_before_the_next_item() {
+        let (ds, vocab) = setup();
+        let items = ItemTokens::build(&ds.catalog, &vocab);
+        let pb = PromptBuilder::new(&vocab, &items, "sasrec");
+        let p = pb.temporal_analysis(
+            &ids(&[0, 1, 2]),
+            ItemId(3),
+            &ids(&[3, 4]),
+            ItemId(6),
+            &ids(&[5, 6, 7]),
+            SoftMode::Slots(2),
+        );
+        assert_eq!(p.tokens[p.mask_pos], LmToken::Vocab(vocab.mask()));
+        assert!(p.mask_pos < p.tokens.len() - 5, "mask is not at the end");
+    }
+
+    #[test]
+    fn pattern_simulating_contains_history_and_top_h() {
+        let (ds, vocab) = setup();
+        let items = ItemTokens::build(&ds.catalog, &vocab);
+        let pb = PromptBuilder::new(&vocab, &items, "caser");
+        let p = pb.pattern_simulating(
+            &ids(&[0, 1]),
+            &ids(&[9, 8]),
+            &ids(&[2, 3]),
+            SoftMode::Slots(2),
+        );
+        // Every title token of item 9 must appear in the prompt.
+        for &tok in items.title(ItemId(9)) {
+            assert!(p.tokens.contains(&LmToken::Vocab(tok)));
+        }
+        assert_eq!(p.tokens[p.mask_pos], LmToken::Vocab(vocab.mask()));
+    }
+
+    #[test]
+    fn prompts_fit_the_lm_context_window() {
+        let (ds, vocab) = setup();
+        let items = ItemTokens::build(&ds.catalog, &vocab);
+        let pb = PromptBuilder::new(&vocab, &items, "sasrec");
+        // Worst case at paper scale: 9 history + 15 candidates + k=16 soft.
+        let hist: Vec<ItemId> = (0..9).map(ItemId).collect();
+        let cands: Vec<ItemId> = (10..25).map(ItemId).collect();
+        let p = pb.recommendation(&hist, &cands, SoftMode::Slots(16));
+        assert!(
+            p.tokens.len() <= 256,
+            "prompt too long: {} tokens",
+            p.tokens.len()
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! The item catalog: all items of one dataset plus its genre table.
+
+use crate::item::{Item, ItemId};
+
+/// Immutable collection of a dataset's items.
+#[derive(Clone, Debug, Default)]
+pub struct ItemCatalog {
+    items: Vec<Item>,
+    genres: Vec<String>,
+}
+
+impl ItemCatalog {
+    /// Build a catalog; item ids must equal their positions.
+    pub fn new(items: Vec<Item>, genres: Vec<String>) -> Self {
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(
+                item.id.index(),
+                i,
+                "item id {:?} does not match its catalog position {i}",
+                item.id
+            );
+            assert!(
+                item.genre < genres.len(),
+                "item {i} references unknown genre {}",
+                item.genre
+            );
+        }
+        ItemCatalog { items, genres }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the catalog has no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Item by id.
+    pub fn get(&self, id: ItemId) -> &Item {
+        &self.items[id.index()]
+    }
+
+    /// All items in id order.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Genre names.
+    pub fn genres(&self) -> &[String] {
+        &self.genres
+    }
+
+    /// Title of an item (convenience).
+    pub fn title(&self, id: ItemId) -> String {
+        self.get(id).title()
+    }
+
+    /// Iterate over all item ids.
+    pub fn ids(&self) -> impl Iterator<Item = ItemId> + '_ {
+        (0..self.items.len() as u32).map(ItemId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(i: u32, genre: usize) -> Item {
+        Item {
+            id: ItemId(i),
+            title_words: vec![format!("item{i}")],
+            genre,
+            popularity: 1.0,
+        }
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let c = ItemCatalog::new(vec![item(0, 0), item(1, 1)], vec!["a".into(), "b".into()]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.title(ItemId(1)), "item1");
+        assert_eq!(c.ids().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match its catalog position")]
+    fn misnumbered_items_panic() {
+        ItemCatalog::new(vec![item(1, 0)], vec!["a".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown genre")]
+    fn unknown_genre_panics() {
+        ItemCatalog::new(vec![item(0, 5)], vec!["a".into()]);
+    }
+}

@@ -1,0 +1,290 @@
+//! Datasets: filtering, example extraction, and the chronological 8:1:1 split.
+
+use crate::catalog::ItemCatalog;
+use crate::interactions::UserSequence;
+use crate::item::ItemId;
+use std::collections::HashMap;
+
+/// Which split an example belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Split {
+    /// 80% earliest interactions.
+    Train,
+    /// Next 10%.
+    Val,
+    /// Latest 10%.
+    Test,
+}
+
+/// One supervised next-item example: predict `target` from `prefix`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Example {
+    /// Owning user.
+    pub user: u32,
+    /// Up to `max_prefix` most recent items before the target, chronological.
+    pub prefix: Vec<ItemId>,
+    /// The ground-truth next item.
+    pub target: ItemId,
+    /// Timestamp of the target interaction (split key).
+    pub ts: u64,
+}
+
+/// Summary statistics in the shape of the paper's Table I.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Number of user sequences after filtering.
+    pub sequences: usize,
+    /// Number of distinct items with at least one interaction.
+    pub items: usize,
+    /// Total interactions.
+    pub interactions: usize,
+    /// `1 − interactions / (sequences × items)`.
+    pub sparsity: f64,
+}
+
+/// A fully-prepared sequential-recommendation dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Dataset name (e.g. `"MovieLens-100K (synthetic)"`).
+    pub name: String,
+    /// All items with titles and genres.
+    pub catalog: ItemCatalog,
+    /// Filtered user sequences.
+    pub sequences: Vec<UserSequence>,
+    /// Maximum prefix length per example (the paper's `n − 1 = 9`).
+    pub max_prefix: usize,
+    train: Vec<Example>,
+    val: Vec<Example>,
+    test: Vec<Example>,
+}
+
+/// Minimum interactions per user *and* per item (paper §V-A1).
+pub const MIN_INTERACTIONS: usize = 5;
+
+impl Dataset {
+    /// Assemble a dataset from raw sequences:
+    ///
+    /// 1. iteratively drop items and users with fewer than
+    ///    [`MIN_INTERACTIONS`] interactions (to a fixpoint);
+    /// 2. extract one example per non-initial position of every sequence
+    ///    (prefix = up to `max_prefix` preceding items);
+    /// 3. order all examples chronologically and split 8:1:1.
+    pub fn build(
+        name: impl Into<String>,
+        catalog: ItemCatalog,
+        sequences: Vec<UserSequence>,
+        max_prefix: usize,
+    ) -> Self {
+        let sequences = filter_min_interactions(sequences, MIN_INTERACTIONS);
+        let mut examples: Vec<Example> = Vec::new();
+        for seq in &sequences {
+            for t in 1..seq.len() {
+                let start = t.saturating_sub(max_prefix);
+                let prefix: Vec<ItemId> = seq.events[start..t].iter().map(|&(i, _)| i).collect();
+                let (target, ts) = seq.events[t];
+                examples.push(Example {
+                    user: seq.user,
+                    prefix,
+                    target,
+                    ts,
+                });
+            }
+        }
+        examples.sort_by_key(|e| (e.ts, e.user));
+        let n = examples.len();
+        let train_end = n * 8 / 10;
+        let val_end = n * 9 / 10;
+        let test = examples.split_off(val_end);
+        let val = examples.split_off(train_end);
+        Dataset {
+            name: name.into(),
+            catalog,
+            sequences,
+            max_prefix,
+            train: examples,
+            val,
+            test,
+        }
+    }
+
+    /// Examples of one split.
+    pub fn examples(&self, split: Split) -> &[Example] {
+        match split {
+            Split::Train => &self.train,
+            Split::Val => &self.val,
+            Split::Test => &self.test,
+        }
+    }
+
+    /// Number of items in the catalog (model vocabulary size).
+    pub fn num_items(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Table-I statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let mut item_seen = vec![false; self.catalog.len()];
+        let mut interactions = 0usize;
+        for seq in &self.sequences {
+            interactions += seq.len();
+            for item in seq.items() {
+                item_seen[item.index()] = true;
+            }
+        }
+        let items = item_seen.iter().filter(|&&s| s).count();
+        let sequences = self.sequences.len();
+        let denom = (sequences * items) as f64;
+        let sparsity = if denom > 0.0 {
+            1.0 - interactions as f64 / denom
+        } else {
+            0.0
+        };
+        DatasetStats {
+            sequences,
+            items,
+            interactions,
+            sparsity,
+        }
+    }
+
+    /// Test examples whose prefix is shorter than `max_len` — the paper's
+    /// cold-start slice (§V-F uses "fewer than 3 interactions").
+    pub fn cold_start_examples(&self, max_len: usize) -> Vec<Example> {
+        self.test
+            .iter()
+            .filter(|e| e.prefix.len() < max_len)
+            .cloned()
+            .collect()
+    }
+}
+
+/// Iteratively remove items with < `min` interactions and users with < `min`
+/// remaining interactions until both constraints hold.
+fn filter_min_interactions(mut sequences: Vec<UserSequence>, min: usize) -> Vec<UserSequence> {
+    loop {
+        let mut item_counts: HashMap<ItemId, usize> = HashMap::new();
+        for seq in &sequences {
+            for item in seq.items() {
+                *item_counts.entry(item).or_default() += 1;
+            }
+        }
+        let mut changed = false;
+        for seq in &mut sequences {
+            let before = seq.len();
+            seq.events.retain(|(item, _)| item_counts[item] >= min);
+            changed |= seq.len() != before;
+        }
+        let before_users = sequences.len();
+        sequences.retain(|s| s.len() >= min);
+        changed |= sequences.len() != before_users;
+        if !changed {
+            return sequences;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+
+    fn catalog(n: u32) -> ItemCatalog {
+        let items = (0..n)
+            .map(|i| Item {
+                id: ItemId(i),
+                title_words: vec![format!("item{i}")],
+                genre: 0,
+                popularity: 1.0,
+            })
+            .collect();
+        ItemCatalog::new(items, vec!["g".into()])
+    }
+
+    fn seq(user: u32, items: &[u32]) -> UserSequence {
+        UserSequence {
+            user,
+            events: items
+                .iter()
+                .enumerate()
+                .map(|(t, &i)| (ItemId(i), t as u64))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn short_users_are_filtered() {
+        let sequences = vec![seq(0, &[0, 1, 0, 1, 0, 1, 0, 1, 0, 1]), seq(1, &[0, 1])];
+        let ds = Dataset::build("t", catalog(5), sequences, 9);
+        assert_eq!(ds.sequences.len(), 1);
+    }
+
+    #[test]
+    fn rare_items_are_filtered_then_users_rechecked() {
+        // Item 9 appears once; dropping it shortens user 1 below 5 events.
+        let sequences = vec![
+            seq(0, &[0, 1, 0, 1, 0, 1]),
+            seq(1, &[0, 1, 0, 1, 9]),
+            seq(2, &[0, 1, 0, 1, 0]),
+        ];
+        let ds = Dataset::build("t", catalog(10), sequences, 9);
+        assert_eq!(
+            ds.sequences.len(),
+            2,
+            "user 1 must fall out after item 9 is dropped"
+        );
+        assert!(ds.sequences.iter().all(|s| s.items().all(|i| i.0 != 9)));
+    }
+
+    #[test]
+    fn split_is_chronological_and_8_1_1() {
+        // One long user: 21 events → 20 examples → 16/2/2.
+        let items: Vec<u32> = (0..21).map(|i| i % 3).collect();
+        let ds = Dataset::build("t", catalog(5), vec![seq(0, &items)], 9);
+        assert_eq!(ds.examples(Split::Train).len(), 16);
+        assert_eq!(ds.examples(Split::Val).len(), 2);
+        assert_eq!(ds.examples(Split::Test).len(), 2);
+        let max_train = ds
+            .examples(Split::Train)
+            .iter()
+            .map(|e| e.ts)
+            .max()
+            .unwrap();
+        let min_test = ds.examples(Split::Test).iter().map(|e| e.ts).min().unwrap();
+        assert!(max_train < min_test, "no leakage: train precedes test");
+    }
+
+    #[test]
+    fn prefixes_are_capped_and_causal() {
+        let items: Vec<u32> = (0..30).map(|i| i % 5).collect();
+        let ds = Dataset::build("t", catalog(5), vec![seq(0, &items)], 9);
+        for split in [Split::Train, Split::Val, Split::Test] {
+            for e in ds.examples(split) {
+                assert!(e.prefix.len() <= 9);
+                assert!(!e.prefix.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_correctly() {
+        // 5 users × the same 5 items: every count is exactly 5; density 1.
+        let sequences = (0..5).map(|u| seq(u, &[0, 1, 2, 3, 4])).collect();
+        let ds = Dataset::build("t", catalog(5), sequences, 9);
+        let st = ds.stats();
+        assert_eq!(st.sequences, 5);
+        assert_eq!(st.items, 5);
+        assert_eq!(st.interactions, 25);
+        assert!(st.sparsity.abs() < 1e-9, "fully dense ⇒ sparsity 0");
+    }
+
+    #[test]
+    fn cold_start_selects_short_prefixes() {
+        // All examples here have long prefixes except none — craft a user
+        // whose early interactions land in the test split is hard with one
+        // user, so check the filter logic directly.
+        let items: Vec<u32> = (0..30).map(|i| i % 5).collect();
+        let ds = Dataset::build("t", catalog(5), vec![seq(0, &items)], 9);
+        let cold = ds.cold_start_examples(3);
+        assert!(cold.iter().all(|e| e.prefix.len() < 3));
+    }
+}

@@ -1,0 +1,108 @@
+//! User–item interactions and per-user chronological sequences.
+
+use crate::item::ItemId;
+
+/// One implicit-feedback event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interaction {
+    /// User index.
+    pub user: u32,
+    /// Item interacted with.
+    pub item: ItemId,
+    /// Logical timestamp; interactions are ordered by it.
+    pub ts: u64,
+}
+
+/// A user's interaction history in chronological order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct UserSequence {
+    /// User index.
+    pub user: u32,
+    /// `(item, timestamp)` pairs sorted ascending by timestamp.
+    pub events: Vec<(ItemId, u64)>,
+}
+
+impl UserSequence {
+    /// Build from unordered interactions of one user, sorting by timestamp
+    /// (stable, so equal timestamps keep input order).
+    pub fn from_interactions(user: u32, mut events: Vec<(ItemId, u64)>) -> Self {
+        events.sort_by_key(|&(_, ts)| ts);
+        UserSequence { user, events }
+    }
+
+    /// Number of interactions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the user has no interactions.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Items only, in chronological order.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.events.iter().map(|&(i, _)| i)
+    }
+}
+
+/// Group a flat interaction log into per-user chronological sequences,
+/// ordered by user index.
+pub fn group_by_user(interactions: &[Interaction]) -> Vec<UserSequence> {
+    let mut by_user: std::collections::BTreeMap<u32, Vec<(ItemId, u64)>> =
+        std::collections::BTreeMap::new();
+    for it in interactions {
+        by_user.entry(it.user).or_default().push((it.item, it.ts));
+    }
+    by_user
+        .into_iter()
+        .map(|(user, events)| UserSequence::from_interactions(user, events))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_sorted_by_time() {
+        let seq = UserSequence::from_interactions(
+            0,
+            vec![(ItemId(2), 30), (ItemId(0), 10), (ItemId(1), 20)],
+        );
+        let items: Vec<u32> = seq.items().map(|i| i.0).collect();
+        assert_eq!(items, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn group_by_user_splits_and_orders() {
+        let log = vec![
+            Interaction {
+                user: 1,
+                item: ItemId(5),
+                ts: 2,
+            },
+            Interaction {
+                user: 0,
+                item: ItemId(3),
+                ts: 9,
+            },
+            Interaction {
+                user: 1,
+                item: ItemId(4),
+                ts: 1,
+            },
+        ];
+        let seqs = group_by_user(&log);
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].user, 0);
+        assert_eq!(seqs[1].user, 1);
+        assert_eq!(seqs[1].items().map(|i| i.0).collect::<Vec<_>>(), vec![4, 5]);
+    }
+
+    #[test]
+    fn stable_sort_keeps_equal_timestamps() {
+        let seq = UserSequence::from_interactions(0, vec![(ItemId(7), 5), (ItemId(8), 5)]);
+        assert_eq!(seq.items().map(|i| i.0).collect::<Vec<_>>(), vec![7, 8]);
+    }
+}

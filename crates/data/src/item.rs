@@ -1,0 +1,55 @@
+//! Items: the recommendable units, carrying the textual titles that LLM-based
+//! recommenders exploit and conventional ID-based models ignore.
+
+/// Dense item identifier, valid within one [`crate::ItemCatalog`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// Index into catalog-ordered arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A recommendable item.
+///
+/// Titles are stored as word lists (already normalized/lowercased) because
+/// both the tokenizer and the title generator operate word-by-word.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Item {
+    /// Dense id, equal to the item's position in its catalog.
+    pub id: ItemId,
+    /// Title words, e.g. `["crimson", "starship", "saga"]`.
+    pub title_words: Vec<String>,
+    /// Genre index into the catalog's genre table. The genre is *latent*
+    /// ground truth used by the synthetic generator and diagnostics; no model
+    /// sees it directly (models see only ids and title text).
+    pub genre: usize,
+    /// Popularity weight used by the generator (Zipf-like).
+    pub popularity: f32,
+}
+
+impl Item {
+    /// Human-readable title (words joined by spaces).
+    pub fn title(&self) -> String {
+        self.title_words.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn title_joins_words() {
+        let item = Item {
+            id: ItemId(3),
+            title_words: vec!["dark".into(), "empire".into()],
+            genre: 1,
+            popularity: 0.5,
+        };
+        assert_eq!(item.title(), "dark empire");
+        assert_eq!(item.id.index(), 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! Dataset substrate for the DELRec reproduction.
+//!
+//! Provides the sequential-recommendation data model (items with textual
+//! titles, user interaction sequences, chronological splits, candidate-set
+//! sampling), the synthetic dataset generator with profiles calibrated to the
+//! paper's five benchmarks, and the synthetic "world-knowledge" corpus used
+//! to pretrain the MiniLM language model.
+//!
+//! The paper's protocol (§V-A1) is implemented exactly:
+//!
+//! * implicit feedback, ordered by timestamp;
+//! * users/items with fewer than 5 interactions filtered out;
+//! * chronological 8:1:1 train/validation/test split (no leakage);
+//! * prediction examples use the latest `n = 10` interactions (padded) and a
+//!   candidate set of `m = 15` items (1 positive + 14 random).
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod corpus;
+pub mod dataset;
+pub mod interactions;
+pub mod io;
+pub mod item;
+pub mod sampling;
+pub mod synthetic;
+pub mod vocab;
+
+pub use catalog::ItemCatalog;
+pub use dataset::{Dataset, DatasetStats, Example, Split};
+pub use interactions::{Interaction, UserSequence};
+pub use item::{Item, ItemId};
+pub use sampling::CandidateSampler;
+pub use vocab::Vocab;

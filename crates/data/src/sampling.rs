@@ -1,0 +1,116 @@
+//! Candidate-set construction (paper §V-A3: `m = 15` candidates — the ground
+//! truth plus 14 randomly selected other items) and negative sampling for the
+//! conventional-model trainers.
+
+use crate::item::ItemId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds candidate sets for ranking evaluation and training prompts.
+#[derive(Clone, Debug)]
+pub struct CandidateSampler {
+    num_items: usize,
+    /// Total candidate-set size `m` (including the positive).
+    pub m: usize,
+}
+
+impl CandidateSampler {
+    /// Sampler over a catalog of `num_items` items with candidate size `m`.
+    pub fn new(num_items: usize, m: usize) -> Self {
+        assert!(m >= 1, "candidate set must hold at least the positive");
+        assert!(
+            num_items >= m,
+            "cannot draw {m} distinct candidates from {num_items} items"
+        );
+        CandidateSampler { num_items, m }
+    }
+
+    /// Candidate set for one example: the positive plus `m − 1` distinct
+    /// random negatives, shuffled so the positive's position is uniform.
+    /// Deterministic in `(seed, example index)`.
+    pub fn candidates(&self, positive: ItemId, seed: u64, example_idx: usize) -> Vec<ItemId> {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (example_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut set = Vec::with_capacity(self.m);
+        set.push(positive);
+        while set.len() < self.m {
+            let cand = ItemId(rng.random_range(0..self.num_items as u32));
+            if !set.contains(&cand) {
+                set.push(cand);
+            }
+        }
+        // Fisher–Yates shuffle so the positive isn't always first.
+        for i in (1..set.len()).rev() {
+            let j = rng.random_range(0..=i);
+            set.swap(i, j);
+        }
+        set
+    }
+
+    /// One uniform negative different from `positive` (for BPR-style or
+    /// sampled-softmax training).
+    pub fn negative<R: Rng>(&self, positive: ItemId, rng: &mut R) -> ItemId {
+        loop {
+            let cand = ItemId(rng.random_range(0..self.num_items as u32));
+            if cand != positive {
+                return cand;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_contain_positive_and_are_distinct() {
+        let s = CandidateSampler::new(100, 15);
+        let c = s.candidates(ItemId(7), 42, 3);
+        assert_eq!(c.len(), 15);
+        assert!(c.contains(&ItemId(7)));
+        let mut dedup = c.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 15);
+    }
+
+    #[test]
+    fn candidates_are_deterministic_per_example() {
+        let s = CandidateSampler::new(100, 15);
+        assert_eq!(
+            s.candidates(ItemId(7), 42, 3),
+            s.candidates(ItemId(7), 42, 3)
+        );
+        assert_ne!(
+            s.candidates(ItemId(7), 42, 3),
+            s.candidates(ItemId(7), 42, 4)
+        );
+    }
+
+    #[test]
+    fn positive_position_is_spread_out() {
+        let s = CandidateSampler::new(50, 5);
+        let mut positions = std::collections::HashSet::new();
+        for i in 0..50 {
+            let c = s.candidates(ItemId(1), 7, i);
+            positions.insert(c.iter().position(|&x| x == ItemId(1)).unwrap());
+        }
+        assert!(positions.len() >= 4, "positive should land in many slots");
+    }
+
+    #[test]
+    fn negative_never_equals_positive() {
+        let s = CandidateSampler::new(3, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_ne!(s.negative(ItemId(2), &mut rng), ItemId(2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn too_few_items_panics() {
+        CandidateSampler::new(3, 10);
+    }
+}

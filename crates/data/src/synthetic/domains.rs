@@ -1,0 +1,352 @@
+//! Word banks: one domain per benchmark dataset, genres with signature
+//! vocabulary so that titles carry learnable semantic signal.
+
+/// One latent genre and its title vocabulary.
+#[derive(Clone, Copy, Debug)]
+pub struct GenreSpec {
+    /// Genre name (also a corpus word, e.g. "sci-fi" → `scifi`).
+    pub name: &'static str,
+    /// Signature nouns; a title's second word comes from here.
+    pub nouns: &'static [&'static str],
+    /// Signature adjectives; a title's first word comes from here.
+    pub adjectives: &'static [&'static str],
+}
+
+/// A dataset domain: its display name and genre table.
+#[derive(Clone, Copy, Debug)]
+pub struct DomainSpec {
+    /// Domain name, e.g. `"movies"`.
+    pub name: &'static str,
+    /// Latent genres.
+    pub genres: &'static [GenreSpec],
+}
+
+/// The five item domains matching the paper's datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// MovieLens-style movies.
+    Movies,
+    /// Steam-style video games.
+    Games,
+    /// Amazon Beauty products.
+    Beauty,
+    /// Amazon Home & Kitchen products.
+    Home,
+    /// KuaiRec-style short videos.
+    Video,
+}
+
+/// Neutral title suffixes shared across genres (carry no genre signal).
+pub const SUFFIXES: &[&str] = &[
+    "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten", "plus", "prime",
+    "max", "mini", "ultra", "classic", "deluxe", "select", "original", "special", "reborn",
+    "returns", "forever", "legacy",
+];
+
+macro_rules! genre {
+    ($name:literal, [$($noun:literal),*], [$($adj:literal),*]) => {
+        GenreSpec { name: $name, nouns: &[$($noun),*], adjectives: &[$($adj),*] }
+    };
+}
+
+const MOVIES: &[GenreSpec] = &[
+    genre!(
+        "drama",
+        ["story", "letters", "memoir", "sonata", "promise"],
+        ["quiet", "tender", "broken", "honest", "golden"]
+    ),
+    genre!(
+        "action",
+        ["strike", "pursuit", "vendetta", "siege", "showdown"],
+        ["relentless", "armored", "explosive", "rogue", "iron"]
+    ),
+    genre!(
+        "scifi",
+        ["starship", "nebula", "android", "portal", "colony"],
+        ["quantum", "stellar", "cybernetic", "orbital", "galactic"]
+    ),
+    genre!(
+        "comedy",
+        ["mixup", "wedding", "roadtrip", "reunion", "caper"],
+        ["awkward", "hilarious", "clumsy", "zany", "cheeky"]
+    ),
+    genre!(
+        "horror",
+        ["haunting", "ritual", "basement", "seance", "harvest"],
+        ["cursed", "midnight", "dreadful", "silent", "pale"]
+    ),
+    genre!(
+        "romance",
+        ["courtship", "serenade", "valentine", "embrace", "affair"],
+        ["sweet", "eternal", "blushing", "moonlit", "devoted"]
+    ),
+    genre!(
+        "thriller",
+        ["conspiracy", "witness", "alibi", "hostage", "cipher"],
+        ["taut", "shadowy", "ruthless", "covert", "breathless"]
+    ),
+    genre!(
+        "western",
+        ["frontier", "outlaw", "canyon", "saloon", "stampede"],
+        ["dusty", "lonesome", "wild", "sunburnt", "restless"]
+    ),
+];
+
+const GAMES: &[GenreSpec] = &[
+    genre!(
+        "shooter",
+        ["warzone", "payload", "crossfire", "bullet", "squad"],
+        ["tactical", "ballistic", "elite", "hardline", "overkill"]
+    ),
+    genre!(
+        "rpg",
+        ["quest", "dungeon", "grimoire", "covenant", "relic"],
+        ["arcane", "forgotten", "ancient", "mythic", "fabled"]
+    ),
+    genre!(
+        "strategy",
+        ["empire", "campaign", "dominion", "stronghold", "gambit"],
+        ["grand", "total", "supreme", "imperial", "sovereign"]
+    ),
+    genre!(
+        "racing",
+        ["circuit", "drift", "overdrive", "grandprix", "turbo"],
+        ["nitro", "blazing", "redline", "apex", "furious"]
+    ),
+    genre!(
+        "puzzle",
+        ["labyrinth", "cascade", "enigma", "tessella", "knot"],
+        ["clever", "twisted", "minimal", "curious", "elegant"]
+    ),
+    genre!(
+        "sandbox",
+        ["workshop", "terraform", "voxel", "frontier-town", "habitat"],
+        ["boundless", "creative", "procedural", "open", "endless"]
+    ),
+    genre!(
+        "sports",
+        ["league", "matchday", "championship", "arena", "roster"],
+        ["pro", "ultimate", "allstar", "varsity", "official"]
+    ),
+    genre!(
+        "indie",
+        ["journey", "garden", "lighthouse", "postcard", "daydream"],
+        ["tiny", "handmade", "wistful", "pastel", "gentle"]
+    ),
+];
+
+const BEAUTY: &[GenreSpec] = &[
+    genre!(
+        "skincare",
+        ["serum", "moisturizer", "cleanser", "toner", "mask"],
+        ["hydrating", "radiant", "soothing", "renewing", "dewy"]
+    ),
+    genre!(
+        "makeup",
+        ["lipstick", "palette", "mascara", "foundation", "blush"],
+        ["matte", "velvet", "shimmer", "bold", "satin"]
+    ),
+    genre!(
+        "haircare",
+        ["shampoo", "conditioner", "pomade", "scalp-oil", "keratin"],
+        ["nourishing", "silky", "volumizing", "repairing", "glossy"]
+    ),
+    genre!(
+        "fragrance",
+        ["perfume", "cologne", "eau", "musk", "amber"],
+        ["floral", "woody", "citrus", "oriental", "fresh"]
+    ),
+    genre!(
+        "nails",
+        ["lacquer", "gel-kit", "topcoat", "cuticle-oil", "file-set"],
+        ["chip-proof", "glitter", "nude", "neon", "pearl"]
+    ),
+    genre!(
+        "tools",
+        ["brush-set", "sponge", "curler", "tweezer", "mirror"],
+        ["ergonomic", "vegan", "dual-ended", "travel", "pro-grade"]
+    ),
+];
+
+const HOME: &[GenreSpec] = &[
+    genre!(
+        "cookware",
+        ["skillet", "dutch-oven", "saucepan", "wok", "griddle"],
+        ["cast-iron", "nonstick", "copper", "ceramic", "tri-ply"]
+    ),
+    genre!(
+        "appliances",
+        ["blender", "toaster", "airfryer", "kettle", "mixer"],
+        ["smart", "compact", "turbo-heat", "stainless", "digital"]
+    ),
+    genre!(
+        "bedding",
+        ["duvet", "pillow", "sheet-set", "quilt", "mattress-pad"],
+        ["plush", "breathable", "sateen", "down-filled", "cooling"]
+    ),
+    genre!(
+        "storage",
+        ["organizer", "bin-set", "shelf", "rack", "caddy"],
+        ["stackable", "collapsible", "woven", "modular", "slimline"]
+    ),
+    genre!(
+        "decor",
+        ["lamp", "vase", "wall-art", "candle", "throw"],
+        ["rustic", "scandi", "gilded", "boho", "mid-century"]
+    ),
+    genre!(
+        "cleaning",
+        ["mop", "vacuum", "scrubber", "duster", "spray-kit"],
+        [
+            "cordless",
+            "heavy-duty",
+            "microfiber",
+            "self-wringing",
+            "anti-static"
+        ]
+    ),
+    genre!(
+        "dining",
+        ["flatware", "dinner-set", "goblet", "platter", "placemat"],
+        [
+            "porcelain",
+            "hammered",
+            "matte-black",
+            "artisan",
+            "stoneware"
+        ]
+    ),
+    genre!(
+        "garden",
+        ["planter", "trellis", "pruner", "hose-reel", "birdbath"],
+        [
+            "weatherproof",
+            "galvanized",
+            "raised",
+            "self-watering",
+            "terracotta"
+        ]
+    ),
+];
+
+const VIDEO: &[GenreSpec] = &[
+    genre!(
+        "cooking",
+        ["recipe", "streetfood", "bakealong", "mukbang", "pantry"],
+        ["sizzling", "homestyle", "five-minute", "crispy", "budget"]
+    ),
+    genre!(
+        "dance",
+        ["choreo", "freestyle", "duet", "shuffle", "crew"],
+        ["viral", "synced", "smooth", "energetic", "trending"]
+    ),
+    genre!(
+        "gaming-clips",
+        ["speedrun", "clutch", "montage", "ranked", "loadout"],
+        ["insane", "one-shot", "flawless", "sweaty", "lucky"]
+    ),
+    genre!(
+        "pets",
+        ["kitten", "puppy", "parrot", "hamster", "aquarium"],
+        ["fluffy", "mischievous", "sleepy", "talking", "rescued"]
+    ),
+    genre!(
+        "travel",
+        ["vlog", "hike", "roadside", "nightmarket", "homestay"],
+        ["hidden", "scenic", "offbeat", "coastal", "alpine"]
+    ),
+    genre!(
+        "diy",
+        ["makeover", "woodwork", "upcycle", "repair", "hack"],
+        ["easy", "satisfying", "thrifty", "step-by-step", "genius"]
+    ),
+];
+
+impl Domain {
+    /// Static specification of this domain.
+    pub fn spec(self) -> DomainSpec {
+        match self {
+            Domain::Movies => DomainSpec {
+                name: "movies",
+                genres: MOVIES,
+            },
+            Domain::Games => DomainSpec {
+                name: "games",
+                genres: GAMES,
+            },
+            Domain::Beauty => DomainSpec {
+                name: "beauty",
+                genres: BEAUTY,
+            },
+            Domain::Home => DomainSpec {
+                name: "home",
+                genres: HOME,
+            },
+            Domain::Video => DomainSpec {
+                name: "video",
+                genres: VIDEO,
+            },
+        }
+    }
+
+    /// Number of genres.
+    pub fn num_genres(self) -> usize {
+        self.spec().genres.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    const ALL: [Domain; 5] = [
+        Domain::Movies,
+        Domain::Games,
+        Domain::Beauty,
+        Domain::Home,
+        Domain::Video,
+    ];
+
+    #[test]
+    fn every_domain_has_enough_genres_and_words() {
+        for d in ALL {
+            let spec = d.spec();
+            assert!(spec.genres.len() >= 6, "{} has too few genres", spec.name);
+            for g in spec.genres {
+                assert_eq!(g.nouns.len(), 5, "{}:{} nouns", spec.name, g.name);
+                assert_eq!(g.adjectives.len(), 5, "{}:{} adjectives", spec.name, g.name);
+            }
+        }
+    }
+
+    #[test]
+    fn signature_words_are_unique_within_a_domain() {
+        // Genre signal requires a word to identify a single genre.
+        for d in ALL {
+            let spec = d.spec();
+            let mut seen = HashSet::new();
+            for g in spec.genres {
+                for w in g.nouns.iter().chain(g.adjectives) {
+                    assert!(
+                        seen.insert(*w),
+                        "word {w:?} is shared between genres of {}",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suffixes_do_not_collide_with_signature_words() {
+        for d in ALL {
+            let spec = d.spec();
+            for g in spec.genres {
+                for w in g.nouns.iter().chain(g.adjectives) {
+                    assert!(!SUFFIXES.contains(w));
+                }
+            }
+        }
+    }
+}

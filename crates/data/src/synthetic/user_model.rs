@@ -1,0 +1,125 @@
+//! Latent user preference model with optional mid-history drift.
+
+use rand::Rng;
+
+/// A synthetic user's latent taste.
+///
+/// Preference is a weight per genre. With some probability the user *drifts*:
+/// from `drift_at` onward their preference vector changes (e.g. the paper's
+/// case-study user moving from drama/classics to action/sci-fi).
+#[derive(Clone, Debug)]
+pub struct UserModel {
+    /// Genre weights before drift.
+    pub base_pref: Vec<f32>,
+    /// Event index at which drift takes effect, if any.
+    pub drift_at: Option<usize>,
+    /// Genre weights after drift (equal to `base_pref` when no drift).
+    pub drifted_pref: Vec<f32>,
+}
+
+impl UserModel {
+    /// Sample a user: two favourite genres with strong weight, a long tail of
+    /// weak interest, and a `drift_prob` chance of switching favourites at a
+    /// point 30–70% through a `seq_len`-event history.
+    pub fn sample<R: Rng>(
+        n_genres: usize,
+        pref_strength: f32,
+        drift_prob: f32,
+        seq_len: usize,
+        rng: &mut R,
+    ) -> Self {
+        let base_pref = favourite_pair(n_genres, pref_strength, rng);
+        let (drift_at, drifted_pref) = if rng.random::<f32>() < drift_prob && seq_len >= 6 {
+            let lo = (seq_len as f32 * 0.3) as usize;
+            let hi = ((seq_len as f32 * 0.7) as usize).max(lo + 1);
+            (
+                Some(rng.random_range(lo..hi)),
+                favourite_pair(n_genres, pref_strength, rng),
+            )
+        } else {
+            (None, base_pref.clone())
+        };
+        UserModel {
+            base_pref,
+            drift_at,
+            drifted_pref,
+        }
+    }
+
+    /// Preference vector in effect at event index `t`.
+    pub fn pref_at(&self, t: usize) -> &[f32] {
+        match self.drift_at {
+            Some(d) if t >= d => &self.drifted_pref,
+            _ => &self.base_pref,
+        }
+    }
+}
+
+/// Weight vector with two favourites (`strength` and `0.6·strength`) over a
+/// weak uniform floor.
+fn favourite_pair<R: Rng>(n_genres: usize, strength: f32, rng: &mut R) -> Vec<f32> {
+    assert!(n_genres >= 2);
+    let mut pref: Vec<f32> = (0..n_genres).map(|_| rng.random::<f32>() * 0.2).collect();
+    let first = rng.random_range(0..n_genres);
+    let mut second = rng.random_range(0..n_genres);
+    while second == first {
+        second = rng.random_range(0..n_genres);
+    }
+    pref[first] += strength;
+    pref[second] += 0.6 * strength;
+    pref
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn favourites_dominate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = UserModel::sample(8, 2.0, 0.0, 20, &mut rng);
+        let mut sorted = u.base_pref.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!(sorted[0] >= 2.0);
+        assert!(sorted[1] >= 1.2);
+        assert!(sorted[2] < 0.3, "tail weights stay small");
+    }
+
+    #[test]
+    fn no_drift_keeps_one_pref() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let u = UserModel::sample(6, 1.5, 0.0, 30, &mut rng);
+        assert!(u.drift_at.is_none());
+        assert_eq!(u.pref_at(0), u.pref_at(29));
+    }
+
+    #[test]
+    fn drift_switches_pref_at_the_right_point() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // drift_prob = 1 forces drift.
+        let u = UserModel::sample(6, 1.5, 1.0, 30, &mut rng);
+        let d = u.drift_at.expect("must drift");
+        assert!(
+            (9..21).contains(&d),
+            "drift point {d} outside 30–70% window"
+        );
+        assert_eq!(u.pref_at(d.saturating_sub(1)), u.base_pref.as_slice());
+        assert_eq!(u.pref_at(d), u.drifted_pref.as_slice());
+    }
+
+    #[test]
+    fn drift_rate_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let drifted = (0..500)
+            .filter(|_| {
+                UserModel::sample(6, 1.5, 0.4, 30, &mut rng)
+                    .drift_at
+                    .is_some()
+            })
+            .count();
+        let rate = drifted as f32 / 500.0;
+        assert!((rate - 0.4).abs() < 0.08, "observed drift rate {rate}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Word-level vocabulary shared by item titles, the pretraining corpus, and
+//! the MiniLM tokenizer.
+
+use std::collections::HashMap;
+
+/// Special tokens, always occupying the first vocabulary slots.
+pub const PAD: &str = "[pad]";
+/// Mask token predicted by the MLM head.
+pub const MASK: &str = "[mask]";
+/// Separator between prompt sections.
+pub const SEP: &str = "[sep]";
+/// Unknown word.
+pub const UNK: &str = "[unk]";
+
+const SPECIALS: [&str; 4] = [PAD, MASK, SEP, UNK];
+
+/// A frozen word ↔ id mapping.
+///
+/// ```
+/// use delrec_data::Vocab;
+///
+/// let vocab = Vocab::build(["crimson", "starship"]);
+/// let ids = vocab.encode("crimson starship");
+/// assert_eq!(vocab.decode(&ids), "crimson starship");
+/// assert_eq!(vocab.id("unknown-word"), vocab.unk());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Vocab {
+    words: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// Build from a word list; specials are prepended automatically and
+    /// duplicates (after the first occurrence) are ignored.
+    pub fn build<I: IntoIterator<Item = S>, S: Into<String>>(words: I) -> Self {
+        let mut vocab = Vocab {
+            words: Vec::new(),
+            index: HashMap::new(),
+        };
+        for s in SPECIALS {
+            vocab.insert(s.to_string());
+        }
+        for w in words {
+            vocab.insert(w.into());
+        }
+        vocab
+    }
+
+    fn insert(&mut self, word: String) {
+        if !self.index.contains_key(&word) {
+            self.index.insert(word.clone(), self.words.len() as u32);
+            self.words.push(word);
+        }
+    }
+
+    /// Vocabulary size including specials.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if only the specials are present.
+    pub fn is_empty(&self) -> bool {
+        self.words.len() == SPECIALS.len()
+    }
+
+    /// Id of a word, falling back to `[unk]`.
+    pub fn id(&self, word: &str) -> u32 {
+        self.index
+            .get(word)
+            .copied()
+            .unwrap_or_else(|| self.index[UNK])
+    }
+
+    /// Id of a word only if known.
+    pub fn id_strict(&self, word: &str) -> Option<u32> {
+        self.index.get(word).copied()
+    }
+
+    /// Word for an id.
+    pub fn word(&self, id: u32) -> &str {
+        &self.words[id as usize]
+    }
+
+    /// Ids of the special tokens.
+    pub fn pad(&self) -> u32 {
+        self.index[PAD]
+    }
+
+    /// Id of the `[mask]` token.
+    pub fn mask(&self) -> u32 {
+        self.index[MASK]
+    }
+
+    /// Id of the `[sep]` token.
+    pub fn sep(&self) -> u32 {
+        self.index[SEP]
+    }
+
+    /// Id of the `[unk]` token.
+    pub fn unk(&self) -> u32 {
+        self.index[UNK]
+    }
+
+    /// Encode a whitespace-separated string.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        text.split_whitespace().map(|w| self.id(w)).collect()
+    }
+
+    /// Decode ids back into a string.
+    pub fn decode(&self, ids: &[u32]) -> String {
+        ids.iter()
+            .map(|&i| self.word(i))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_come_first_and_are_stable() {
+        let v = Vocab::build(["hello", "world"]);
+        assert_eq!(v.word(v.pad()), PAD);
+        assert_eq!(v.word(v.mask()), MASK);
+        assert!(v.pad() < 4 && v.mask() < 4 && v.sep() < 4 && v.unk() < 4);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let v = Vocab::build(["a", "b", "a"]);
+        assert_eq!(v.len(), 4 + 2);
+    }
+
+    #[test]
+    fn unknown_words_map_to_unk() {
+        let v = Vocab::build(["a"]);
+        assert_eq!(v.id("zzz"), v.unk());
+        assert_eq!(v.id_strict("zzz"), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let v = Vocab::build(["the", "dark", "tower"]);
+        let ids = v.encode("the dark tower");
+        assert_eq!(v.decode(&ids), "the dark tower");
+    }
+}

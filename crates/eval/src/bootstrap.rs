@@ -1,0 +1,119 @@
+//! Percentile-bootstrap confidence intervals for ranking metrics.
+//!
+//! The paper reports point estimates plus paired t-tests; bootstrap CIs are
+//! the complementary tool for judging whether two *absolute* numbers are
+//! meaningfully different under candidate-set resampling noise, which the
+//! scale-reduced reproduction makes more prominent.
+
+use crate::metrics::RankingReport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-sided confidence interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// True if `other`'s estimate falls outside this interval (a quick
+    /// "visibly different" check, weaker than a paired test).
+    pub fn excludes(&self, value: f64) -> bool {
+        value < self.lo || value > self.hi
+    }
+}
+
+/// Percentile bootstrap over per-example metric values.
+///
+/// `level` is the two-sided coverage (e.g. 0.95); `resamples` draws are
+/// deterministic in `seed`.
+pub fn bootstrap_ci(values: &[f64], level: f64, resamples: usize, seed: u64) -> ConfidenceInterval {
+    assert!(!values.is_empty(), "bootstrap over an empty sample");
+    assert!((0.0..1.0).contains(&level) && level > 0.5, "level in (0.5, 1)");
+    assert!(resamples >= 20, "too few resamples for percentiles");
+    let n = values.len();
+    let estimate = values.iter().sum::<f64>() / n as f64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut total = 0.0;
+        for _ in 0..n {
+            total += values[rng.random_range(0..n)];
+        }
+        means.push(total / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f64| -> usize {
+        ((q * (resamples - 1) as f64).round() as usize).min(resamples - 1)
+    };
+    ConfidenceInterval {
+        estimate,
+        lo: means[idx(alpha)],
+        hi: means[idx(1.0 - alpha)],
+    }
+}
+
+/// Bootstrap CI of HR@k for a ranking report.
+pub fn hr_ci(report: &RankingReport, k: usize, level: f64, seed: u64) -> ConfidenceInterval {
+    bootstrap_ci(&report.per_example_hr(k), level, 1000, seed)
+}
+
+/// Bootstrap CI of NDCG@k for a ranking report.
+pub fn ndcg_ci(report: &RankingReport, k: usize, level: f64, seed: u64) -> ConfidenceInterval {
+    bootstrap_ci(&report.per_example_ndcg(k), level, 1000, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_the_estimate() {
+        let values: Vec<f64> = (0..200).map(|i| (i % 3) as f64 / 2.0).collect();
+        let ci = bootstrap_ci(&values, 0.95, 500, 7);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.hi - ci.lo < 0.2, "200 samples should give a tight CI");
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let values: Vec<f64> = (0..100).map(|i| if i % 4 == 0 { 1.0 } else { 0.0 }).collect();
+        let narrow = bootstrap_ci(&values, 0.80, 1000, 7);
+        let wide = bootstrap_ci(&values, 0.99, 1000, 7);
+        assert!(wide.hi - wide.lo >= narrow.hi - narrow.lo);
+    }
+
+    #[test]
+    fn degenerate_sample_collapses_to_a_point() {
+        let ci = bootstrap_ci(&[0.5; 50], 0.95, 200, 1);
+        assert_eq!((ci.lo, ci.hi), (0.5, 0.5));
+        assert!(!ci.excludes(0.5));
+        assert!(ci.excludes(0.6));
+    }
+
+    #[test]
+    fn hr_ci_detects_clearly_different_models() {
+        // Model A: positives always rank 0; model B: uniform over 15.
+        let a = RankingReport::new(vec![0; 120], 15);
+        let b = RankingReport::new((0..120).map(|i| i % 15).collect(), 15);
+        let ci_a = hr_ci(&a, 5, 0.95, 3);
+        let ci_b = hr_ci(&b, 5, 0.95, 3);
+        assert!(ci_a.excludes(ci_b.estimate));
+        assert!(ci_b.excludes(ci_a.estimate));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let values: Vec<f64> = (0..60).map(|i| (i % 5) as f64).collect();
+        assert_eq!(
+            bootstrap_ci(&values, 0.95, 300, 9),
+            bootstrap_ci(&values, 0.95, 300, 9)
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! A minimal JSON value + writer, so experiment binaries can emit
+//! machine-readable results without pulling in a serialization framework
+//! (the workspace deliberately avoids serde_json; see DESIGN.md).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (always emitted as f64).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with deterministic (sorted) key order.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj<I: IntoIterator<Item = (S, Json)>, S: Into<String>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Build an array.
+    pub fn arr<I: IntoIterator<Item = Json>>(items: I) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut buf = String::new();
+        write_value(self, &mut buf);
+        f.write_str(&buf)
+    }
+}
+
+fn write_value(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => {
+            if n.is_finite() {
+                // Integers print without a trailing ".0".
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => escape(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::obj([
+            ("name", Json::from("DELRec")),
+            ("hr", Json::from(0.37)),
+            ("ranks", Json::arr([Json::from(1usize), Json::from(0usize)])),
+        ]);
+        assert_eq!(
+            j.to_string(),
+            r#"{"hr":0.37,"name":"DELRec","ranks":[1,0]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let j = Json::from("a\"b\\c\nd");
+        assert_eq!(j.to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn integers_have_no_decimal_point() {
+        assert_eq!(Json::from(42usize).to_string(), "42");
+        assert_eq!(Json::Num(3.5).to_string(), "3.5");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    }
+}

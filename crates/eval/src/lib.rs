@@ -1,0 +1,16 @@
+//! Evaluation: the paper's candidate-set ranking protocol, HR@k / NDCG@k
+//! metrics, paired significance tests, and table/JSON reporting.
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod ttest;
+
+pub use bootstrap::{bootstrap_ci, hr_ci, ndcg_ci, ConfidenceInterval};
+pub use metrics::RankingReport;
+pub use runner::{evaluate, score_candidates_chunked, EvalConfig, FnRanker, Ranker};
+pub use ttest::{paired_t_test, TTestResult};

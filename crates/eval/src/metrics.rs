@@ -1,0 +1,161 @@
+//! Ranking metrics: top-k Hit Rate and NDCG (paper §V-A4).
+
+/// Per-example ranking outcomes of one evaluation run.
+///
+/// `ranks[i]` is the 0-based position of the ground-truth item in the
+/// model's ordering of the candidate set for test example `i`.
+///
+/// ```
+/// use delrec_eval::RankingReport;
+///
+/// // Three examples: positives ranked 1st, 3rd, and 12th of 15 candidates.
+/// let report = RankingReport::new(vec![0, 2, 11], 15);
+/// assert_eq!(report.hr(1), 1.0 / 3.0);
+/// assert_eq!(report.hr(5), 2.0 / 3.0);
+/// assert!(report.ndcg(10) < report.hr(10));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankingReport {
+    /// 0-based rank of the positive per example.
+    pub ranks: Vec<usize>,
+    /// Candidate-set size used.
+    pub m: usize,
+}
+
+impl RankingReport {
+    /// Build from raw ranks.
+    pub fn new(ranks: Vec<usize>, m: usize) -> Self {
+        assert!(ranks.iter().all(|&r| r < m), "rank out of candidate range");
+        RankingReport { ranks, m }
+    }
+
+    /// Number of evaluated examples.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True when no examples were evaluated.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// HR@k: fraction of examples whose positive ranked in the top `k`.
+    pub fn hr(&self, k: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let hits = self.ranks.iter().filter(|&&r| r < k).count();
+        hits as f64 / self.ranks.len() as f64
+    }
+
+    /// NDCG@k with a single relevant item: `1 / log2(rank + 2)` if the
+    /// positive is in the top `k`, else 0 (the ideal DCG is 1).
+    pub fn ndcg(&self, k: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .ranks
+            .iter()
+            .map(|&r| {
+                if r < k {
+                    1.0 / ((r as f64) + 2.0).log2()
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        total / self.ranks.len() as f64
+    }
+
+    /// Mean reciprocal rank.
+    pub fn mrr(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.ranks.iter().map(|&r| 1.0 / (r as f64 + 1.0)).sum();
+        total / self.ranks.len() as f64
+    }
+
+    /// Per-example HR@k indicator values (for the paired t-test).
+    pub fn per_example_hr(&self, k: usize) -> Vec<f64> {
+        self.ranks
+            .iter()
+            .map(|&r| if r < k { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// Per-example NDCG@k values (for the paired t-test).
+    pub fn per_example_ndcg(&self, k: usize) -> Vec<f64> {
+        self.ranks
+            .iter()
+            .map(|&r| {
+                if r < k {
+                    1.0 / ((r as f64) + 2.0).log2()
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let r = RankingReport::new(vec![0, 0, 0], 15);
+        assert_eq!(r.hr(1), 1.0);
+        assert_eq!(r.hr(10), 1.0);
+        assert!((r.ndcg(10) - 1.0).abs() < 1e-12);
+        assert_eq!(r.mrr(), 1.0);
+    }
+
+    #[test]
+    fn hr_counts_topk_membership() {
+        let r = RankingReport::new(vec![0, 4, 9, 14], 15);
+        assert_eq!(r.hr(1), 0.25);
+        assert_eq!(r.hr(5), 0.5);
+        assert_eq!(r.hr(10), 0.75);
+        assert_eq!(r.hr(15), 1.0);
+    }
+
+    #[test]
+    fn ndcg_discounts_by_log_rank() {
+        // rank 1 (0-based) → 1/log2(3).
+        let r = RankingReport::new(vec![1], 15);
+        assert!((r.ndcg(5) - 1.0 / 3f64.log2()).abs() < 1e-12);
+        // Outside top-k contributes zero.
+        let r2 = RankingReport::new(vec![7], 15);
+        assert_eq!(r2.ndcg(5), 0.0);
+    }
+
+    #[test]
+    fn ndcg_is_monotone_in_rank() {
+        for k in [5, 10] {
+            let better = RankingReport::new(vec![1], 15).ndcg(k);
+            let worse = RankingReport::new(vec![3], 15).ndcg(k);
+            assert!(better > worse);
+        }
+    }
+
+    #[test]
+    fn per_example_vectors_match_aggregates() {
+        let r = RankingReport::new(vec![0, 4, 9], 15);
+        let hr5 = r.per_example_hr(5);
+        assert_eq!(hr5, vec![1.0, 1.0, 0.0]);
+        let mean: f64 = hr5.iter().sum::<f64>() / 3.0;
+        assert!((mean - r.hr(5)).abs() < 1e-12);
+        let ndcg10 = r.per_example_ndcg(10);
+        let mean2: f64 = ndcg10.iter().sum::<f64>() / 3.0;
+        assert!((mean2 - r.ndcg(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of candidate range")]
+    fn out_of_range_rank_panics() {
+        RankingReport::new(vec![15], 15);
+    }
+}

@@ -1,0 +1,134 @@
+//! Markdown table rendering for experiment outputs, mirroring the paper's
+//! table style (best value bold, second-best underlined).
+
+/// A simple markdown table with metric-aware formatting helpers.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match header arity).
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.headers.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+}
+
+/// Format a metric column: bold the best value, underline the second-best
+/// (both to 4 decimals, like the paper's tables). `values[i]` belongs to row
+/// `i`; returns the formatted strings in the same order.
+pub fn format_metric_column(values: &[f64], suffixes: &[&str]) -> Vec<String> {
+    assert_eq!(values.len(), suffixes.len());
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let best = idx.first().copied();
+    let second = idx.get(1).copied();
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let base = format!("{v:.4}{}", suffixes[i]);
+            if Some(i) == best {
+                format!("**{base}**")
+            } else if Some(i) == second {
+                format!("_{base}_")
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+/// Render a metric series as a compact ASCII bar chart (one row per point) —
+/// used by the figure-reproduction binaries so the trend is visible in a
+/// terminal without plotting tools.
+pub fn ascii_chart(title: &str, points: &[(String, f64)], width: usize) -> String {
+    let mut out = format!("{title}\n");
+    let max = points
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+    let label_w = points.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, value) in points {
+        let bars = ((value / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "  {label:<label_w$} | {} {value:.4}\n",
+            "█".repeat(bars)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_chart_scales_bars_to_max() {
+        let chart = ascii_chart("HR@1 vs k", &[("k=4".into(), 0.1), ("k=8".into(), 0.2)], 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let bars = |s: &str| s.matches('█').count();
+        assert_eq!(bars(lines[2]), 10, "max value fills the width");
+        assert_eq!(bars(lines[1]), 5, "half value gets half the bars");
+        assert!(lines[1].contains("0.1000"));
+    }
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let mut t = Table::new(["model", "HR@1"]);
+        t.row(["sasrec", "0.33"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| model | HR@1 |\n|---|---|\n"));
+        assert!(md.contains("| sasrec | 0.33 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn wrong_arity_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn best_is_bold_second_is_underlined() {
+        let cells = format_metric_column(&[0.1, 0.3, 0.2], &["", "*", ""]);
+        assert_eq!(cells[1], "**0.3000***");
+        assert_eq!(cells[2], "_0.2000_");
+        assert_eq!(cells[0], "0.1000");
+    }
+}

@@ -1,0 +1,229 @@
+//! Paired Student t-test, used by Table II's significance stars
+//! (`*` = p ≤ 0.01, `**` = p ≤ 0.05 in the paper's notation).
+
+/// Result of a paired t-test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic (positive when `a` outperforms `b` on average).
+    pub t: f64,
+    /// Degrees of freedom (`n − 1`).
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p: f64,
+}
+
+impl TTestResult {
+    /// The paper's star notation: `"*"` for p ≤ 0.01, `"**"` for p ≤ 0.05,
+    /// `""` otherwise.
+    pub fn stars(&self) -> &'static str {
+        if self.p <= 0.01 {
+            "*"
+        } else if self.p <= 0.05 {
+            "**"
+        } else {
+            ""
+        }
+    }
+
+    /// Stars only when the *first* sample actually improved on the second
+    /// (`t > 0`) — a significant regression must not be decorated like a win.
+    pub fn improvement_stars(&self) -> &'static str {
+        if self.t > 0.0 {
+            self.stars()
+        } else {
+            ""
+        }
+    }
+}
+
+/// Paired t-test over two same-length per-example metric vectors.
+/// Returns `t = 0, p = 1` when the differences have zero variance.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> TTestResult {
+    assert_eq!(a.len(), b.len(), "paired test needs equal-length samples");
+    assert!(a.len() >= 2, "need at least two pairs");
+    let n = a.len() as f64;
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
+    let mean = diffs.iter().sum::<f64>() / n;
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1.0);
+    let df = n - 1.0;
+    if var <= 0.0 {
+        let degenerate_p = if mean == 0.0 { 1.0 } else { 0.0 };
+        return TTestResult {
+            t: if mean == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY * mean.signum()
+            },
+            df,
+            p: degenerate_p,
+        };
+    }
+    let t = mean / (var / n).sqrt();
+    let p = two_sided_p(t, df);
+    TTestResult { t, df, p }
+}
+
+/// Two-sided p-value of a t statistic via the regularized incomplete beta
+/// function: `p = I_{df/(df+t²)}(df/2, 1/2)`.
+pub fn two_sided_p(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    incomplete_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Regularized incomplete beta `I_x(a, b)` by Lentz's continued fraction.
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation for faster convergence.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        // Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (Numerical Recipes `betacf`).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 1e-12;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)`.
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_9e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COEF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24.
+        assert!(ln_gamma(1.0).abs() < 1e-9);
+        assert!(ln_gamma(2.0).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_value_known_quantiles() {
+        // For df=10, t=2.228 is the 97.5% quantile → two-sided p ≈ 0.05.
+        let p = two_sided_p(2.228, 10.0);
+        assert!((p - 0.05).abs() < 0.002, "p = {p}");
+        // t = 0 → p = 1.
+        assert!((two_sided_p(0.0, 10.0) - 1.0).abs() < 1e-9);
+        // Large t → tiny p.
+        assert!(two_sided_p(10.0, 30.0) < 1e-6);
+    }
+
+    #[test]
+    fn paired_test_detects_consistent_improvement() {
+        let a: Vec<f64> = (0..50).map(|i| 0.5 + 0.01 * (i % 3) as f64 + 0.1).collect();
+        let b: Vec<f64> = (0..50).map(|i| 0.5 + 0.01 * (i % 3) as f64).collect();
+        let r = paired_t_test(&a, &b);
+        assert!(r.t > 10.0);
+        assert!(r.p < 0.01);
+        assert_eq!(r.stars(), "*");
+    }
+
+    #[test]
+    fn paired_test_on_noise_is_insignificant() {
+        // Symmetric alternating differences: mean 0.
+        let a: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let b: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
+        let r = paired_t_test(&a, &b);
+        assert!(r.p > 0.5, "p = {}", r.p);
+        assert_eq!(r.stars(), "");
+    }
+
+    #[test]
+    fn regressions_get_no_improvement_stars() {
+        let worse: Vec<f64> = (0..50).map(|_| 0.1).collect();
+        let better: Vec<f64> = (0..50).map(|i| 0.2 + 0.001 * (i % 5) as f64).collect();
+        let r = paired_t_test(&worse, &better);
+        assert!(r.t < 0.0);
+        assert_eq!(r.stars(), "*", "the difference is significant…");
+        assert_eq!(r.improvement_stars(), "", "…but it is not an improvement");
+        let flipped = paired_t_test(&better, &worse);
+        assert_eq!(flipped.improvement_stars(), "*");
+    }
+
+    #[test]
+    fn identical_samples_are_degenerate() {
+        let a = vec![0.3, 0.4, 0.5];
+        let r = paired_t_test(&a, &a);
+        assert_eq!(r.t, 0.0);
+        assert_eq!(r.p, 1.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! AdaLoRA (Zhang et al., 2023): LoRA adapters in SVD-like form
+//! `ΔW = P · diag(e) · Q` with importance-scored rank reallocation.
+//!
+//! The paper fine-tunes its LLM in Stage 2 with AdaLoRA (§III-C, Eq. 3). The
+//! key difference from plain LoRA is that the per-triplet singular values `e`
+//! are pruned by an exponential-moving-average sensitivity score, so the
+//! rank budget concentrates on the projections that matter.
+
+use delrec_tensor::{init, Ctx, ParamId, ParamStore, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// AdaLoRA hyperparameters.
+#[derive(Clone, Debug)]
+pub struct AdaLoraConfig {
+    /// Initial rank per adapted matrix.
+    pub init_rank: usize,
+    /// Global rank budget after pruning (total non-zero singular values
+    /// across all adapters).
+    pub target_total_rank: usize,
+    /// Scale applied to the delta (LoRA's `α / r`).
+    pub scale: f32,
+    /// EMA coefficient for sensitivity scores.
+    pub beta: f32,
+}
+
+impl Default for AdaLoraConfig {
+    fn default() -> Self {
+        AdaLoraConfig {
+            init_rank: 4,
+            target_total_rank: 0, // set by `attach` to half of the initial total
+            scale: 2.0,
+            beta: 0.85,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Adapter {
+    target: ParamId,
+    p: ParamId,
+    e: ParamId,
+    q: ParamId,
+}
+
+/// A set of AdaLoRA adapters over a [`ParamStore`].
+#[derive(Clone)]
+pub struct AdaLora {
+    cfg: AdaLoraConfig,
+    adapters: Vec<Adapter>,
+    /// EMA sensitivity per adapter per rank entry.
+    importance: Vec<Vec<f32>>,
+    /// Entries already pruned (frozen at zero).
+    pruned: Vec<Vec<bool>>,
+}
+
+impl AdaLora {
+    /// Register adapters for each `(base weight, d_in, d_out)` target. `P`
+    /// gets a small random init and `e` starts at zero, so `ΔW = 0` initially
+    /// (training starts from the pretrained behaviour).
+    pub fn attach(
+        store: &mut ParamStore,
+        targets: &[(ParamId, usize, usize)],
+        mut cfg: AdaLoraConfig,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if cfg.target_total_rank == 0 {
+            cfg.target_total_rank = (targets.len() * cfg.init_rank).div_ceil(2);
+        }
+        let mut adapters = Vec::with_capacity(targets.len());
+        for (i, &(target, d_in, d_out)) in targets.iter().enumerate() {
+            let r = cfg.init_rank;
+            // P/Q use LoRA-style 1/sqrt(r) scaling so that once the singular
+            // values e move off zero the delta is commensurate with the base
+            // weights; e = 0 keeps the pretrained behaviour at step 0.
+            let std = 1.0 / (r as f32).sqrt();
+            let p = store.add(
+                format!("adalora.{i}.p"),
+                init::normal([d_in, r], std, &mut rng),
+            );
+            let e = store.add(format!("adalora.{i}.e"), Tensor::zeros([r]));
+            let q = store.add(
+                format!("adalora.{i}.q"),
+                init::normal([r, d_out], std, &mut rng),
+            );
+            adapters.push(Adapter { target, p, e, q });
+        }
+        let importance = vec![vec![0.0; cfg.init_rank]; adapters.len()];
+        let pruned = vec![vec![false; cfg.init_rank]; adapters.len()];
+        AdaLora {
+            cfg,
+            adapters,
+            importance,
+            pruned,
+        }
+    }
+
+    /// The base weights being adapted, in adapter order.
+    pub fn targets(&self) -> Vec<ParamId> {
+        self.adapters.iter().map(|a| a.target).collect()
+    }
+
+    /// Number of adapters.
+    pub fn len(&self) -> usize {
+        self.adapters.len()
+    }
+
+    /// True when no adapters are attached.
+    pub fn is_empty(&self) -> bool {
+        self.adapters.is_empty()
+    }
+
+    /// Build `ΔW = scale · P · diag(e) · Q` for adapter `idx` on the tape.
+    pub fn delta(&self, ctx: &Ctx<'_>, idx: usize) -> Var {
+        let a = &self.adapters[idx];
+        let tape = ctx.tape;
+        let p = ctx.p(a.p);
+        let e = ctx.p(a.e);
+        let q = ctx.p(a.q);
+        // P [d_in, r] ⊙ e [r] broadcasts e across rows: column j scaled by e_j.
+        let pe = tape.mul(p, e);
+        let d = tape.matmul(pe, q);
+        tape.scale(d, self.cfg.scale)
+    }
+
+    /// Mark adapter parameters trainable/frozen (soft-prompt stages flip
+    /// these alongside the backbone).
+    pub fn set_trainable(&self, store: &mut ParamStore, trainable: bool) {
+        store.set_trainable_prefix("adalora.", trainable);
+    }
+
+    /// Update EMA sensitivity scores from this step's `(param, grad)` pairs:
+    /// the AdaLoRA importance of singular value `e_j` is `|e_j · ∂L/∂e_j|`.
+    pub fn update_importance(&mut self, store: &ParamStore, updates: &[(ParamId, Tensor)]) {
+        for (pid, grad) in updates {
+            if let Some(ai) = self.adapters.iter().position(|a| a.e == *pid) {
+                let values = store.get(self.adapters[ai].e);
+                for j in 0..grad.numel() {
+                    let s = (values.data()[j] * grad.data()[j]).abs();
+                    let imp = &mut self.importance[ai][j];
+                    *imp = self.cfg.beta * *imp + (1.0 - self.cfg.beta) * s;
+                }
+            }
+        }
+    }
+
+    /// Prune lowest-importance singular values globally until only
+    /// `target_total_rank` remain non-zero. Pruned entries are zeroed and
+    /// stay zeroed (enforced each call).
+    pub fn prune_to_budget(&mut self, store: &mut ParamStore) {
+        // Re-zero previously pruned entries (optimizer may have nudged them).
+        for (ai, flags) in self.pruned.iter().enumerate() {
+            let e = store.get_mut(self.adapters[ai].e);
+            for (j, &dead) in flags.iter().enumerate() {
+                if dead {
+                    e.data_mut()[j] = 0.0;
+                }
+            }
+        }
+        let mut alive: Vec<(usize, usize, f32)> = Vec::new();
+        for (ai, flags) in self.pruned.iter().enumerate() {
+            for (j, &dead) in flags.iter().enumerate() {
+                if !dead {
+                    alive.push((ai, j, self.importance[ai][j]));
+                }
+            }
+        }
+        if alive.len() <= self.cfg.target_total_rank {
+            return;
+        }
+        alive.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+        let to_kill = alive.len() - self.cfg.target_total_rank;
+        for &(ai, j, _) in alive.iter().take(to_kill) {
+            self.pruned[ai][j] = true;
+            store.get_mut(self.adapters[ai].e).data_mut()[j] = 0.0;
+        }
+    }
+
+    /// Currently non-pruned rank across all adapters.
+    pub fn active_rank(&self) -> usize {
+        self.pruned
+            .iter()
+            .map(|f| f.iter().filter(|&&d| !d).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delrec_tensor::Tape;
+
+    fn setup() -> (ParamStore, AdaLora, Vec<ParamId>) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let w1 = store.add("w1", init::xavier(8, 4, &mut rng));
+        let w2 = store.add("w2", init::xavier(8, 4, &mut rng));
+        let cfg = AdaLoraConfig {
+            init_rank: 3,
+            target_total_rank: 2,
+            ..Default::default()
+        };
+        let ada = AdaLora::attach(&mut store, &[(w1, 8, 4), (w2, 8, 4)], cfg, 1);
+        (store, ada, vec![w1, w2])
+    }
+
+    #[test]
+    fn delta_is_zero_at_init() {
+        let (store, ada, _) = setup();
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &store, false);
+        let d = ada.delta(&ctx, 0);
+        assert_eq!(tape.get(d).l2_norm(), 0.0, "e starts at zero ⇒ ΔW = 0");
+    }
+
+    #[test]
+    fn delta_becomes_nonzero_when_e_changes() {
+        let (mut store, ada, _) = setup();
+        let e_id = store.id_of("adalora.0.e").unwrap();
+        store.get_mut(e_id).data_mut()[0] = 1.0;
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &store, false);
+        let d = ada.delta(&ctx, 0);
+        assert!(tape.get(d).l2_norm() > 0.0);
+    }
+
+    #[test]
+    fn pruning_respects_global_budget_and_importance() {
+        let (mut store, mut ada, _) = setup();
+        // Give entries distinct importance: adapter0 entries high, adapter1 low.
+        for j in 0..3 {
+            ada.importance[0][j] = 10.0 + j as f32;
+            ada.importance[1][j] = 0.1 * (j as f32 + 1.0);
+        }
+        // Make all e entries non-zero so pruning is observable.
+        for name in ["adalora.0.e", "adalora.1.e"] {
+            let id = store.id_of(name).unwrap();
+            for v in store.get_mut(id).data_mut() {
+                *v = 0.5;
+            }
+        }
+        ada.prune_to_budget(&mut store);
+        assert_eq!(ada.active_rank(), 2);
+        // Survivors must be the two most important entries (both in adapter 0).
+        assert!(!ada.pruned[0][1] && !ada.pruned[0][2]);
+        let e1 = store.get(store.id_of("adalora.1.e").unwrap());
+        assert!(
+            e1.data().iter().all(|&v| v == 0.0),
+            "adapter 1 fully pruned"
+        );
+    }
+
+    #[test]
+    fn pruned_entries_stay_zero_after_optimizer_noise() {
+        let (mut store, mut ada, _) = setup();
+        ada.importance[0] = vec![0.0, 5.0, 5.0];
+        ada.importance[1] = vec![5.0, 0.01, 5.0];
+        ada.prune_to_budget(&mut store);
+        // Simulate optimizer nudging a pruned entry.
+        for (ai, flags) in ada.pruned.clone().iter().enumerate() {
+            if let Some(j) = flags.iter().position(|&d| d) {
+                let e = store.id_of(&format!("adalora.{ai}.e")).unwrap();
+                store.get_mut(e).data_mut()[j] = 0.7;
+            }
+        }
+        ada.prune_to_budget(&mut store);
+        for (ai, flags) in ada.pruned.iter().enumerate() {
+            let e = store.get(store.id_of(&format!("adalora.{ai}.e")).unwrap());
+            for (j, &dead) in flags.iter().enumerate() {
+                if dead {
+                    assert_eq!(e.data()[j], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn importance_ema_tracks_e_times_grad() {
+        let (mut store, mut ada, _) = setup();
+        let e_id = store.id_of("adalora.0.e").unwrap();
+        store.get_mut(e_id).data_mut()[1] = 2.0;
+        let grad = Tensor::from_vec(vec![0.0, 3.0, 0.0]);
+        ada.update_importance(&store, &[(e_id, grad)]);
+        assert!(ada.importance[0][1] > 0.0);
+        assert_eq!(ada.importance[0][0], 0.0);
+    }
+}

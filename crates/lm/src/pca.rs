@@ -1,0 +1,150 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! The LLM2BERT4Rec baseline (paper §II-B) reduces LLM embedding
+//! dimensionality with PCA before initializing BERT4Rec's item table — this
+//! module is that projector. The paper's point is that such projectors *lose
+//! information*; implementing PCA honestly lets Table II demonstrate it.
+
+/// Fit the top-`k` principal components of row-major `data` (`n × d`).
+/// Returns the components as `k` unit vectors of length `d`.
+pub fn fit_components(data: &[Vec<f32>], k: usize, iterations: usize) -> Vec<Vec<f32>> {
+    assert!(!data.is_empty(), "empty data");
+    let d = data[0].len();
+    assert!(k <= d, "cannot extract {k} components from dimension {d}");
+    let n = data.len();
+    // Center.
+    let mut mean = vec![0.0f32; d];
+    for row in data {
+        for (m, &v) in mean.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f32;
+    }
+    let mut centered: Vec<Vec<f32>> = data
+        .iter()
+        .map(|row| row.iter().zip(&mean).map(|(&v, &m)| v - m).collect())
+        .collect();
+
+    let mut components = Vec::with_capacity(k);
+    for ci in 0..k {
+        // Power iteration on X^T X without forming it.
+        let mut v: Vec<f32> = (0..d)
+            .map(|i| if (i + ci) % 2 == 0 { 1.0 } else { -0.5 })
+            .collect();
+        normalize(&mut v);
+        for _ in 0..iterations {
+            // w = X^T (X v)
+            let mut w = vec![0.0f32; d];
+            for row in &centered {
+                let dot: f32 = row.iter().zip(&v).map(|(&a, &b)| a * b).sum();
+                for (wi, &ri) in w.iter_mut().zip(row) {
+                    *wi += dot * ri;
+                }
+            }
+            let norm = normalize(&mut w);
+            if norm < 1e-12 {
+                break;
+            }
+            v = w;
+        }
+        // Deflate: remove the component from the data.
+        for row in &mut centered {
+            let dot: f32 = row.iter().zip(&v).map(|(&a, &b)| a * b).sum();
+            for (ri, &vi) in row.iter_mut().zip(&v) {
+                *ri -= dot * vi;
+            }
+        }
+        components.push(v);
+    }
+    components
+}
+
+/// Project each data row onto the fitted components → `n × k`.
+pub fn project(data: &[Vec<f32>], components: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    data.iter()
+        .map(|row| {
+            components
+                .iter()
+                .map(|c| row.iter().zip(c).map(|(&a, &b)| a * b).sum())
+                .collect()
+        })
+        .collect()
+}
+
+fn normalize(v: &mut [f32]) -> f32 {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn first_component_finds_dominant_direction() {
+        // Data varies strongly along (1, 1)/√2 and weakly along (1, -1)/√2.
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<Vec<f32>> = (0..200)
+            .map(|_| {
+                let a: f32 = rng.random_range(-3.0..3.0);
+                let b: f32 = rng.random_range(-0.1..0.1);
+                vec![a + b, a - b]
+            })
+            .collect();
+        let comps = fit_components(&data, 1, 50);
+        let c = &comps[0];
+        let along = (c[0] + c[1]).abs() / 2f32.sqrt();
+        assert!(along > 0.99, "component {c:?} not aligned with (1,1)");
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data: Vec<Vec<f32>> = (0..100)
+            .map(|_| (0..5).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect();
+        let comps = fit_components(&data, 3, 60);
+        for i in 0..3 {
+            let norm: f32 = comps[i].iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-3);
+            for j in 0..i {
+                let dot: f32 = comps[i].iter().zip(&comps[j]).map(|(&a, &b)| a * b).sum();
+                assert!(dot.abs() < 1e-2, "components {i},{j} not orthogonal: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_shape_and_variance_ordering() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<Vec<f32>> = (0..150)
+            .map(|_| {
+                let a: f32 = rng.random_range(-5.0..5.0);
+                let b: f32 = rng.random_range(-1.0..1.0);
+                let c: f32 = rng.random_range(-0.2..0.2);
+                vec![a, b, c]
+            })
+            .collect();
+        let comps = fit_components(&data, 2, 50);
+        let proj = project(&data, &comps);
+        assert_eq!(proj.len(), 150);
+        assert_eq!(proj[0].len(), 2);
+        let var = |k: usize| {
+            let mean: f32 = proj.iter().map(|r| r[k]).sum::<f32>() / proj.len() as f32;
+            proj.iter().map(|r| (r[k] - mean).powi(2)).sum::<f32>() / proj.len() as f32
+        };
+        assert!(
+            var(0) > var(1),
+            "first component must capture more variance"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Soft prompts: trainable prompt embeddings (paper §III-B).
+//!
+//! Soft prompts are "words that exist only for the model": rows of a
+//! trainable matrix in the LM's embedding space, spliced into the prompt via
+//! [`crate::LmToken::Soft`]. They are randomly initialized (Eq. 2) and move
+//! through the language space as the distillation tasks train them.
+
+use delrec_tensor::{init, Ctx, ParamId, ParamStore, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A soft-prompt table: `k` trainable vectors of the LM embedding width.
+#[derive(Clone, Copy, Debug)]
+pub struct SoftPrompt {
+    table: ParamId,
+    /// Number of soft prompt tokens `k`.
+    pub k: usize,
+    /// Embedding width.
+    pub dim: usize,
+}
+
+impl SoftPrompt {
+    /// Name prefix under which soft-prompt parameters are registered.
+    pub const PREFIX: &'static str = "soft_prompt.";
+
+    /// Randomly initialize `k` soft prompts in the given store (`f_iniz` of
+    /// Eq. 2: same dimension as the LM word embeddings, normal init).
+    pub fn init(store: &mut ParamStore, name: &str, k: usize, dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table = store.add(
+            format!("{}{name}", Self::PREFIX),
+            init::normal([k, dim], 0.05, &mut rng),
+        );
+        SoftPrompt { table, k, dim }
+    }
+
+    /// Bind the table into a tape.
+    pub fn var(&self, ctx: &Ctx<'_>) -> Var {
+        ctx.p(self.table)
+    }
+
+    /// Freeze/unfreeze the table (Stage 1 trains it; Stage 2 freezes it).
+    pub fn set_trainable(&self, store: &mut ParamStore, trainable: bool) {
+        store.set_trainable(self.table, trainable);
+    }
+
+    /// Current values (for inspection / the Ablation-I "untrained" variant).
+    pub fn values<'a>(&self, store: &'a ParamStore) -> &'a Tensor {
+        store.get(self.table)
+    }
+
+    /// Overwrite the table (e.g. re-randomize for the `w USP` ablation).
+    pub fn set_values(&self, store: &mut ParamStore, values: Tensor) {
+        assert_eq!(
+            values.shape(),
+            store.shape_of(self.table),
+            "soft prompt shape mismatch"
+        );
+        *store.get_mut(self.table) = values;
+    }
+
+    /// The `k` tokens that splice this table into a prompt, in order.
+    pub fn tokens(&self) -> Vec<crate::LmToken> {
+        (0..self.k).map(crate::LmToken::Soft).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_registers_k_by_dim() {
+        let mut store = ParamStore::new();
+        let sp = SoftPrompt::init(&mut store, "stage1", 8, 16, 3);
+        assert_eq!(sp.values(&store).shape().dim(0), 8);
+        assert_eq!(sp.values(&store).shape().dim(1), 16);
+        assert_eq!(sp.tokens().len(), 8);
+    }
+
+    #[test]
+    fn init_is_random_not_zero() {
+        let mut store = ParamStore::new();
+        let sp = SoftPrompt::init(&mut store, "s", 4, 8, 3);
+        assert!(sp.values(&store).l2_norm() > 0.0);
+    }
+
+    #[test]
+    fn freeze_controls_trainability() {
+        let mut store = ParamStore::new();
+        let sp = SoftPrompt::init(&mut store, "s", 4, 8, 3);
+        assert_eq!(store.num_trainable_scalars(), 32);
+        sp.set_trainable(&mut store, false);
+        assert_eq!(store.num_trainable_scalars(), 0);
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_prompts() {
+        let mut s1 = ParamStore::new();
+        let mut s2 = ParamStore::new();
+        let a = SoftPrompt::init(&mut s1, "s", 4, 8, 3);
+        let b = SoftPrompt::init(&mut s2, "s", 4, 8, 4);
+        assert_ne!(a.values(&s1).data(), b.values(&s2).data());
+    }
+}

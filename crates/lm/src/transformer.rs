@@ -1,0 +1,483 @@
+//! The MiniLM bidirectional transformer encoder with a tied MLM head.
+
+use crate::adalora::AdaLora;
+use crate::config::MiniLmConfig;
+use delrec_tensor::{init, Ctx, ParamId, ParamStore, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// One position of an LM input: either a vocabulary word or a soft-prompt
+/// slot (row index into a caller-provided soft-prompt table).
+///
+/// This is the mechanism of the paper's Eq. 1: a prompt is a mixed stream of
+/// hard tokens `hp_i` and soft prompts `sp_j`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LmToken {
+    /// A hard token: index into the shared vocabulary.
+    Vocab(u32),
+    /// A soft token: row of the soft-prompt embedding table.
+    Soft(usize),
+}
+
+#[derive(Clone)]
+struct Block {
+    wq: Vec<ParamId>,
+    wk: Vec<ParamId>,
+    wv: Vec<ParamId>,
+    wo: ParamId,
+    ln1_g: ParamId,
+    ln1_b: ParamId,
+    w1: ParamId,
+    b1: ParamId,
+    w2: ParamId,
+    b2: ParamId,
+    ln2_g: ParamId,
+    ln2_b: ParamId,
+}
+
+/// A from-scratch masked language model. Cloning copies all parameters —
+/// used to stamp out per-baseline copies of one pretrained backbone.
+///
+/// All parameters are registered under the `lm.` prefix so DELRec's stages
+/// can freeze/unfreeze the whole backbone with one call.
+#[derive(Clone)]
+pub struct MiniLm {
+    /// Architecture.
+    pub cfg: MiniLmConfig,
+    store: ParamStore,
+    tok_emb: ParamId,
+    pos_emb: ParamId,
+    blocks: Vec<Block>,
+    ln_f_g: ParamId,
+    ln_f_b: ParamId,
+    head_bias: ParamId,
+    adapters: Option<AdaLora>,
+    /// Adapted projection lookup: base param id → adapter index.
+    adapter_of: HashMap<ParamId, usize>,
+}
+
+impl MiniLm {
+    /// Initialize a fresh (untrained) MiniLM.
+    pub fn new(cfg: MiniLmConfig, seed: u64) -> Self {
+        assert_eq!(cfg.d_model % cfg.num_heads, 0, "heads must divide d_model");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (d, dh) = (cfg.d_model, cfg.d_model / cfg.num_heads);
+        let mut store = ParamStore::new();
+        let tok_emb = store.add(
+            "lm.tok_emb",
+            init::normal([cfg.vocab_size, d], 0.05, &mut rng),
+        );
+        let pos_emb = store.add("lm.pos_emb", init::normal([cfg.max_len, d], 0.05, &mut rng));
+        let mut blocks = Vec::new();
+        for b in 0..cfg.num_layers {
+            let mut wq = Vec::new();
+            let mut wk = Vec::new();
+            let mut wv = Vec::new();
+            for h in 0..cfg.num_heads {
+                wq.push(store.add(format!("lm.b{b}.h{h}.wq"), init::xavier(d, dh, &mut rng)));
+                wk.push(store.add(format!("lm.b{b}.h{h}.wk"), init::xavier(d, dh, &mut rng)));
+                wv.push(store.add(format!("lm.b{b}.h{h}.wv"), init::xavier(d, dh, &mut rng)));
+            }
+            blocks.push(Block {
+                wq,
+                wk,
+                wv,
+                wo: store.add(format!("lm.b{b}.wo"), init::xavier(d, d, &mut rng)),
+                ln1_g: store.add(format!("lm.b{b}.ln1.g"), Tensor::full([d], 1.0)),
+                ln1_b: store.add(format!("lm.b{b}.ln1.b"), Tensor::zeros([d])),
+                w1: store.add(
+                    format!("lm.b{b}.ffn.w1"),
+                    init::xavier(d, cfg.ffn_dim, &mut rng),
+                ),
+                b1: store.add(format!("lm.b{b}.ffn.b1"), Tensor::zeros([cfg.ffn_dim])),
+                w2: store.add(
+                    format!("lm.b{b}.ffn.w2"),
+                    init::xavier(cfg.ffn_dim, d, &mut rng),
+                ),
+                b2: store.add(format!("lm.b{b}.ffn.b2"), Tensor::zeros([d])),
+                ln2_g: store.add(format!("lm.b{b}.ln2.g"), Tensor::full([d], 1.0)),
+                ln2_b: store.add(format!("lm.b{b}.ln2.b"), Tensor::zeros([d])),
+            });
+        }
+        let ln_f_g = store.add("lm.lnf.g", Tensor::full([d], 1.0));
+        let ln_f_b = store.add("lm.lnf.b", Tensor::zeros([d]));
+        let head_bias = store.add("lm.head_bias", Tensor::zeros([cfg.vocab_size]));
+        MiniLm {
+            cfg,
+            store,
+            tok_emb,
+            pos_emb,
+            blocks,
+            ln_f_g,
+            ln_f_b,
+            head_bias,
+            adapters: None,
+            adapter_of: HashMap::new(),
+        }
+    }
+
+    /// The backing parameter store (soft prompts and adapters live here too).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable store access (optimizers, soft-prompt registration).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Freeze or unfreeze every backbone parameter (`lm.` prefix). Adapters
+    /// and soft prompts are unaffected.
+    pub fn set_backbone_trainable(&mut self, trainable: bool) {
+        self.store.set_trainable_prefix("lm.", trainable);
+    }
+
+    /// Attach AdaLoRA adapters to every attention projection. Subsequent
+    /// forward passes use `W + ΔW`. Returns the adapter handle for
+    /// importance-based rank pruning.
+    pub fn attach_adalora(&mut self, cfg: crate::adalora::AdaLoraConfig, seed: u64) {
+        assert!(self.adapters.is_none(), "adapters already attached");
+        let d = self.cfg.d_model;
+        let dh = d / self.cfg.num_heads;
+        let mut targets = Vec::new();
+        for block in &self.blocks {
+            for &p in block.wq.iter().chain(&block.wk).chain(&block.wv) {
+                targets.push((p, d, dh));
+            }
+            // AdaLoRA also adapts the output projection and FFN matrices
+            // (the AdaLoRA paper targets W_o / W_f1 / W_f2 alongside QKV).
+            targets.push((block.wo, d, d));
+            targets.push((block.w1, d, self.cfg.ffn_dim));
+            targets.push((block.w2, self.cfg.ffn_dim, d));
+        }
+        let adalora = AdaLora::attach(&mut self.store, &targets, cfg, seed);
+        for (i, t) in adalora.targets().iter().enumerate() {
+            self.adapter_of.insert(*t, i);
+        }
+        self.adapters = Some(adalora);
+    }
+
+    /// The attached adapters, if any.
+    pub fn adalora(&self) -> Option<&AdaLora> {
+        self.adapters.as_ref()
+    }
+
+    /// Mutable adapter access (for pruning schedules).
+    pub fn adalora_mut(&mut self) -> Option<&mut AdaLora> {
+        self.adapters.as_mut()
+    }
+
+    /// Feed one optimizer step's gradients into the AdaLoRA sensitivity
+    /// EMAs. Call with the *pre-update* parameter values (i.e. before
+    /// `Optimizer::apply`). No-op without adapters.
+    pub fn adalora_observe(&mut self, updates: &[(ParamId, Tensor)]) {
+        if let Some(ada) = self.adapters.as_mut() {
+            ada.update_importance(&self.store, updates);
+        }
+    }
+
+    /// Prune the AdaLoRA rank budget by importance. No-op without adapters.
+    pub fn prune_adalora(&mut self) {
+        if let Some(ada) = self.adapters.as_mut() {
+            ada.prune_to_budget(&mut self.store);
+        }
+    }
+
+    /// Effective projection: base weight plus AdaLoRA delta when attached.
+    fn proj(&self, ctx: &Ctx<'_>, base: ParamId) -> Var {
+        let w = ctx.p(base);
+        match (&self.adapters, self.adapter_of.get(&base)) {
+            (Some(ada), Some(&idx)) => {
+                let delta = ada.delta(ctx, idx);
+                ctx.tape.add(w, delta)
+            }
+            _ => w,
+        }
+    }
+
+    /// Input embeddings `[T, d]`: hard tokens from the tied table, soft
+    /// tokens from `soft_table`, plus learned positions (paper Eq. 2 — soft
+    /// prompts live directly in embedding space).
+    fn embed(&self, ctx: &Ctx<'_>, tokens: &[LmToken], soft_table: Option<Var>) -> Var {
+        let tape = ctx.tape;
+        let t = tokens.len();
+        assert!(t > 0, "empty input");
+        assert!(
+            t <= self.cfg.max_len,
+            "input length {t} exceeds max_len {}",
+            self.cfg.max_len
+        );
+        let mut hard = Vec::new();
+        let mut soft = Vec::new();
+        for (pos, tok) in tokens.iter().enumerate() {
+            match *tok {
+                LmToken::Vocab(w) => hard.push((w as usize, pos)),
+                LmToken::Soft(s) => soft.push((s, pos)),
+            }
+        }
+        let mut x = tape.scatter_rows(ctx.p(self.tok_emb), &hard, t);
+        if !soft.is_empty() {
+            let table = soft_table.expect("input has soft tokens but no soft table given");
+            let s = tape.scatter_rows(table, &soft, t);
+            x = tape.add(x, s);
+        }
+        let p = tape.slice_rows(ctx.p(self.pos_emb), 0, t);
+        tape.add(x, p)
+    }
+
+    /// Hidden states `[T, d]` after the full encoder stack.
+    pub fn encode(
+        &self,
+        ctx: &Ctx<'_>,
+        tokens: &[LmToken],
+        soft_table: Option<Var>,
+        rng: &mut StdRng,
+    ) -> Var {
+        let tape = ctx.tape;
+        let mut h = self.embed(ctx, tokens, soft_table);
+        h = tape.dropout(h, self.cfg.dropout, ctx.train, rng);
+        let dh = self.cfg.d_model / self.cfg.num_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        // Decoder-only variant: additive causal mask (position i sees j ≤ i).
+        let t_len = tokens.len();
+        let causal_mask = self.cfg.causal.then(|| {
+            let mut m = vec![0.0f32; t_len * t_len];
+            for i in 0..t_len {
+                for j in (i + 1)..t_len {
+                    m[i * t_len + j] = -1e9;
+                }
+            }
+            tape.constant(Tensor::new([t_len, t_len], m))
+        });
+        for block in &self.blocks {
+            let xin = tape.layer_norm(h, ctx.p(block.ln1_g), ctx.p(block.ln1_b));
+            let mut outs_t = Vec::new();
+            for hd in 0..self.cfg.num_heads {
+                let q = tape.matmul(xin, self.proj(ctx, block.wq[hd]));
+                let k = tape.matmul(xin, self.proj(ctx, block.wk[hd]));
+                let v = tape.matmul(xin, self.proj(ctx, block.wv[hd]));
+                let kt = tape.transpose(k);
+                let scores = tape.matmul(q, kt);
+                let mut scores = tape.scale(scores, scale);
+                if let Some(mask) = causal_mask {
+                    scores = tape.add(scores, mask);
+                }
+                let attn = tape.softmax(scores);
+                let attn = tape.dropout(attn, self.cfg.dropout, ctx.train, rng);
+                let out = tape.matmul(attn, v);
+                outs_t.push(tape.transpose(out));
+            }
+            let concat_t = tape.concat_rows(&outs_t);
+            let attn_out = tape.transpose(concat_t);
+            let attn_out = tape.matmul(attn_out, ctx.p(block.wo));
+            let attn_out = tape.dropout(attn_out, self.cfg.dropout, ctx.train, rng);
+            h = tape.add(h, attn_out);
+
+            let xin2 = tape.layer_norm(h, ctx.p(block.ln2_g), ctx.p(block.ln2_b));
+            let f = tape.matmul(xin2, ctx.p(block.w1));
+            let f = tape.add(f, ctx.p(block.b1));
+            let f = tape.gelu(f);
+            let f = tape.matmul(f, ctx.p(block.w2));
+            let f = tape.add(f, ctx.p(block.b2));
+            let f = tape.dropout(f, self.cfg.dropout, ctx.train, rng);
+            h = tape.add(h, f);
+        }
+        tape.layer_norm(h, ctx.p(self.ln_f_g), ctx.p(self.ln_f_b))
+    }
+
+    /// MLM-head logits at several positions in one forward pass:
+    /// `[positions.len(), vocab_size]`. Used by pretraining, which masks
+    /// multiple tokens per packed document.
+    pub fn mask_logits_multi(
+        &self,
+        ctx: &Ctx<'_>,
+        tokens: &[LmToken],
+        soft_table: Option<Var>,
+        positions: &[usize],
+        rng: &mut StdRng,
+    ) -> Var {
+        assert!(!positions.is_empty(), "no mask positions");
+        let tape = ctx.tape;
+        let h = self.encode(ctx, tokens, soft_table, rng);
+        let rows = tape.gather_rows(h, positions);
+        let emb_t = tape.transpose(ctx.p(self.tok_emb));
+        let logits = tape.matmul(rows, emb_t);
+        tape.add(logits, ctx.p(self.head_bias))
+    }
+
+    /// MLM-head logits (`[vocab_size]`) at `mask_pos` — the LM-head "output
+    /// scores of all tokens" that the verbalizer turns into item scores.
+    pub fn mask_logits(
+        &self,
+        ctx: &Ctx<'_>,
+        tokens: &[LmToken],
+        soft_table: Option<Var>,
+        mask_pos: usize,
+        rng: &mut StdRng,
+    ) -> Var {
+        assert!(mask_pos < tokens.len(), "mask position out of range");
+        let tape = ctx.tape;
+        let h = self.encode(ctx, tokens, soft_table, rng);
+        let at_mask = tape.slice_rows(h, mask_pos, 1);
+        let emb_t = tape.transpose(ctx.p(self.tok_emb));
+        let logits = tape.matmul(at_mask, emb_t);
+        let logits = tape.reshape(logits, [self.cfg.vocab_size]);
+        tape.add(logits, ctx.p(self.head_bias))
+    }
+
+    /// Plain (non-autograd) mean token embedding of a word sequence — the
+    /// "LLM item embedding" used by the paradigm-3 baselines (LLMSEQSIM,
+    /// LLM2BERT4Rec).
+    pub fn title_embedding(&self, token_ids: &[u32]) -> Vec<f32> {
+        assert!(!token_ids.is_empty(), "empty title");
+        let emb = self.store.get(self.tok_emb);
+        let d = self.cfg.d_model;
+        let mut out = vec![0.0f32; d];
+        for &t in token_ids {
+            let row = emb.row(t as usize);
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        let inv = 1.0 / token_ids.len() as f32;
+        for o in &mut out {
+            *o *= inv;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delrec_tensor::Tape;
+
+    fn tiny_lm() -> MiniLm {
+        let mut cfg = MiniLmConfig::large(50);
+        cfg.dropout = 0.0;
+        MiniLm::new(cfg, 1)
+    }
+
+    fn toks(ids: &[u32]) -> Vec<LmToken> {
+        ids.iter().map(|&i| LmToken::Vocab(i)).collect()
+    }
+
+    #[test]
+    fn mask_logits_shape_and_finiteness() {
+        let lm = tiny_lm();
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, lm.store(), false);
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits = lm.mask_logits(&ctx, &toks(&[5, 6, 1, 7]), None, 2, &mut rng);
+        let v = tape.get(logits);
+        assert_eq!(v.numel(), 50);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn soft_tokens_change_the_output() {
+        let lm = tiny_lm();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut run = |soft_row: f32| {
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, lm.store(), false);
+            let table = tape.constant(Tensor::full([2, 16], soft_row));
+            let tokens = vec![
+                LmToken::Soft(0),
+                LmToken::Vocab(5),
+                LmToken::Soft(1),
+                LmToken::Vocab(1),
+            ];
+            let logits = lm.mask_logits(&ctx, &tokens, Some(table), 3, &mut rng);
+            tape.get(logits)
+        };
+        assert_ne!(run(0.1).data(), run(0.9).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "soft tokens but no soft table")]
+    fn soft_token_without_table_panics() {
+        let lm = tiny_lm();
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, lm.store(), false);
+        let mut rng = StdRng::seed_from_u64(0);
+        lm.mask_logits(
+            &ctx,
+            &[LmToken::Soft(0), LmToken::Vocab(1)],
+            None,
+            1,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn backbone_freeze_excludes_lm_params_from_updates() {
+        let mut lm = tiny_lm();
+        lm.set_backbone_trainable(false);
+        assert_eq!(lm.store().num_trainable_scalars(), 0);
+        lm.set_backbone_trainable(true);
+        assert!(lm.store().num_trainable_scalars() > 0);
+    }
+
+    #[test]
+    fn title_embedding_is_mean_of_rows() {
+        let lm = tiny_lm();
+        let e1 = lm.title_embedding(&[3]);
+        let e2 = lm.title_embedding(&[4]);
+        let mean = lm.title_embedding(&[3, 4]);
+        for i in 0..e1.len() {
+            assert!((mean[i] - 0.5 * (e1[i] + e2[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn causal_variant_ignores_future_tokens() {
+        let mut cfg = MiniLmConfig::causal_xl(50);
+        cfg.dropout = 0.0;
+        let lm = MiniLm::new(cfg, 1);
+        let rng = StdRng::seed_from_u64(0);
+        // Logits at position 1 must not change when a *later* token changes.
+        let run = |third: u32| {
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, lm.store(), false);
+            let mut r = rng.clone();
+            let toks = vec![
+                LmToken::Vocab(5),
+                LmToken::Vocab(1),
+                LmToken::Vocab(third),
+            ];
+            tape.get(lm.mask_logits(&ctx, &toks, None, 1, &mut r))
+        };
+        assert_eq!(run(7).data(), run(9).data(), "causal LM must not look ahead");
+        // A bidirectional LM of the same seed *does* look ahead.
+        let mut bi_cfg = MiniLmConfig::xl(50);
+        bi_cfg.dropout = 0.0;
+        let bi = MiniLm::new(bi_cfg, 1);
+        let run_bi = |third: u32| {
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, bi.store(), false);
+            let mut r = rng.clone();
+            let toks = vec![
+                LmToken::Vocab(5),
+                LmToken::Vocab(1),
+                LmToken::Vocab(third),
+            ];
+            tape.get(bi.mask_logits(&ctx, &toks, None, 1, &mut r))
+        };
+        assert_ne!(run_bi(7).data(), run_bi(9).data());
+    }
+
+    #[test]
+    fn position_matters() {
+        let lm = tiny_lm();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut run = |tokens: &[u32]| {
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, lm.store(), false);
+            let logits = lm.mask_logits(&ctx, &toks(tokens), None, 0, &mut rng);
+            tape.get(logits)
+        };
+        assert_ne!(run(&[1, 8, 9]).data(), run(&[1, 9, 8]).data());
+    }
+}

@@ -1,0 +1,162 @@
+//! FPMC (Rendle et al., WWW 2010): Factorizing Personalized Markov Chains —
+//! the classical pre-deep-learning sequential recommender the paper's
+//! related-work section starts from (§II-A). Included so the Markov-chain
+//! model family is represented alongside the RNN/CNN/Transformer teachers.
+//!
+//! Simplified to the sequence-only setting used everywhere in this
+//! reproduction (no user factors, as users are represented by their
+//! histories): `score(next | last) = ⟨V_last, W_next⟩ + b_next`, a low-rank
+//! factorization of the item-to-item transition matrix.
+
+use crate::model::{NeuralSeqModel, SequentialRecommender};
+use delrec_data::ItemId;
+use delrec_tensor::{init, Ctx, ParamId, ParamStore, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// FPMC hyperparameters.
+#[derive(Clone, Debug)]
+pub struct FpmcConfig {
+    /// Rank of the transition factorization.
+    pub rank: usize,
+    /// How many recent items vote (classical FPMC uses the whole last
+    /// basket; with unit baskets a short recency window works better).
+    pub window: usize,
+}
+
+impl Default for FpmcConfig {
+    fn default() -> Self {
+        FpmcConfig { rank: 24, window: 2 }
+    }
+}
+
+/// The FPMC model.
+pub struct Fpmc {
+    store: ParamStore,
+    cfg: FpmcConfig,
+    num_items: usize,
+    /// "From" factors `[num_items, rank]`.
+    src: ParamId,
+    /// "To" factors `[num_items, rank]`.
+    dst: ParamId,
+    /// Target-item bias `[num_items]`.
+    bias: ParamId,
+}
+
+impl Fpmc {
+    /// Initialize with seeded weights.
+    pub fn new(num_items: usize, cfg: FpmcConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let src = store.add("fpmc.src", init::normal([num_items, cfg.rank], 0.05, &mut rng));
+        let dst = store.add("fpmc.dst", init::normal([num_items, cfg.rank], 0.05, &mut rng));
+        let bias = store.add("fpmc.bias", Tensor::zeros([num_items]));
+        Fpmc {
+            store,
+            cfg,
+            num_items,
+            src,
+            dst,
+            bias,
+        }
+    }
+}
+
+impl SequentialRecommender for Fpmc {
+    fn name(&self) -> &str {
+        "fpmc"
+    }
+
+    fn scores(&self, prefix: &[ItemId]) -> Vec<f32> {
+        self.scores_via_forward(prefix)
+    }
+
+    fn item_embeddings(&self) -> Option<Vec<Vec<f32>>> {
+        let emb = self.store.get(self.dst);
+        Some((0..self.num_items).map(|i| emb.row(i).to_vec()).collect())
+    }
+}
+
+impl NeuralSeqModel for Fpmc {
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn logits(&self, ctx: &Ctx<'_>, prefix: &[ItemId], _rng: &mut StdRng) -> Var {
+        assert!(!prefix.is_empty(), "empty prefix");
+        let tape = ctx.tape;
+        let take = prefix.len().min(self.cfg.window);
+        let ids: Vec<usize> = prefix[prefix.len() - take..]
+            .iter()
+            .map(|i| i.index())
+            .collect();
+        // Mean of the window's "from" factors → transition query.
+        let rows = tape.gather_rows(ctx.p(self.src), &ids);
+        let query = tape.mean_rows(rows); // [rank]
+        let query = tape.reshape(query, [1, self.cfg.rank]);
+        let dst_t = tape.transpose(ctx.p(self.dst)); // [rank, V]
+        let scores = tape.matmul(query, dst_t); // [1, V]
+        let scores = tape.reshape(scores, [self.num_items]);
+        tape.add(scores, ctx.p(self.bias))
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{train, TrainConfig};
+    use delrec_data::synthetic::{DatasetProfile, SyntheticConfig};
+    use delrec_data::Split;
+
+    fn prefix(ids: &[u32]) -> Vec<ItemId> {
+        ids.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    #[test]
+    fn scores_cover_catalog() {
+        let m = Fpmc::new(20, FpmcConfig::default(), 1);
+        let s = m.scores(&prefix(&[1, 2, 3]));
+        assert_eq!(s.len(), 20);
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn only_the_window_matters() {
+        let m = Fpmc::new(20, FpmcConfig { window: 2, ..Default::default() }, 1);
+        // Same last-2 window, different earlier history → identical scores.
+        assert_eq!(
+            m.scores(&prefix(&[9, 4, 5])),
+            m.scores(&prefix(&[7, 8, 4, 5]))
+        );
+        // A different window produces different scores.
+        assert_ne!(m.scores(&prefix(&[4, 5])), m.scores(&prefix(&[6, 5])));
+    }
+
+    #[test]
+    fn training_learns_transitions() {
+        let ds = SyntheticConfig::profile(DatasetProfile::MovieLens100K)
+            .scaled(0.08)
+            .generate(4);
+        let mut m = Fpmc::new(ds.num_items(), FpmcConfig::default(), 2);
+        let losses = train(
+            &mut m,
+            ds.examples(Split::Train),
+            &TrainConfig {
+                max_examples: Some(400),
+                ..TrainConfig::adam(3, 5e-3)
+            },
+        );
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "FPMC loss should fall: {losses:?}"
+        );
+    }
+}

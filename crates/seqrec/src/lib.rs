@@ -1,0 +1,44 @@
+//! Conventional sequential recommenders — the "teachers" whose behaviour
+//! DELRec distills, plus the non-neural sanity baselines.
+//!
+//! All neural models share the [`delrec_tensor`] autograd substrate and a
+//! common [`model::NeuralSeqModel`] interface so one [`trainer`] covers them:
+//!
+//! * [`gru4rec::Gru4Rec`] — GRU over the interaction sequence (RNN family);
+//! * [`caser::Caser`] — horizontal + vertical convolutions (CNN family);
+//! * [`sasrec::SasRec`] — causal self-attention (Transformer family);
+//! * [`bert4rec::Bert4Rec`] — bidirectional attention with a mask token
+//!   (substrate for the LLM2BERT4Rec baseline);
+//! * [`kda::Kda`] — relation-aware model with a Fourier temporal-decay
+//!   module (backbone of the KDA_LRD baseline);
+//! * [`fpmc::Fpmc`] and [`fossil::Fossil`] — the classical Markov-chain
+//!   family from the paper's related work (§II-A).
+//!
+//! Hyperparameter *styles* follow the paper §V-A3 (Adam for SASRec/Caser,
+//! Adagrad for GRU4Rec, their respective dropout rates), with dimensions
+//! scaled to CPU budgets.
+
+#![warn(missing_docs)]
+
+pub mod bert4rec;
+pub mod caser;
+pub mod fossil;
+pub mod fpmc;
+pub mod gru4rec;
+pub mod kda;
+pub mod markov;
+pub mod model;
+pub mod popularity;
+pub mod sasrec;
+pub mod trainer;
+
+pub use caser::Caser;
+pub use fossil::Fossil;
+pub use fpmc::Fpmc;
+pub use gru4rec::Gru4Rec;
+pub use kda::Kda;
+pub use markov::MarkovRecommender;
+pub use model::{top_k, NeuralSeqModel, SequentialRecommender};
+pub use popularity::PopularityRecommender;
+pub use sasrec::SasRec;
+pub use trainer::{train, TrainConfig};

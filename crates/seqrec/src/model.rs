@@ -1,0 +1,87 @@
+//! Model interfaces shared by all sequential recommenders.
+
+use delrec_data::ItemId;
+use delrec_tensor::{Ctx, ParamStore, Tape, Var};
+use rand::rngs::StdRng;
+
+/// Inference interface: score every catalog item given a user's recent
+/// history (most recent last). Implemented by neural and counting models
+/// alike; DELRec's Stage 1 consumes teachers through this trait.
+pub trait SequentialRecommender {
+    /// Short model name (also used in prompt text, e.g. `"sasrec"`).
+    fn name(&self) -> &str;
+
+    /// Unnormalized preference scores over all items (index = item id).
+    fn scores(&self, prefix: &[ItemId]) -> Vec<f32>;
+
+    /// Convenience: ids of the `k` highest-scoring items, best first.
+    fn recommend(&self, prefix: &[ItemId], k: usize) -> Vec<ItemId> {
+        top_k(&self.scores(prefix), k)
+    }
+
+    /// The model's learned item-embedding table (row = item id), if it has
+    /// one. Paradigm-2 LLM baselines (LLaRA) inject these into the LM.
+    fn item_embeddings(&self) -> Option<Vec<Vec<f32>>> {
+        None
+    }
+}
+
+/// Training interface for the neural models: expose parameters and build the
+/// per-example logits inside a caller-provided autograd context.
+pub trait NeuralSeqModel: SequentialRecommender {
+    /// The model's parameters.
+    fn store(&self) -> &ParamStore;
+
+    /// Mutable parameters (for the optimizer).
+    fn store_mut(&mut self) -> &mut ParamStore;
+
+    /// Forward pass: logits over all items (`[num_items]`) for one prefix.
+    /// `rng` drives dropout when `ctx.train` is set.
+    fn logits(&self, ctx: &Ctx<'_>, prefix: &[ItemId], rng: &mut StdRng) -> Var;
+
+    /// Number of catalog items (logit dimensionality).
+    fn num_items(&self) -> usize;
+
+    /// Default [`SequentialRecommender::scores`] implementation for neural
+    /// models: one eval-mode forward pass.
+    fn scores_via_forward(&self, prefix: &[ItemId]) -> Vec<f32> {
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, self.store(), false);
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let logits = self.logits(&ctx, prefix, &mut rng);
+        tape.get(logits).into_data()
+    }
+}
+
+/// Indices of the `k` largest scores, best first (stable on ties by index).
+pub fn top_k(scores: &[f32], k: usize) -> Vec<ItemId> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    let k = k.min(scores.len());
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx.into_iter().map(|i| ItemId(i as u32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_descending() {
+        let scores = vec![0.1, 0.9, 0.5, 0.7];
+        let top = top_k(&scores, 3);
+        assert_eq!(top, vec![ItemId(1), ItemId(3), ItemId(2)]);
+    }
+
+    #[test]
+    fn top_k_handles_ties_and_short_lists() {
+        let scores = vec![0.5, 0.5];
+        assert_eq!(top_k(&scores, 5), vec![ItemId(0), ItemId(1)]);
+        assert!(top_k(&[], 3).is_empty());
+    }
+}

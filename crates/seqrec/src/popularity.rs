@@ -1,0 +1,65 @@
+//! Popularity baseline: recommend what everyone interacts with.
+
+use crate::model::SequentialRecommender;
+use delrec_data::{Dataset, ItemId, Split};
+
+/// Counts training interactions per item; scores are the (log-damped) counts.
+#[derive(Clone, Debug)]
+pub struct PopularityRecommender {
+    scores: Vec<f32>,
+}
+
+impl PopularityRecommender {
+    /// Fit on the training split (both prefix items and targets count — every
+    /// training interaction is an observation of demand).
+    pub fn fit(dataset: &Dataset) -> Self {
+        let mut counts = vec![0.0f32; dataset.num_items()];
+        for ex in dataset.examples(Split::Train) {
+            counts[ex.target.index()] += 1.0;
+        }
+        let scores = counts.iter().map(|&c| (1.0 + c).ln()).collect();
+        PopularityRecommender { scores }
+    }
+}
+
+impl SequentialRecommender for PopularityRecommender {
+    fn name(&self) -> &str {
+        "popularity"
+    }
+
+    fn scores(&self, _prefix: &[ItemId]) -> Vec<f32> {
+        self.scores.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delrec_data::synthetic::{DatasetProfile, SyntheticConfig};
+
+    #[test]
+    fn popularity_ignores_history() {
+        let ds = SyntheticConfig::profile(DatasetProfile::MovieLens100K)
+            .scaled(0.1)
+            .generate(1);
+        let m = PopularityRecommender::fit(&ds);
+        assert_eq!(m.scores(&[ItemId(0)]), m.scores(&[ItemId(1), ItemId(2)]));
+        assert_eq!(m.scores(&[]).len(), ds.num_items());
+    }
+
+    #[test]
+    fn frequent_targets_score_higher() {
+        let ds = SyntheticConfig::profile(DatasetProfile::MovieLens100K)
+            .scaled(0.1)
+            .generate(1);
+        let m = PopularityRecommender::fit(&ds);
+        let mut counts = vec![0usize; ds.num_items()];
+        for ex in ds.examples(Split::Train) {
+            counts[ex.target.index()] += 1;
+        }
+        let most = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        let least = counts.iter().enumerate().min_by_key(|(_, &c)| c).unwrap().0;
+        let s = m.scores(&[]);
+        assert!(s[most] > s[least]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Shared training loop for all neural sequential recommenders.
+
+use crate::model::NeuralSeqModel;
+use delrec_data::Example;
+use delrec_tensor::optim::{clip_grad_norm, Adagrad, Adam, Lion, Optimizer, Sgd};
+use delrec_tensor::{Ctx, Tape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which optimizer the trainer instantiates (paper §V-A3: Adam for
+/// SASRec/Caser, Adagrad for GRU4Rec).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OptimizerKind {
+    /// Adam with decoupled weight decay.
+    Adam {
+        /// Decoupled weight-decay coefficient.
+        weight_decay: f32,
+    },
+    /// Adagrad.
+    Adagrad,
+    /// Lion.
+    Lion {
+        /// Decoupled weight-decay coefficient.
+        weight_decay: f32,
+    },
+    /// Plain SGD.
+    Sgd,
+}
+
+/// Training configuration.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Passes over the (possibly capped) training set.
+    pub epochs: usize,
+    /// Examples per gradient step.
+    pub batch_size: usize,
+    /// Cap on training examples per epoch (None = all).
+    pub max_examples: Option<usize>,
+    /// Learning rate.
+    pub lr: f32,
+    /// Optimizer family.
+    pub optimizer: OptimizerKind,
+    /// Global gradient-norm clip.
+    pub clip: f32,
+    /// Shuffling / dropout seed.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// Paper-style Adam recipe (SASRec, Caser): lr 1e-3, batch 128 scaled
+    /// down to CPU-friendly sizes.
+    pub fn adam(epochs: usize, lr: f32) -> Self {
+        TrainConfig {
+            epochs,
+            batch_size: 16,
+            max_examples: None,
+            lr,
+            optimizer: OptimizerKind::Adam { weight_decay: 0.0 },
+            clip: 5.0,
+            seed: 17,
+        }
+    }
+
+    /// Paper-style Adagrad recipe (GRU4Rec): lr 0.01.
+    pub fn adagrad(epochs: usize, lr: f32) -> Self {
+        TrainConfig {
+            optimizer: OptimizerKind::Adagrad,
+            ..Self::adam(epochs, lr)
+        }
+    }
+}
+
+fn make_optimizer(cfg: &TrainConfig) -> Box<dyn Optimizer> {
+    match cfg.optimizer {
+        OptimizerKind::Adam { weight_decay } => Box::new(Adam::with_decay(cfg.lr, weight_decay)),
+        OptimizerKind::Adagrad => Box::new(Adagrad::new(cfg.lr)),
+        OptimizerKind::Lion { weight_decay } => Box::new(Lion::new(cfg.lr, weight_decay)),
+        OptimizerKind::Sgd => Box::new(Sgd::new(cfg.lr)),
+    }
+}
+
+/// Train `model` with next-item cross-entropy over the full catalog.
+/// Returns the mean loss per epoch.
+pub fn train<M: NeuralSeqModel>(
+    model: &mut M,
+    examples: &[Example],
+    cfg: &TrainConfig,
+) -> Vec<f32> {
+    assert!(!examples.is_empty(), "no training examples");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = make_optimizer(cfg);
+    let mut order: Vec<usize> = (0..examples.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _epoch in 0..cfg.epochs {
+        // Fisher–Yates shuffle.
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let take = cfg.max_examples.unwrap_or(order.len()).min(order.len());
+        let mut total = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order[..take].chunks(cfg.batch_size) {
+            let (loss_value, mut updates) = {
+                let tape = Tape::new();
+                let ctx = Ctx::new(&tape, model.store(), true);
+                let mut rows = Vec::with_capacity(chunk.len());
+                let mut targets = Vec::with_capacity(chunk.len());
+                for &ei in chunk {
+                    let ex = &examples[ei];
+                    rows.push(model.logits(&ctx, &ex.prefix, &mut rng));
+                    targets.push(ex.target.index());
+                }
+                let logits = tape.stack_rows(&rows);
+                let loss = tape.cross_entropy(logits, &targets);
+                let loss_value = tape.get(loss).item();
+                let mut grads = tape.backward(loss);
+                (loss_value, ctx.grads(&mut grads))
+            };
+            clip_grad_norm(&mut updates, cfg.clip);
+            opt.apply(model.store_mut(), &updates);
+            total += loss_value;
+            batches += 1;
+        }
+        epoch_losses.push(total / batches.max(1) as f32);
+    }
+    epoch_losses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gru4rec::{Gru4Rec, Gru4RecConfig};
+    use crate::model::SequentialRecommender;
+    use crate::sasrec::{SasRec, SasRecConfig};
+    use delrec_data::synthetic::{DatasetProfile, SyntheticConfig};
+    use delrec_data::Split;
+
+    fn tiny_dataset() -> delrec_data::Dataset {
+        SyntheticConfig::profile(DatasetProfile::MovieLens100K)
+            .scaled(0.08)
+            .generate(3)
+    }
+
+    #[test]
+    fn sasrec_loss_decreases() {
+        let ds = tiny_dataset();
+        let mut model = SasRec::new(
+            ds.num_items(),
+            SasRecConfig {
+                dropout: 0.1,
+                ..Default::default()
+            },
+            7,
+        );
+        let cfg = TrainConfig {
+            max_examples: Some(300),
+            ..TrainConfig::adam(3, 1e-3)
+        };
+        let losses = train(&mut model, ds.examples(Split::Train), &cfg);
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "loss should decrease: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn trained_model_beats_untrained_on_hit_rate() {
+        let ds = tiny_dataset();
+        let untrained = SasRec::new(
+            ds.num_items(),
+            SasRecConfig {
+                dropout: 0.1,
+                ..Default::default()
+            },
+            7,
+        );
+        let mut trained = SasRec::new(
+            ds.num_items(),
+            SasRecConfig {
+                dropout: 0.1,
+                ..Default::default()
+            },
+            7,
+        );
+        let cfg = TrainConfig {
+            max_examples: Some(400),
+            ..TrainConfig::adam(4, 1e-3)
+        };
+        train(&mut trained, ds.examples(Split::Train), &cfg);
+        let hit10 = |m: &SasRec| {
+            let test = ds.examples(Split::Test);
+            let hits = test
+                .iter()
+                .take(60)
+                .filter(|e| m.recommend(&e.prefix, 10).contains(&e.target))
+                .count();
+            hits as f32 / test.len().min(60) as f32
+        };
+        let (h_trained, h_untrained) = (hit10(&trained), hit10(&untrained));
+        assert!(
+            h_trained > h_untrained,
+            "training should help: trained {h_trained} vs untrained {h_untrained}"
+        );
+    }
+
+    #[test]
+    fn gru4rec_trains_without_nans() {
+        let ds = tiny_dataset();
+        let mut model = Gru4Rec::new(ds.num_items(), Gru4RecConfig::default(), 7);
+        let cfg = TrainConfig {
+            max_examples: Some(150),
+            ..TrainConfig::adagrad(2, 0.01)
+        };
+        let losses = train(&mut model, ds.examples(Split::Train), &cfg);
+        assert!(losses.iter().all(|l| l.is_finite()), "losses: {losses:?}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Finite-difference gradient checking, used by every op's tests.
+
+use crate::shape::Shape;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// Verify analytic gradients against central finite differences.
+///
+/// `f` rebuilds the (scalar-valued) computation from fresh leaves each call.
+/// Panics with a diagnostic if any element disagrees beyond a mixed
+/// absolute/relative tolerance.
+pub fn check_grad(inputs: &[Vec<f32>], shapes: &[Shape], f: impl Fn(&Tape, &[Var]) -> Var) {
+    assert_eq!(inputs.len(), shapes.len());
+    let eval = |values: &[Vec<f32>]| -> f32 {
+        let tape = Tape::new();
+        let vars: Vec<Var> = values
+            .iter()
+            .zip(shapes)
+            .map(|(v, s)| tape.leaf(Tensor::new(s.clone(), v.clone())))
+            .collect();
+        let out = f(&tape, &vars);
+        tape.get(out).item()
+    };
+
+    // Analytic gradients.
+    let tape = Tape::new();
+    let vars: Vec<Var> = inputs
+        .iter()
+        .zip(shapes)
+        .map(|(v, s)| tape.leaf(Tensor::new(s.clone(), v.clone())))
+        .collect();
+    let loss = f(&tape, &vars);
+    let grads = tape.backward(loss);
+
+    let eps = 1e-3f32;
+    for (vi, (input, shape)) in inputs.iter().zip(shapes).enumerate() {
+        let analytic = grads.get_or_zeros(vars[vi], shape);
+        for ei in 0..input.len() {
+            let mut plus = inputs.to_vec();
+            plus[vi][ei] += eps;
+            let mut minus = inputs.to_vec();
+            minus[vi][ei] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let a = analytic.data()[ei];
+            let tol = 1e-2 * (1.0 + a.abs().max(numeric.abs()));
+            assert!(
+                (a - numeric).abs() <= tol,
+                "gradient mismatch for input {vi} element {ei}: analytic={a}, numeric={numeric}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_for_correct_gradient() {
+        check_grad(
+            &[vec![1.0, -2.0, 0.5]],
+            &[Shape::from([3])],
+            |tape, vars| {
+                let y = tape.sqr(vars[0]);
+                tape.sum_all(y)
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn catches_broken_gradient() {
+        // A deliberately wrong "gradient": claim d(sum(2x))/dx by computing
+        // sum(2x) forward but differentiating sum(x) (scale outside the tape).
+        check_grad(&[vec![1.0, 2.0]], &[Shape::from([2])], |tape, vars| {
+            let doubled = tape
+                .get(vars[0])
+                .data()
+                .iter()
+                .map(|v| v * 2.0)
+                .sum::<f32>();
+            let fake = tape.leaf(Tensor::scalar(doubled));
+            // Loss value is sum(2x) but graph says loss = sum(x) + const.
+            let s = tape.sum_all(vars[0]);
+            let diff = tape.get(fake).item() - tape.get(s).item();
+            let c = tape.constant(Tensor::scalar(diff));
+            tape.add(s, c)
+        });
+    }
+}

@@ -1,0 +1,80 @@
+//! Weight initialization helpers (seeded, reproducible).
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Sample one standard-normal value via Box–Muller (avoids depending on
+/// `rand_distr` for a single distribution).
+pub fn randn<R: Rng>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f32 = rng.random();
+        if u1 <= f32::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f32 = rng.random();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+    }
+}
+
+/// Tensor with i.i.d. `N(0, std^2)` entries.
+pub fn normal<R: Rng>(shape: impl Into<Shape>, std: f32, rng: &mut R) -> Tensor {
+    let shape = shape.into();
+    let data = (0..shape.numel()).map(|_| randn(rng) * std).collect();
+    Tensor::new(shape, data)
+}
+
+/// Xavier/Glorot-uniform initialization for a `[fan_in, fan_out]` matrix.
+pub fn xavier<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let data = (0..fan_in * fan_out)
+        .map(|_| rng.random_range(-limit..limit))
+        .collect();
+    Tensor::new([fan_in, fan_out], data)
+}
+
+/// Uniform tensor in `[-limit, limit]`.
+pub fn uniform<R: Rng>(shape: impl Into<Shape>, limit: f32, rng: &mut R) -> Tensor {
+    let shape = shape.into();
+    let data = (0..shape.numel())
+        .map(|_| rng.random_range(-limit..limit))
+        .collect();
+    Tensor::new(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier(64, 64, &mut rng);
+        let limit = (6.0f32 / 128.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn seeded_init_is_reproducible() {
+        let a = normal([4, 4], 0.02, &mut StdRng::seed_from_u64(9));
+        let b = normal([4, 4], 0.02, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.data(), b.data());
+    }
+}

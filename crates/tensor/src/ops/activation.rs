@@ -1,0 +1,118 @@
+//! Pointwise nonlinearities.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_COEF: f32 = 0.044_715;
+
+fn gelu_fwd(x: f32) -> f32 {
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_COEF * x * x * x)).tanh())
+}
+
+fn gelu_bwd(x: f32) -> f32 {
+    let inner = SQRT_2_OVER_PI * (x + GELU_COEF * x * x * x);
+    let t = inner.tanh();
+    let dt = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * dt * SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_COEF * x * x)
+}
+
+impl Tape {
+    fn pointwise(
+        &self,
+        a: Var,
+        fwd: impl Fn(f32) -> f32,
+        // Derivative as a function of (input, output).
+        bwd: impl Fn(f32, f32) -> f32 + 'static,
+    ) -> Var {
+        let va = self.get(a);
+        let out: Vec<f32> = va.data().iter().map(|&x| fwd(x)).collect();
+        let out_t = Tensor::new(va.shape().clone(), out.clone());
+        self.push(
+            out_t,
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                let gr: Vec<f32> = g
+                    .data()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &gv)| gv * bwd(va.data()[i], out[i]))
+                    .collect();
+                vec![Tensor::new(va.shape().clone(), gr)]
+            })),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self, a: Var) -> Var {
+        self.pointwise(a, |x| x.max(0.0), |x, _| if x > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// GELU with the tanh approximation (the transformer FFN nonlinearity).
+    pub fn gelu(&self, a: Var) -> Var {
+        self.pointwise(a, gelu_fwd, |x, _| gelu_bwd(x))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        self.pointwise(a, |x| 1.0 / (1.0 + (-x).exp()), |_, y| y * (1.0 - y))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        self.pointwise(a, |x| x.tanh(), |_, y| 1.0 - y * y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_grad;
+    use crate::shape::Shape;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![-1., 0., 2.]));
+        assert_eq!(tape.get(tape.relu(a)).data(), &[0., 0., 2.]);
+    }
+
+    #[test]
+    fn sigmoid_midpoint() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![0.0]));
+        assert!((tape.get(tape.sigmoid(a)).item() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        // gelu(0) = 0; gelu(large) ≈ identity; gelu(-large) ≈ 0.
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![0.0, 6.0, -6.0]));
+        let y = tape.get(tape.gelu(a));
+        assert!(y.data()[0].abs() < 1e-6);
+        assert!((y.data()[1] - 6.0).abs() < 1e-3);
+        assert!(y.data()[2].abs() < 1e-3);
+    }
+
+    #[test]
+    fn grad_check_activations() {
+        // Inputs avoid the ReLU kink at 0.
+        let input = vec![0.5, -1.2, 2.0, -0.3, 0.9];
+        for op in ["relu", "gelu", "sigmoid", "tanh"] {
+            check_grad(
+                std::slice::from_ref(&input),
+                &[Shape::from([5])],
+                |tape, vars| {
+                    let y = match op {
+                        "relu" => tape.relu(vars[0]),
+                        "gelu" => tape.gelu(vars[0]),
+                        "sigmoid" => tape.sigmoid(vars[0]),
+                        _ => tape.tanh(vars[0]),
+                    };
+                    tape.sum_all(y)
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Elementwise arithmetic with suffix broadcasting.
+//!
+//! Broadcasting rule: for binary ops the right operand must either match the
+//! left's shape exactly, be a scalar, or match a *suffix* of the left's shape
+//! (the bias-add case). The backward pass for a broadcast operand sums the
+//! gradient over the broadcast leading dimensions.
+
+use crate::shape::Shape;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// How the right operand lines up with the left.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Broadcast {
+    /// Same shape.
+    Exact,
+    /// Right is a scalar.
+    Scalar,
+    /// Right matches a suffix of the left's shape; repeats over leading dims.
+    Suffix,
+}
+
+fn classify(a: &Shape, b: &Shape) -> Broadcast {
+    if a == b {
+        Broadcast::Exact
+    } else if b.numel() == 1 {
+        Broadcast::Scalar
+    } else if a.ends_with(b) {
+        Broadcast::Suffix
+    } else {
+        panic!("cannot broadcast {b} against {a}")
+    }
+}
+
+/// Sum `grad` (shaped like the left operand) down to `b_shape` (a suffix).
+fn reduce_to_suffix(grad: &Tensor, b_shape: &Shape) -> Tensor {
+    let n = b_shape.numel();
+    let mut out = vec![0.0f32; n];
+    for (i, &g) in grad.data().iter().enumerate() {
+        out[i % n] += g;
+    }
+    Tensor::new(b_shape.clone(), out)
+}
+
+impl Tape {
+    fn binary(
+        &self,
+        a: Var,
+        b: Var,
+        fwd: impl Fn(f32, f32) -> f32,
+        dfa: impl Fn(f32, f32) -> f32 + 'static,
+        dfb: impl Fn(f32, f32) -> f32 + 'static,
+    ) -> Var {
+        let (va, vb) = (self.get(a), self.get(b));
+        let mode = classify(va.shape(), vb.shape());
+        let n = vb.numel();
+        let out: Vec<f32> = va
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| fwd(x, vb.data()[i % n]))
+            .collect();
+        let out = Tensor::new(va.shape().clone(), out);
+        let b_shape = vb.shape().clone();
+        self.push(
+            out,
+            vec![a.id, b.id],
+            Some(Box::new(move |g: &Tensor| {
+                let ga: Vec<f32> = g
+                    .data()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &gv)| gv * dfa(va.data()[i], vb.data()[i % n]))
+                    .collect();
+                let gb_full: Vec<f32> = g
+                    .data()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &gv)| gv * dfb(va.data()[i], vb.data()[i % n]))
+                    .collect();
+                let gb_full = Tensor::new(va.shape().clone(), gb_full);
+                let gb = match mode {
+                    Broadcast::Exact => gb_full,
+                    Broadcast::Scalar | Broadcast::Suffix => reduce_to_suffix(&gb_full, &b_shape),
+                };
+                vec![Tensor::new(va.shape().clone(), ga), gb]
+            })),
+        )
+    }
+
+    /// Elementwise `a + b` (suffix broadcasting on `b`).
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x + y, |_, _| 1.0, |_, _| 1.0)
+    }
+
+    /// Elementwise `a - b` (suffix broadcasting on `b`).
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x - y, |_, _| 1.0, |_, _| -1.0)
+    }
+
+    /// Elementwise `a * b` (suffix broadcasting on `b`).
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x * y, |_, y| y, |x, _| x)
+    }
+
+    /// Elementwise `a / b` (suffix broadcasting on `b`).
+    pub fn div(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x / y, |_, y| 1.0 / y, |x, y| -x / (y * y))
+    }
+
+    fn unary(
+        &self,
+        a: Var,
+        fwd: impl Fn(f32) -> f32,
+        dfa: impl Fn(f32, f32) -> f32 + 'static,
+    ) -> Var {
+        let va = self.get(a);
+        let out: Vec<f32> = va.data().iter().map(|&x| fwd(x)).collect();
+        let out_t = Tensor::new(va.shape().clone(), out.clone());
+        self.push(
+            out_t,
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                let ga: Vec<f32> = g
+                    .data()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &gv)| gv * dfa(va.data()[i], out[i]))
+                    .collect();
+                vec![Tensor::new(va.shape().clone(), ga)]
+            })),
+        )
+    }
+
+    /// `a * s` for a scalar constant `s`.
+    pub fn scale(&self, a: Var, s: f32) -> Var {
+        self.unary(a, |x| x * s, move |_, _| s)
+    }
+
+    /// `a + s` for a scalar constant `s`.
+    pub fn add_scalar(&self, a: Var, s: f32) -> Var {
+        self.unary(a, move |x| x + s, |_, _| 1.0)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self, a: Var) -> Var {
+        self.scale(a, -1.0)
+    }
+
+    /// Elementwise square.
+    pub fn sqr(&self, a: Var) -> Var {
+        self.unary(a, |x| x * x, |x, _| 2.0 * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_grad;
+
+    #[test]
+    fn add_exact_values() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1., 2.]));
+        let b = tape.leaf(Tensor::from_vec(vec![10., 20.]));
+        let c = tape.add(a, b);
+        assert_eq!(tape.get(c).data(), &[11., 22.]);
+    }
+
+    #[test]
+    fn add_suffix_broadcast_backward_sums() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::new([2, 3], vec![0.; 6]));
+        let bias = tape.leaf(Tensor::from_vec(vec![1., 2., 3.]));
+        let c = tape.add(a, bias);
+        let loss = tape.sum_all(c);
+        let grads = tape.backward(loss);
+        // Each bias element is used twice (once per row).
+        assert_eq!(grads.get(bias).unwrap().data(), &[2., 2., 2.]);
+    }
+
+    #[test]
+    fn scalar_broadcast() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1., 2., 3.]));
+        let s = tape.leaf(Tensor::scalar(10.0));
+        let c = tape.mul(a, s);
+        assert_eq!(tape.get(c).data(), &[10., 20., 30.]);
+        let loss = tape.sum_all(c);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(s).unwrap().item(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast")]
+    fn invalid_broadcast_panics() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::new([2, 3], vec![0.; 6]));
+        let b = tape.leaf(Tensor::from_vec(vec![0.; 2]));
+        tape.add(a, b);
+    }
+
+    #[test]
+    fn grad_check_binary_ops() {
+        for op in ["add", "sub", "mul", "div"] {
+            check_grad(
+                &[vec![0.5, -1.2, 2.0, 0.3], vec![1.5, 0.7, -0.9, 2.2]],
+                &[Shape::from([2, 2]), Shape::from([2, 2])],
+                |tape, vars| {
+                    let c = match op {
+                        "add" => tape.add(vars[0], vars[1]),
+                        "sub" => tape.sub(vars[0], vars[1]),
+                        "mul" => tape.mul(vars[0], vars[1]),
+                        _ => tape.div(vars[0], vars[1]),
+                    };
+                    tape.sum_all(c)
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn grad_check_unary_ops() {
+        check_grad(
+            &[vec![0.5, -1.2, 2.0]],
+            &[Shape::from([3])],
+            |tape, vars| {
+                let s = tape.scale(vars[0], 3.0);
+                let q = tape.sqr(s);
+                let n = tape.neg(q);
+                let p = tape.add_scalar(n, 1.0);
+                tape.sum_all(p)
+            },
+        );
+    }
+}

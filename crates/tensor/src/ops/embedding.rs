@@ -1,0 +1,178 @@
+//! Row gathering and scattering: embedding lookups and prompt assembly.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Gather rows of a `[n, d]` tensor: `out[i] = x[indices[i]]`.
+    /// Duplicate indices are allowed; their gradients accumulate.
+    pub fn gather_rows(&self, x: Var, indices: &[usize]) -> Var {
+        let vx = self.get(x);
+        assert_eq!(vx.shape().rank(), 2, "gather_rows expects rank 2");
+        let (n, d) = (vx.shape().dim(0), vx.shape().dim(1));
+        let m = indices.len();
+        let mut out = vec![0.0f32; m * d];
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < n, "gather index {idx} out of bounds for {n} rows");
+            out[i * d..(i + 1) * d].copy_from_slice(vx.row(idx));
+        }
+        let indices = indices.to_vec();
+        self.push(
+            Tensor::new([m, d], out),
+            vec![x.id],
+            Some(Box::new(move |g: &Tensor| {
+                let mut gx = vec![0.0f32; n * d];
+                for (i, &idx) in indices.iter().enumerate() {
+                    for c in 0..d {
+                        gx[idx * d + c] += g.data()[i * d + c];
+                    }
+                }
+                vec![Tensor::new([n, d], gx)]
+            })),
+        )
+    }
+
+    /// Scatter selected rows of `table` (`[v, d]`) into a fresh `[out_rows, d]`
+    /// tensor: for each `(src, dst)` pair, `out[dst] = table[src]`. Rows not
+    /// mentioned stay zero, so two scatters from different tables can be
+    /// summed to interleave hard-token and soft-prompt embeddings.
+    pub fn scatter_rows(&self, table: Var, pairs: &[(usize, usize)], out_rows: usize) -> Var {
+        let vt = self.get(table);
+        assert_eq!(vt.shape().rank(), 2, "scatter_rows expects rank-2 table");
+        let (v, d) = (vt.shape().dim(0), vt.shape().dim(1));
+        let mut out = vec![0.0f32; out_rows * d];
+        for &(src, dst) in pairs {
+            assert!(src < v, "scatter source row {src} out of bounds ({v})");
+            assert!(
+                dst < out_rows,
+                "scatter dest row {dst} out of bounds ({out_rows})"
+            );
+            let row = vt.row(src);
+            for c in 0..d {
+                out[dst * d + c] += row[c];
+            }
+        }
+        let pairs = pairs.to_vec();
+        self.push(
+            Tensor::new([out_rows, d], out),
+            vec![table.id],
+            Some(Box::new(move |g: &Tensor| {
+                let mut gt = vec![0.0f32; v * d];
+                for &(src, dst) in &pairs {
+                    for c in 0..d {
+                        gt[src * d + c] += g.data()[dst * d + c];
+                    }
+                }
+                vec![Tensor::new([v, d], gt)]
+            })),
+        )
+    }
+
+    /// Select one row of a `[n, d]` tensor as a `[d]` vector.
+    pub fn select_row(&self, x: Var, row: usize) -> Var {
+        let d = self.get(x).shape().last();
+        let g = self.gather_rows(x, &[row]);
+        self.reshape(g, [d])
+    }
+
+    /// Stack `k` vectors of shape `[d]` into a `[k, d]` matrix.
+    pub fn stack_rows(&self, rows: &[Var]) -> Var {
+        assert!(!rows.is_empty(), "stack_rows of zero vars");
+        let d = self.get(rows[0]).numel();
+        let mut out = Vec::with_capacity(rows.len() * d);
+        for &r in rows {
+            let vr = self.get(r);
+            assert_eq!(vr.numel(), d, "stack_rows rows must share length");
+            out.extend_from_slice(vr.data());
+        }
+        let k = rows.len();
+        let shapes: Vec<_> = rows.iter().map(|&r| self.shape_of(r)).collect();
+        self.push(
+            Tensor::new([k, d], out),
+            rows.iter().map(|r| r.id).collect(),
+            Some(Box::new(move |g: &Tensor| {
+                shapes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| Tensor::new(s.clone(), g.data()[i * d..(i + 1) * d].to_vec()))
+                    .collect()
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_grad;
+    use crate::shape::Shape;
+
+    #[test]
+    fn gather_duplicates_accumulate() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::new([3, 2], vec![1., 2., 3., 4., 5., 6.]));
+        let g = tape.gather_rows(x, &[1, 1, 0]);
+        assert_eq!(tape.get(g).data(), &[3., 4., 3., 4., 1., 2.]);
+        let loss = tape.sum_all(g);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().data(), &[1., 1., 2., 2., 0., 0.]);
+    }
+
+    #[test]
+    fn scatter_fills_and_zeros() {
+        let tape = Tape::new();
+        let t = tape.leaf(Tensor::new([2, 2], vec![1., 2., 3., 4.]));
+        let s = tape.scatter_rows(t, &[(0, 2), (1, 0)], 3);
+        assert_eq!(tape.get(s).data(), &[3., 4., 0., 0., 1., 2.]);
+    }
+
+    #[test]
+    fn scatter_sum_interleaves_two_tables() {
+        let tape = Tape::new();
+        let hard = tape.leaf(Tensor::new([1, 2], vec![1., 1.]));
+        let soft = tape.leaf(Tensor::new([1, 2], vec![7., 7.]));
+        let h = tape.scatter_rows(hard, &[(0, 0)], 2);
+        let s = tape.scatter_rows(soft, &[(0, 1)], 2);
+        let seq = tape.add(h, s);
+        assert_eq!(tape.get(seq).data(), &[1., 1., 7., 7.]);
+    }
+
+    #[test]
+    fn select_row_shape() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]));
+        let r = tape.select_row(x, 1);
+        assert_eq!(tape.shape_of(r), Shape::from([3]));
+        assert_eq!(tape.get(r).data(), &[4., 5., 6.]);
+    }
+
+    #[test]
+    fn stack_rows_roundtrip() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1., 2.]));
+        let b = tape.leaf(Tensor::from_vec(vec![3., 4.]));
+        let s = tape.stack_rows(&[a, b]);
+        assert_eq!(tape.shape_of(s), Shape::from([2, 2]));
+        let loss = tape.sum_all(s);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(a).unwrap().data(), &[1., 1.]);
+        assert_eq!(grads.get(b).unwrap().data(), &[1., 1.]);
+    }
+
+    #[test]
+    fn grad_check_gather_scatter() {
+        check_grad(
+            &[vec![0.5, -1.2, 2.0, 0.1, 0.9, -0.4]],
+            &[Shape::from([3, 2])],
+            |tape, vars| {
+                let g = tape.gather_rows(vars[0], &[2, 0, 2]);
+                let s = tape.scatter_rows(vars[0], &[(1, 0), (0, 1)], 3);
+                let q1 = tape.sqr(g);
+                let q2 = tape.sqr(s);
+                let a = tape.sum_all(q1);
+                let b = tape.sum_all(q2);
+                tape.add(a, b)
+            },
+        );
+    }
+}

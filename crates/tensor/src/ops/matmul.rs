@@ -1,0 +1,246 @@
+//! Matrix multiplication and transposes.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// `out[m,n] += a[m,k] * b[k,n]` over contiguous row-major buffers.
+///
+/// The `i-k-j` loop order keeps the inner loop streaming over `b`'s rows and
+/// `out`'s rows, which is the cache-friendly layout for row-major data.
+pub fn matmul_raw(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+fn transpose_raw(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; x.len()];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = x[r * cols + c];
+        }
+    }
+    out
+}
+
+impl Tape {
+    /// Matrix product. Supported operand ranks:
+    ///
+    /// * `[m,k] × [k,n] → [m,n]`
+    /// * `[b,m,k] × [k,n] → [b,m,n]` (shared right operand)
+    /// * `[b,m,k] × [b,k,n] → [b,m,n]` (batched)
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.get(a), self.get(b));
+        let (ra, rb) = (va.shape().rank(), vb.shape().rank());
+        match (ra, rb) {
+            (2, 2) => self.matmul_2d(a, b),
+            (3, 2) => {
+                let (bsz, m, k) = (va.shape().dim(0), va.shape().dim(1), va.shape().dim(2));
+                let flat = self.reshape(a, [bsz * m, k]);
+                let out = self.matmul_2d(flat, b);
+                self.reshape(out, [bsz, m, vb.shape().dim(1)])
+            }
+            (3, 3) => self.matmul_batched(a, b),
+            _ => panic!("unsupported matmul ranks: {} x {}", va.shape(), vb.shape()),
+        }
+    }
+
+    fn matmul_2d(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.get(a), self.get(b));
+        let (m, k) = (va.shape().dim(0), va.shape().dim(1));
+        let (k2, n) = (vb.shape().dim(0), vb.shape().dim(1));
+        assert_eq!(k, k2, "matmul inner dims: {} x {}", va.shape(), vb.shape());
+        let mut out = vec![0.0f32; m * n];
+        matmul_raw(va.data(), vb.data(), &mut out, m, k, n);
+        self.push(
+            Tensor::new([m, n], out),
+            vec![a.id, b.id],
+            Some(Box::new(move |g: &Tensor| {
+                // dA = g @ B^T ; dB = A^T @ g
+                let bt = transpose_raw(vb.data(), k, n);
+                let mut ga = vec![0.0f32; m * k];
+                matmul_raw(g.data(), &bt, &mut ga, m, n, k);
+                let at = transpose_raw(va.data(), m, k);
+                let mut gb = vec![0.0f32; k * n];
+                matmul_raw(&at, g.data(), &mut gb, k, m, n);
+                vec![Tensor::new([m, k], ga), Tensor::new([k, n], gb)]
+            })),
+        )
+    }
+
+    fn matmul_batched(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.get(a), self.get(b));
+        let (bsz, m, k) = (va.shape().dim(0), va.shape().dim(1), va.shape().dim(2));
+        let (bsz2, k2, n) = (vb.shape().dim(0), vb.shape().dim(1), vb.shape().dim(2));
+        assert_eq!(bsz, bsz2, "batched matmul batch dims differ");
+        assert_eq!(k, k2, "matmul inner dims: {} x {}", va.shape(), vb.shape());
+        let mut out = vec![0.0f32; bsz * m * n];
+        for i in 0..bsz {
+            matmul_raw(
+                &va.data()[i * m * k..(i + 1) * m * k],
+                &vb.data()[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        self.push(
+            Tensor::new([bsz, m, n], out),
+            vec![a.id, b.id],
+            Some(Box::new(move |g: &Tensor| {
+                let mut ga = vec![0.0f32; bsz * m * k];
+                let mut gb = vec![0.0f32; bsz * k * n];
+                for i in 0..bsz {
+                    let gs = &g.data()[i * m * n..(i + 1) * m * n];
+                    let asl = &va.data()[i * m * k..(i + 1) * m * k];
+                    let bsl = &vb.data()[i * k * n..(i + 1) * k * n];
+                    let bt = transpose_raw(bsl, k, n);
+                    matmul_raw(gs, &bt, &mut ga[i * m * k..(i + 1) * m * k], m, n, k);
+                    let at = transpose_raw(asl, m, k);
+                    matmul_raw(&at, gs, &mut gb[i * k * n..(i + 1) * k * n], k, m, n);
+                }
+                vec![Tensor::new([bsz, m, k], ga), Tensor::new([bsz, k, n], gb)]
+            })),
+        )
+    }
+
+    /// Transpose of a 2-D tensor, or of the last two axes of a 3-D tensor.
+    pub fn transpose(&self, a: Var) -> Var {
+        let va = self.get(a);
+        match va.shape().rank() {
+            2 => {
+                let (m, n) = (va.shape().dim(0), va.shape().dim(1));
+                let out = transpose_raw(va.data(), m, n);
+                self.push(
+                    Tensor::new([n, m], out),
+                    vec![a.id],
+                    Some(Box::new(move |g: &Tensor| {
+                        vec![Tensor::new([m, n], transpose_raw(g.data(), n, m))]
+                    })),
+                )
+            }
+            3 => {
+                let (b, m, n) = (va.shape().dim(0), va.shape().dim(1), va.shape().dim(2));
+                let mut out = vec![0.0f32; b * m * n];
+                for i in 0..b {
+                    let t = transpose_raw(&va.data()[i * m * n..(i + 1) * m * n], m, n);
+                    out[i * m * n..(i + 1) * m * n].copy_from_slice(&t);
+                }
+                self.push(
+                    Tensor::new([b, n, m], out),
+                    vec![a.id],
+                    Some(Box::new(move |g: &Tensor| {
+                        let mut gr = vec![0.0f32; b * m * n];
+                        for i in 0..b {
+                            let t = transpose_raw(&g.data()[i * m * n..(i + 1) * m * n], n, m);
+                            gr[i * m * n..(i + 1) * m * n].copy_from_slice(&t);
+                        }
+                        vec![Tensor::new([b, m, n], gr)]
+                    })),
+                )
+            }
+            r => panic!("transpose supports rank 2 or 3, got rank {r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_grad;
+    use crate::shape::Shape;
+
+    #[test]
+    fn matmul_raw_identity() {
+        let a = vec![1., 2., 3., 4.]; // [2,2]
+        let eye = vec![1., 0., 0., 1.];
+        let mut out = vec![0.0; 4];
+        matmul_raw(&a, &eye, &mut out, 2, 2, 2);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn matmul_2d_known_values() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]));
+        let b = tape.leaf(Tensor::new([3, 2], vec![7., 8., 9., 10., 11., 12.]));
+        let c = tape.matmul(a, b);
+        assert_eq!(tape.get(c).data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_3d_shared_rhs() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::new([2, 1, 2], vec![1., 0., 0., 1.]));
+        let b = tape.leaf(Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]));
+        let c = tape.matmul(a, b);
+        assert_eq!(tape.shape_of(c), Shape::from([2, 1, 3]));
+        assert_eq!(tape.get(c).data(), &[1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]));
+        let t = tape.transpose(a);
+        let tt = tape.transpose(t);
+        assert_eq!(tape.get(tt).data(), tape.get(a).data());
+    }
+
+    #[test]
+    fn grad_check_matmul_2d() {
+        check_grad(
+            &[
+                vec![0.5, -1.0, 0.3, 0.8, -0.2, 1.1],
+                vec![0.9, 0.1, -0.4, 0.7, 0.2, -0.6],
+            ],
+            &[Shape::from([2, 3]), Shape::from([3, 2])],
+            |tape, vars| {
+                let c = tape.matmul(vars[0], vars[1]);
+                tape.sum_all(c)
+            },
+        );
+    }
+
+    #[test]
+    fn grad_check_matmul_batched() {
+        check_grad(
+            &[
+                vec![0.5, -1.0, 0.3, 0.8, -0.2, 1.1, 0.4, -0.7],
+                vec![0.9, 0.1, -0.4, 0.7, 0.2, -0.6, 1.2, 0.05],
+            ],
+            &[Shape::from([2, 2, 2]), Shape::from([2, 2, 2])],
+            |tape, vars| {
+                let c = tape.matmul(vars[0], vars[1]);
+                tape.sum_all(c)
+            },
+        );
+    }
+
+    #[test]
+    fn grad_check_transpose_3d() {
+        check_grad(
+            &[vec![0.5, -1.0, 0.3, 0.8, -0.2, 1.1, 0.4, -0.7]],
+            &[Shape::from([2, 2, 2])],
+            |tape, vars| {
+                let t = tape.transpose(vars[0]);
+                let s = tape.sqr(t);
+                tape.sum_all(s)
+            },
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Differentiable operations, implemented as methods on [`crate::Tape`].
+//!
+//! Each submodule groups a family of ops; every op's gradient is verified
+//! against finite differences in its module tests and in the crate's
+//! property-test suite.
+
+mod activation;
+mod elementwise;
+mod embedding;
+mod matmul;
+mod norm;
+mod reduce;
+mod slice;
+mod softmax;
+
+pub use matmul::matmul_raw;

@@ -1,0 +1,127 @@
+//! Layer normalization.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+const EPS: f32 = 1e-5;
+
+impl Tape {
+    /// Layer normalization over the last axis with learned scale `gamma` and
+    /// shift `beta` (both `[d]`).
+    pub fn layer_norm(&self, x: Var, gamma: Var, beta: Var) -> Var {
+        let (vx, vg, vb) = (self.get(x), self.get(gamma), self.get(beta));
+        let d = vx.shape().last();
+        assert_eq!(vg.numel(), d, "gamma must be [{d}]");
+        assert_eq!(vb.numel(), d, "beta must be [{d}]");
+        let rows = vx.shape().rows();
+        let mut out = vec![0.0f32; vx.numel()];
+        // Normalized (pre-affine) values, needed by the backward pass.
+        let mut xhat = vec![0.0f32; vx.numel()];
+        let mut inv_std = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = vx.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + EPS).sqrt();
+            inv_std[r] = istd;
+            for c in 0..d {
+                let h = (row[c] - mean) * istd;
+                xhat[r * d + c] = h;
+                out[r * d + c] = h * vg.data()[c] + vb.data()[c];
+            }
+        }
+        let shape = vx.shape().clone();
+        self.push(
+            Tensor::new(shape.clone(), out),
+            vec![x.id, gamma.id, beta.id],
+            Some(Box::new(move |g: &Tensor| {
+                let mut gx = vec![0.0f32; g.numel()];
+                let mut gg = vec![0.0f32; d];
+                let mut gb = vec![0.0f32; d];
+                for r in 0..rows {
+                    let gs = &g.data()[r * d..(r + 1) * d];
+                    let hs = &xhat[r * d..(r + 1) * d];
+                    // Accumulate affine-parameter grads.
+                    for c in 0..d {
+                        gg[c] += gs[c] * hs[c];
+                        gb[c] += gs[c];
+                    }
+                    // dxhat = g * gamma; then the standard layernorm backward:
+                    // dx = (dxhat − mean(dxhat) − xhat * mean(dxhat ⊙ xhat)) * inv_std
+                    let mut sum_dh = 0.0f32;
+                    let mut sum_dh_h = 0.0f32;
+                    for c in 0..d {
+                        let dh = gs[c] * vg.data()[c];
+                        sum_dh += dh;
+                        sum_dh_h += dh * hs[c];
+                    }
+                    let inv_d = 1.0 / d as f32;
+                    for c in 0..d {
+                        let dh = gs[c] * vg.data()[c];
+                        gx[r * d + c] =
+                            (dh - sum_dh * inv_d - hs[c] * sum_dh_h * inv_d) * inv_std[r];
+                    }
+                }
+                vec![
+                    Tensor::new(shape.clone(), gx),
+                    Tensor::from_vec(gg),
+                    Tensor::from_vec(gb),
+                ]
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_grad;
+    use crate::shape::Shape;
+
+    #[test]
+    fn normalizes_to_zero_mean_unit_var() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::new([1, 4], vec![1., 2., 3., 4.]));
+        let g = tape.leaf(Tensor::from_vec(vec![1.0; 4]));
+        let b = tape.leaf(Tensor::from_vec(vec![0.0; 4]));
+        let y = tape.get(tape.layer_norm(x, g, b));
+        let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = y
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn affine_params_apply() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::new([1, 2], vec![-1., 1.]));
+        let g = tape.leaf(Tensor::from_vec(vec![2.0, 2.0]));
+        let b = tape.leaf(Tensor::from_vec(vec![10.0, 10.0]));
+        let y = tape.get(tape.layer_norm(x, g, b));
+        // xhat = [-1, 1] (up to eps), so y ≈ [8, 12].
+        assert!((y.data()[0] - 8.0).abs() < 1e-2);
+        assert!((y.data()[1] - 12.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn grad_check_layer_norm() {
+        check_grad(
+            &[
+                vec![0.5, -1.2, 2.0, 0.1, 0.9, -0.4],
+                vec![1.1, 0.9, 1.2],
+                vec![0.1, -0.2, 0.3],
+            ],
+            &[Shape::from([2, 3]), Shape::from([3]), Shape::from([3])],
+            |tape, vars| {
+                let y = tape.layer_norm(vars[0], vars[1], vars[2]);
+                let q = tape.sqr(y);
+                tape.sum_all(q)
+            },
+        );
+    }
+}

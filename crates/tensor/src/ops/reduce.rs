@@ -1,0 +1,153 @@
+//! Reductions: sums, means, and max-pooling.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Sum of all elements → scalar.
+    pub fn sum_all(&self, a: Var) -> Var {
+        let va = self.get(a);
+        let s = va.sum();
+        self.push(
+            Tensor::scalar(s),
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![Tensor::full(va.shape().clone(), g.item())]
+            })),
+        )
+    }
+
+    /// Mean of all elements → scalar.
+    pub fn mean_all(&self, a: Var) -> Var {
+        let n = self.get(a).numel() as f32;
+        let s = self.sum_all(a);
+        self.scale(s, 1.0 / n)
+    }
+
+    /// Mean over the row axis: `[n, d] → [d]`.
+    pub fn mean_rows(&self, a: Var) -> Var {
+        let va = self.get(a);
+        assert_eq!(va.shape().rank(), 2, "mean_rows expects rank 2");
+        let (n, d) = (va.shape().dim(0), va.shape().dim(1));
+        let mut out = vec![0.0f32; d];
+        for r in 0..n {
+            for (o, &v) in out.iter_mut().zip(va.row(r)) {
+                *o += v;
+            }
+        }
+        let inv = 1.0 / n as f32;
+        for o in &mut out {
+            *o *= inv;
+        }
+        self.push(
+            Tensor::from_vec(out),
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                let mut gr = vec![0.0f32; n * d];
+                for r in 0..n {
+                    for (c, &gv) in g.data().iter().enumerate() {
+                        gr[r * d + c] = gv * inv;
+                    }
+                }
+                vec![Tensor::new([n, d], gr)]
+            })),
+        )
+    }
+
+    /// Column-wise maximum: `[n, d] → [d]` (max-over-time pooling, as used by
+    /// Caser's horizontal convolutions). Gradient flows to the first argmax
+    /// row per column.
+    pub fn max_rows(&self, a: Var) -> Var {
+        let va = self.get(a);
+        assert_eq!(va.shape().rank(), 2, "max_rows expects rank 2");
+        let (n, d) = (va.shape().dim(0), va.shape().dim(1));
+        assert!(n > 0, "max_rows over zero rows");
+        let mut out = va.row(0).to_vec();
+        let mut arg = vec![0usize; d];
+        for r in 1..n {
+            for (c, &v) in va.row(r).iter().enumerate() {
+                if v > out[c] {
+                    out[c] = v;
+                    arg[c] = r;
+                }
+            }
+        }
+        self.push(
+            Tensor::from_vec(out),
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                let mut gr = vec![0.0f32; n * d];
+                for (c, &gv) in g.data().iter().enumerate() {
+                    gr[arg[c] * d + c] = gv;
+                }
+                vec![Tensor::new([n, d], gr)]
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_grad;
+    use crate::shape::Shape;
+
+    #[test]
+    fn sum_and_mean_values() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1., 2., 3., 4.]));
+        assert_eq!(tape.get(tape.sum_all(a)).item(), 10.0);
+        assert_eq!(tape.get(tape.mean_all(a)).item(), 2.5);
+    }
+
+    #[test]
+    fn mean_rows_values() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::new([2, 2], vec![1., 2., 3., 4.]));
+        let m = tape.mean_rows(a);
+        assert_eq!(tape.get(m).data(), &[2., 3.]);
+    }
+
+    #[test]
+    fn max_rows_values_and_grad_routing() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::new([3, 2], vec![1., 9., 5., 2., 3., 4.]));
+        let m = tape.max_rows(a);
+        assert_eq!(tape.get(m).data(), &[5., 9.]);
+        let loss = tape.sum_all(m);
+        let grads = tape.backward(loss);
+        assert_eq!(
+            grads.get(a).unwrap().data(),
+            &[0., 1., 1., 0., 0., 0.],
+            "gradient routes only to the argmax entries"
+        );
+    }
+
+    #[test]
+    fn grad_check_mean_rows() {
+        check_grad(
+            &[vec![0.5, -1.0, 0.3, 0.8, -0.2, 1.1]],
+            &[Shape::from([3, 2])],
+            |tape, vars| {
+                let m = tape.mean_rows(vars[0]);
+                let s = tape.sqr(m);
+                tape.sum_all(s)
+            },
+        );
+    }
+
+    #[test]
+    fn grad_check_max_rows() {
+        // Values chosen with a clear margin so finite differences do not
+        // cross the argmax boundary.
+        check_grad(
+            &[vec![0.5, -1.0, 3.0, 0.8, -0.2, 1.1]],
+            &[Shape::from([3, 2])],
+            |tape, vars| {
+                let m = tape.max_rows(vars[0]);
+                let s = tape.sqr(m);
+                tape.sum_all(s)
+            },
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Shape manipulation: reshape, row slices, concatenation, dropout.
+
+use crate::shape::Shape;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+impl Tape {
+    /// Reinterpret a value with a new shape of equal element count.
+    pub fn reshape(&self, a: Var, shape: impl Into<Shape>) -> Var {
+        let va = self.get(a);
+        let old = va.shape().clone();
+        let new: Shape = shape.into();
+        assert_eq!(
+            old.numel(),
+            new.numel(),
+            "reshape {old} -> {new} changes element count"
+        );
+        let out = va.clone().reshaped(new);
+        self.push(
+            out,
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.clone().reshaped(old.clone())]
+            })),
+        )
+    }
+
+    /// Rows `start..start+len` of a rank-2 tensor.
+    pub fn slice_rows(&self, a: Var, start: usize, len: usize) -> Var {
+        let va = self.get(a);
+        assert_eq!(va.shape().rank(), 2, "slice_rows expects rank 2");
+        let (n, d) = (va.shape().dim(0), va.shape().dim(1));
+        assert!(
+            start + len <= n,
+            "slice {start}..{} out of {n} rows",
+            start + len
+        );
+        let out = va.data()[start * d..(start + len) * d].to_vec();
+        self.push(
+            Tensor::new([len, d], out),
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                let mut gx = vec![0.0f32; n * d];
+                gx[start * d..(start + len) * d].copy_from_slice(g.data());
+                vec![Tensor::new([n, d], gx)]
+            })),
+        )
+    }
+
+    /// Concatenate rank-2 tensors along the row axis.
+    pub fn concat_rows(&self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows of zero parts");
+        let d = self.get(parts[0]).shape().last();
+        let mut data = Vec::new();
+        let mut row_counts = Vec::with_capacity(parts.len());
+        for &p in parts {
+            let vp = self.get(p);
+            assert_eq!(vp.shape().rank(), 2, "concat_rows expects rank 2 parts");
+            assert_eq!(vp.shape().last(), d, "concat_rows last dims must match");
+            row_counts.push(vp.shape().dim(0));
+            data.extend_from_slice(vp.data());
+        }
+        let total: usize = row_counts.iter().sum();
+        self.push(
+            Tensor::new([total, d], data),
+            parts.iter().map(|p| p.id).collect(),
+            Some(Box::new(move |g: &Tensor| {
+                let mut out = Vec::with_capacity(row_counts.len());
+                let mut offset = 0;
+                for &rc in &row_counts {
+                    out.push(Tensor::new(
+                        [rc, d],
+                        g.data()[offset * d..(offset + rc) * d].to_vec(),
+                    ));
+                    offset += rc;
+                }
+                out
+            })),
+        )
+    }
+
+    /// Inverted dropout: during training, zero each element with probability
+    /// `p` and scale survivors by `1/(1-p)`; identity in eval mode.
+    pub fn dropout<R: Rng>(&self, a: Var, p: f32, train: bool, rng: &mut R) -> Var {
+        if !train || p <= 0.0 {
+            return a;
+        }
+        assert!(p < 1.0, "dropout probability must be < 1");
+        let va = self.get(a);
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..va.numel())
+            .map(|_| {
+                if rng.random::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let out: Vec<f32> = va.data().iter().zip(&mask).map(|(&x, &m)| x * m).collect();
+        let shape = va.shape().clone();
+        self.push(
+            Tensor::new(shape.clone(), out),
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                let gr: Vec<f32> = g.data().iter().zip(&mask).map(|(&gv, &m)| gv * m).collect();
+                vec![Tensor::new(shape.clone(), gr)]
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_grad;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reshape_backward_restores_shape() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]));
+        let r = tape.reshape(a, [3, 2]);
+        let loss = tape.sum_all(r);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(a).unwrap().shape(), &Shape::from([2, 3]));
+    }
+
+    #[test]
+    fn slice_rows_values() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::new([3, 2], vec![1., 2., 3., 4., 5., 6.]));
+        let s = tape.slice_rows(a, 1, 2);
+        assert_eq!(tape.get(s).data(), &[3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn concat_then_slice_is_identity() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::new([1, 2], vec![1., 2.]));
+        let b = tape.leaf(Tensor::new([2, 2], vec![3., 4., 5., 6.]));
+        let c = tape.concat_rows(&[a, b]);
+        assert_eq!(tape.get(c).data(), &[1., 2., 3., 4., 5., 6.]);
+        let back = tape.slice_rows(c, 0, 1);
+        assert_eq!(tape.get(back).data(), tape.get(a).data());
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let tape = Tape::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = tape.leaf(Tensor::from_vec(vec![1., 2., 3.]));
+        let d = tape.dropout(a, 0.5, false, &mut rng);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn dropout_train_preserves_expectation_roughly() {
+        let tape = Tape::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let a = tape.leaf(Tensor::from_vec(vec![1.0; n]));
+        let d = tape.dropout(a, 0.3, true, &mut rng);
+        let mean = tape.get(d).sum() / n as f32;
+        assert!((mean - 1.0).abs() < 0.05, "dropout mean {mean} drifted");
+    }
+
+    #[test]
+    fn grad_check_slice_concat() {
+        check_grad(
+            &[vec![0.5, -1.2, 2.0, 0.1], vec![0.9, -0.4]],
+            &[Shape::from([2, 2]), Shape::from([1, 2])],
+            |tape, vars| {
+                let c = tape.concat_rows(&[vars[0], vars[1]]);
+                let s = tape.slice_rows(c, 1, 2);
+                let q = tape.sqr(s);
+                tape.sum_all(q)
+            },
+        );
+    }
+}

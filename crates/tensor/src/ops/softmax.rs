@@ -1,0 +1,209 @@
+//! Softmax-family ops and the fused cross-entropy loss.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// Numerically-stable softmax of one row, written into `out`.
+fn softmax_row(row: &[f32], out: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for (o, &x) in out.iter_mut().zip(row) {
+        let e = (x - max).exp();
+        *o = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+impl Tape {
+    /// Softmax over the last axis.
+    pub fn softmax(&self, a: Var) -> Var {
+        let va = self.get(a);
+        let d = va.shape().last();
+        let rows = va.shape().rows();
+        let mut out = vec![0.0f32; va.numel()];
+        for r in 0..rows {
+            softmax_row(va.row(r), &mut out[r * d..(r + 1) * d]);
+        }
+        let out_data = out.clone();
+        self.push(
+            Tensor::new(va.shape().clone(), out),
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                // dx = y ⊙ (g − ⟨g, y⟩) per row.
+                let mut gr = vec![0.0f32; g.numel()];
+                for r in 0..rows {
+                    let y = &out_data[r * d..(r + 1) * d];
+                    let gs = &g.data()[r * d..(r + 1) * d];
+                    let dot: f32 = y.iter().zip(gs).map(|(&yv, &gv)| yv * gv).sum();
+                    for c in 0..d {
+                        gr[r * d + c] = y[c] * (gs[c] - dot);
+                    }
+                }
+                vec![Tensor::new(g.shape().clone(), gr)]
+            })),
+        )
+    }
+
+    /// Log-softmax over the last axis.
+    pub fn log_softmax(&self, a: Var) -> Var {
+        let va = self.get(a);
+        let d = va.shape().last();
+        let rows = va.shape().rows();
+        let mut out = vec![0.0f32; va.numel()];
+        let mut probs = vec![0.0f32; va.numel()];
+        for r in 0..rows {
+            let row = va.row(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse = max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+            for c in 0..d {
+                out[r * d + c] = row[c] - lse;
+                probs[r * d + c] = (row[c] - lse).exp();
+            }
+        }
+        self.push(
+            Tensor::new(va.shape().clone(), out),
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                // dx = g − softmax(x) * sum(g) per row.
+                let mut gr = vec![0.0f32; g.numel()];
+                for r in 0..rows {
+                    let gs = &g.data()[r * d..(r + 1) * d];
+                    let total: f32 = gs.iter().sum();
+                    for c in 0..d {
+                        gr[r * d + c] = gs[c] - probs[r * d + c] * total;
+                    }
+                }
+                vec![Tensor::new(g.shape().clone(), gr)]
+            })),
+        )
+    }
+
+    /// Mean cross-entropy between row logits and integer targets.
+    ///
+    /// `logits` is `[n, C]` (or `[C]` for a single example); `targets` holds
+    /// one class index per row. Fused for numerical stability; the backward
+    /// pass is `(softmax − onehot) / n`.
+    pub fn cross_entropy(&self, logits: Var, targets: &[usize]) -> Var {
+        let vl = self.get(logits);
+        let d = vl.shape().last();
+        let rows = vl.shape().rows();
+        assert_eq!(
+            targets.len(),
+            rows,
+            "cross_entropy: {} targets for {} rows",
+            targets.len(),
+            rows
+        );
+        let mut probs = vec![0.0f32; vl.numel()];
+        let mut loss = 0.0f32;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < d, "target {t} out of range for {d} classes");
+            softmax_row(vl.row(r), &mut probs[r * d..(r + 1) * d]);
+            loss -= probs[r * d + t].max(1e-12).ln();
+        }
+        loss /= rows as f32;
+        let targets = targets.to_vec();
+        let shape = vl.shape().clone();
+        self.push(
+            Tensor::scalar(loss),
+            vec![logits.id],
+            Some(Box::new(move |g: &Tensor| {
+                let scale = g.item() / rows as f32;
+                let mut gr = probs.clone();
+                for (r, &t) in targets.iter().enumerate() {
+                    gr[r * d + t] -= 1.0;
+                }
+                for v in &mut gr {
+                    *v *= scale;
+                }
+                vec![Tensor::new(shape.clone(), gr)]
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_grad;
+    use crate::shape::Shape;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::new([2, 3], vec![1., 2., 3., -1., 0., 1.]));
+        let y = tape.get(tape.softmax(a));
+        let s0: f32 = y.row(0).iter().sum();
+        let s1: f32 = y.row(1).iter().sum();
+        assert!((s0 - 1.0).abs() < 1e-6 && (s1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1., 2., 3.]));
+        let b = tape.leaf(Tensor::from_vec(vec![1001., 1002., 1003.]));
+        let (ya, yb) = (tape.get(tape.softmax(a)), tape.get(tape.softmax(b)));
+        for (x, y) in ya.data().iter().zip(yb.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![0.3, -1.2, 2.0]));
+        let ls = tape.get(tape.log_softmax(a));
+        let s = tape.get(tape.softmax(a));
+        for (l, p) in ls.data().iter().zip(s.data()) {
+            assert!((l.exp() - p).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let tape = Tape::new();
+        let logits = tape.leaf(Tensor::new([1, 3], vec![100., 0., 0.]));
+        let loss = tape.cross_entropy(logits, &[0]);
+        assert!(tape.get(loss).item() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let tape = Tape::new();
+        let logits = tape.leaf(Tensor::new([2, 4], vec![0.0; 8]));
+        let loss = tape.cross_entropy(logits, &[1, 2]);
+        assert!((tape.get(loss).item() - (4f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_check_softmax_and_ce() {
+        check_grad(
+            &[vec![0.5, -1.2, 2.0, 0.1, 0.9, -0.4]],
+            &[Shape::from([2, 3])],
+            |tape, vars| tape.cross_entropy(vars[0], &[2, 0]),
+        );
+        check_grad(
+            &[vec![0.5, -1.2, 2.0, 0.1, 0.9, -0.4]],
+            &[Shape::from([2, 3])],
+            |tape, vars| {
+                let y = tape.softmax(vars[0]);
+                let q = tape.sqr(y);
+                tape.sum_all(q)
+            },
+        );
+        check_grad(
+            &[vec![0.5, -1.2, 2.0]],
+            &[Shape::from([1, 3])],
+            |tape, vars| {
+                let y = tape.log_softmax(vars[0]);
+                let q = tape.sqr(y);
+                tape.sum_all(q)
+            },
+        );
+    }
+}

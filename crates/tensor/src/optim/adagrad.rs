@@ -1,0 +1,77 @@
+//! Adagrad — the paper trains GRU4Rec with it.
+
+use super::Optimizer;
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Adagrad: per-coordinate learning rates shrinking with accumulated squared
+/// gradients.
+pub struct Adagrad {
+    lr: f32,
+    eps: f32,
+    accum: HashMap<ParamId, Tensor>,
+}
+
+impl Adagrad {
+    /// Adagrad with accumulator epsilon 1e-10.
+    pub fn new(lr: f32) -> Self {
+        Adagrad {
+            lr,
+            eps: 1e-10,
+            accum: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn apply(&mut self, store: &mut ParamStore, updates: &[(ParamId, Tensor)]) {
+        for (id, grad) in updates {
+            if !store.is_trainable(*id) {
+                continue;
+            }
+            let acc = self
+                .accum
+                .entry(*id)
+                .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+            let w = store.get_mut(*id);
+            for i in 0..grad.numel() {
+                let g = grad.data()[i];
+                let a = &mut acc.data_mut()[i];
+                *a += g * g;
+                w.data_mut()[i] -= self.lr * g / (a.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_size_shrinks_over_time() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![0.0]));
+        let mut opt = Adagrad::new(1.0);
+        let g = Tensor::from_vec(vec![1.0]);
+        opt.apply(&mut store, &[(w, g.clone())]);
+        let step1 = -store.get(w).data()[0];
+        let before = store.get(w).data()[0];
+        opt.apply(&mut store, &[(w, g)]);
+        let step2 = before - store.get(w).data()[0];
+        assert!(
+            step2 < step1,
+            "second step {step2} not smaller than {step1}"
+        );
+        assert!((step1 - 1.0).abs() < 1e-4, "first step ≈ lr");
+    }
+}

@@ -1,0 +1,104 @@
+//! Adam (Kingma & Ba) — the paper trains SASRec and Caser with it.
+
+use super::Optimizer;
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+struct State {
+    m: Tensor,
+    v: Tensor,
+    t: u32,
+}
+
+/// Adam with decoupled (AdamW-style) weight decay.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    state: HashMap<ParamId, State>,
+}
+
+impl Adam {
+    /// Adam with the standard β₁=0.9, β₂=0.999, ε=1e-8, no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self::with_decay(lr, 0.0)
+    }
+
+    /// Adam with decoupled weight decay.
+    pub fn with_decay(lr: f32, weight_decay: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            state: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn apply(&mut self, store: &mut ParamStore, updates: &[(ParamId, Tensor)]) {
+        for (id, grad) in updates {
+            if !store.is_trainable(*id) {
+                continue;
+            }
+            let st = self.state.entry(*id).or_insert_with(|| State {
+                m: Tensor::zeros(grad.shape().clone()),
+                v: Tensor::zeros(grad.shape().clone()),
+                t: 0,
+            });
+            st.t += 1;
+            let bc1 = 1.0 - self.beta1.powi(st.t as i32);
+            let bc2 = 1.0 - self.beta2.powi(st.t as i32);
+            let w = store.get_mut(*id);
+            for i in 0..grad.numel() {
+                let g = grad.data()[i];
+                let m = &mut st.m.data_mut()[i];
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                let v = &mut st.v.data_mut()[i];
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                let wi = &mut w.data_mut()[i];
+                *wi -= self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * *wi);
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_size_is_about_lr() {
+        // With bias correction, the very first Adam step ≈ lr in magnitude.
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![0.0]));
+        let mut opt = Adam::new(0.01);
+        opt.apply(&mut store, &[(w, Tensor::from_vec(vec![100.0]))]);
+        assert!((store.get(w).data()[0] + 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![1.0]));
+        let mut opt = Adam::with_decay(0.1, 0.5);
+        // Zero gradient: only decay acts.
+        opt.apply(&mut store, &[(w, Tensor::from_vec(vec![0.0]))]);
+        assert!(store.get(w).data()[0] < 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Lion (EvoLved Sign Momentum, Chen et al. 2023) — the optimizer DELRec
+//! uses for both Stage 1 (lr 5e-3, wd 1e-5) and Stage 2 (lr 1e-4, wd 1e-6).
+
+use super::Optimizer;
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Lion: `update = sign(β₁·m + (1−β₁)·g)`, then `m = β₂·m + (1−β₂)·g`,
+/// with decoupled weight decay.
+pub struct Lion {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    weight_decay: f32,
+    momentum: HashMap<ParamId, Tensor>,
+}
+
+impl Lion {
+    /// Lion with the paper-standard β₁=0.9, β₂=0.99.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        Lion {
+            lr,
+            beta1: 0.9,
+            beta2: 0.99,
+            weight_decay,
+            momentum: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Lion {
+    fn apply(&mut self, store: &mut ParamStore, updates: &[(ParamId, Tensor)]) {
+        for (id, grad) in updates {
+            if !store.is_trainable(*id) {
+                continue;
+            }
+            let m = self
+                .momentum
+                .entry(*id)
+                .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+            let w = store.get_mut(*id);
+            for i in 0..grad.numel() {
+                let g = grad.data()[i];
+                let mi = &mut m.data_mut()[i];
+                let interp = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                let wi = &mut w.data_mut()[i];
+                *wi -= self.lr * (interp.signum_or_zero() + self.weight_decay * *wi);
+                *mi = self.beta2 * *mi + (1.0 - self.beta2) * g;
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+trait SignumOrZero {
+    fn signum_or_zero(self) -> f32;
+}
+
+impl SignumOrZero for f32 {
+    /// `signum` that maps 0 (and ±0.0) to 0 rather than ±1.
+    fn signum_or_zero(self) -> f32 {
+        if self == 0.0 {
+            0.0
+        } else {
+            self.signum()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_magnitude_is_lr_regardless_of_grad_scale() {
+        for scale in [0.001f32, 1.0, 1000.0] {
+            let mut store = ParamStore::new();
+            let w = store.add("w", Tensor::from_vec(vec![0.0]));
+            let mut opt = Lion::new(0.01, 0.0);
+            opt.apply(&mut store, &[(w, Tensor::from_vec(vec![scale]))]);
+            assert!(
+                (store.get(w).data()[0] + 0.01).abs() < 1e-6,
+                "sign update should ignore gradient magnitude (scale {scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_gradient_and_zero_momentum_is_a_noop() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![2.0]));
+        let mut opt = Lion::new(0.01, 0.0);
+        opt.apply(&mut store, &[(w, Tensor::from_vec(vec![0.0]))]);
+        assert_eq!(store.get(w).data(), &[2.0]);
+    }
+
+    #[test]
+    fn weight_decay_is_decoupled() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![1.0]));
+        let mut opt = Lion::new(0.1, 0.5);
+        opt.apply(&mut store, &[(w, Tensor::from_vec(vec![0.0]))]);
+        // w -= lr * wd * w  →  1 − 0.1·0.5 = 0.95
+        assert!((store.get(w).data()[0] - 0.95).abs() < 1e-6);
+    }
+}

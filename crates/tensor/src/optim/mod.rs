@@ -1,0 +1,97 @@
+//! Optimizers.
+//!
+//! The paper's training recipe uses three of these: Adam for SASRec/Caser,
+//! Adagrad for GRU4Rec, and Lion for both DELRec stages.
+
+mod adagrad;
+mod adam;
+mod lion;
+mod sgd;
+
+pub use adagrad::Adagrad;
+pub use adam::Adam;
+pub use lion::Lion;
+pub use sgd::Sgd;
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// A gradient-descent-style optimizer over a [`ParamStore`].
+pub trait Optimizer {
+    /// Apply one step given `(parameter, gradient)` pairs. Implementations
+    /// must skip parameters the store marks as frozen.
+    fn apply(&mut self, store: &mut ParamStore, updates: &[(ParamId, Tensor)]);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Adjust the learning rate (for warmup/decay schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Scale gradients in place so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(updates: &mut [(ParamId, Tensor)], max_norm: f32) -> f32 {
+    let total: f32 = updates
+        .iter()
+        .map(|(_, g)| g.data().iter().map(|v| v * v).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for (_, g) in updates.iter_mut() {
+            g.scale_assign(scale);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    fn quadratic_converges(mut opt: impl Optimizer, steps: usize, tol: f32) {
+        // Minimize f(w) = 0.5 * ||w||^2, gradient = w.
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![5.0, -3.0]));
+        for _ in 0..steps {
+            let g = store.get(w).clone();
+            opt.apply(&mut store, &[(w, g)]);
+        }
+        let norm = store.get(w).l2_norm();
+        assert!(norm < tol, "final |w| = {norm} after {steps} steps");
+    }
+
+    #[test]
+    fn all_optimizers_minimize_quadratic() {
+        quadratic_converges(Sgd::new(0.1), 200, 1e-3);
+        quadratic_converges(Adam::new(0.05), 400, 1e-2);
+        quadratic_converges(Adagrad::new(0.5), 400, 0.5);
+        quadratic_converges(Lion::new(0.01, 0.0), 2000, 0.05);
+    }
+
+    #[test]
+    fn frozen_params_are_not_updated() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![1.0]));
+        store.set_trainable(w, false);
+        let mut opt = Sgd::new(0.5);
+        opt.apply(&mut store, &[(w, Tensor::from_vec(vec![10.0]))]);
+        assert_eq!(store.get(w).data(), &[1.0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_norm() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![0.0, 0.0]));
+        let mut updates = vec![(w, Tensor::from_vec(vec![3.0, 4.0]))];
+        let pre = clip_grad_norm(&mut updates, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((updates[0].1.l2_norm() - 1.0).abs() < 1e-5);
+        // Below the cap nothing changes.
+        let mut small = vec![(w, Tensor::from_vec(vec![0.3, 0.4]))];
+        clip_grad_norm(&mut small, 1.0);
+        assert!((small[0].1.l2_norm() - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,90 @@
+//! Stochastic gradient descent with optional momentum.
+
+use super::Optimizer;
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// SGD with classical momentum: `v = μv + g; w -= lr·v`.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<ParamId, Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD (no momentum).
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum coefficient `momentum`.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn apply(&mut self, store: &mut ParamStore, updates: &[(ParamId, Tensor)]) {
+        for (id, grad) in updates {
+            if !store.is_trainable(*id) {
+                continue;
+            }
+            let step: Vec<f32> = if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(*id)
+                    .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+                for (vv, &g) in v.data_mut().iter_mut().zip(grad.data()) {
+                    *vv = self.momentum * *vv + g;
+                }
+                v.data().to_vec()
+            } else {
+                grad.data().to_vec()
+            };
+            let w = store.get_mut(*id);
+            for (wv, s) in w.data_mut().iter_mut().zip(step) {
+                *wv -= self.lr * s;
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![1.0]));
+        let mut opt = Sgd::new(0.1);
+        opt.apply(&mut store, &[(w, Tensor::from_vec(vec![2.0]))]);
+        assert!((store.get(w).data()[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![0.0]));
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        // Constant gradient of 1.0; velocity builds up beyond 1.
+        for _ in 0..3 {
+            opt.apply(&mut store, &[(w, Tensor::from_vec(vec![1.0]))]);
+        }
+        // steps: 0.1·1, 0.1·1.9, 0.1·2.71 → total 0.561
+        assert!((store.get(w).data()[0] + 0.561).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal binary (de)serialization for parameter stores.
+//!
+//! Format (little-endian):
+//! `magic "DLRC1\n"` · `u32 count` · for each parameter:
+//! `u32 name_len` · name bytes · `u32 rank` · `u32 dims…` · `f32 data…`.
+
+use crate::params::ParamStore;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 6] = b"DLRC1\n";
+
+/// Serialize every parameter (name, shape, data) to a writer.
+pub fn save_params<W: Write>(store: &ParamStore, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (_, name, tensor) in store.iter() {
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        w.write_all(&(tensor.shape().rank() as u32).to_le_bytes())?;
+        for i in 0..tensor.shape().rank() {
+            w.write_all(&(tensor.shape().dim(i) as u32).to_le_bytes())?;
+        }
+        for &v in tensor.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Load parameters previously written by [`save_params`] into an existing
+/// store. Every serialized name must exist in the store with an identical
+/// shape (i.e. the same model architecture must have been constructed first).
+pub fn load_params<R: Read>(store: &mut ParamStore, r: &mut R) -> io::Result<()> {
+    let mut magic = [0u8; 6];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad magic: not a DELRec parameter file",
+        ));
+    }
+    let count = read_u32(r)? as usize;
+    for _ in 0..count {
+        let name_len = read_u32(r)? as usize;
+        let mut name_buf = vec![0u8; name_len];
+        r.read_exact(&mut name_buf)?;
+        let name = String::from_utf8(name_buf)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let rank = read_u32(r)? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u32(r)? as usize);
+        }
+        let shape = Shape::from(dims.as_slice());
+        let mut data = vec![0.0f32; shape.numel()];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        let id = store.id_of(&name).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown parameter {name:?} in file"),
+            )
+        })?;
+        if store.shape_of(id) != &shape {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "shape mismatch for {name:?}: store has {}, file has {shape}",
+                    store.shape_of(id)
+                ),
+            ));
+        }
+        *store.get_mut(id) = Tensor::new(shape, data);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.add("w1", Tensor::new([2, 2], vec![1., 2., 3., 4.]));
+        s.add("bias", Tensor::from_vec(vec![0.5, -0.5]));
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+
+        let mut fresh = ParamStore::new();
+        let w1 = fresh.add("w1", Tensor::zeros([2, 2]));
+        let b = fresh.add("bias", Tensor::zeros([2]));
+        load_params(&mut fresh, &mut buf.as_slice()).unwrap();
+        assert_eq!(fresh.get(w1).data(), &[1., 2., 3., 4.]);
+        assert_eq!(fresh.get(b).data(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut store = sample_store();
+        let err = load_params(&mut store, &mut &b"NOTAMODEL"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        let mut fresh = ParamStore::new();
+        fresh.add("w1", Tensor::zeros([4]));
+        fresh.add("bias", Tensor::zeros([2]));
+        let err = load_params(&mut fresh, &mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn unknown_param_is_rejected() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        let mut fresh = ParamStore::new();
+        fresh.add("other", Tensor::zeros([2, 2]));
+        assert!(load_params(&mut fresh, &mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Tensor shapes: dimension bookkeeping shared by every op.
+
+use std::fmt;
+
+/// The shape of a dense row-major tensor.
+///
+/// Rank is unbounded in principle, but everything in this workspace uses rank
+/// 0 (scalars) through 3 (batched matrices).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Shape of a scalar (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(vec![])
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (`1` for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Dimension `i`. Panics if out of range.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Last dimension; panics on scalars.
+    pub fn last(&self) -> usize {
+        *self.0.last().expect("scalar shape has no last dimension")
+    }
+
+    /// All dimensions except the last, i.e. the number of "rows" when the
+    /// tensor is viewed as a stack of vectors of length [`Shape::last`].
+    pub fn rows(&self) -> usize {
+        self.0[..self.rank() - 1].iter().product()
+    }
+
+    /// True if `suffix` matches the trailing dimensions of `self`, the
+    /// broadcast rule used by bias additions.
+    pub fn ends_with(&self, suffix: &Shape) -> bool {
+        suffix.rank() <= self.rank() && self.0[self.rank() - suffix.rank()..] == suffix.0[..]
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+    }
+
+    #[test]
+    fn numel_and_rows() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rows(), 6);
+        assert_eq!(s.last(), 4);
+    }
+
+    #[test]
+    fn ends_with_suffix() {
+        let s = Shape::from([2, 3, 4]);
+        assert!(s.ends_with(&Shape::from([4])));
+        assert!(s.ends_with(&Shape::from([3, 4])));
+        assert!(!s.ends_with(&Shape::from([2, 4])));
+        assert!(s.ends_with(&Shape::from([2, 3, 4])));
+        assert!(!s.ends_with(&Shape::from([1, 2, 3, 4])));
+    }
+
+    #[test]
+    fn display_is_bracketed() {
+        assert_eq!(format!("{}", Shape::from([2, 3])), "[2, 3]");
+        assert_eq!(format!("{}", Shape::scalar()), "[]");
+    }
+}

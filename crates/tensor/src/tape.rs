@@ -1,0 +1,229 @@
+//! Define-by-run reverse-mode autograd.
+//!
+//! A [`Tape`] records every operation as a node holding its output value, its
+//! parent node ids, and a backward closure that maps the upstream gradient to
+//! one gradient per parent. [`Tape::backward`] walks the nodes in reverse
+//! topological order (which is simply reverse creation order) accumulating
+//! gradients.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use std::cell::{Ref, RefCell};
+
+/// Handle to a value recorded on a [`Tape`]. Cheap to copy; only valid for
+/// the tape that created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var {
+    pub(crate) id: usize,
+}
+
+type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
+
+pub(crate) struct Node {
+    value: Tensor,
+    parents: Vec<usize>,
+    backward: Option<BackwardFn>,
+}
+
+/// A gradient tape: the computation graph for one forward/backward pass.
+///
+/// Tapes are intended to be short-lived — build one per training step, call
+/// [`Tape::backward`], read the gradients, and drop it.
+///
+/// ```
+/// use delrec_tensor::{Tape, Tensor};
+///
+/// let tape = Tape::new();
+/// let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0]));
+/// let y = tape.sqr(x);              // y = x²
+/// let loss = tape.sum_all(y);       // loss = Σ x²
+/// let grads = tape.backward(loss);
+/// assert_eq!(grads.get(x).unwrap().data(), &[2.0, 4.0, 6.0]); // d/dx = 2x
+/// ```
+#[derive(Default)]
+pub struct Tape {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+}
+
+impl Tape {
+    /// Create an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Record a leaf value (an input or parameter). Leaves receive gradients
+    /// but have no backward function.
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(value, vec![], None)
+    }
+
+    /// Record a constant. Identical to [`Tape::leaf`]; the distinct name
+    /// documents intent (the gradient, if any, is simply never read).
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.leaf(value)
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True if the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the value of a variable.
+    pub fn value(&self, v: Var) -> Ref<'_, Tensor> {
+        Ref::map(self.nodes.borrow(), |nodes| &nodes[v.id].value)
+    }
+
+    /// Clone the value of a variable out of the tape.
+    pub fn get(&self, v: Var) -> Tensor {
+        self.nodes.borrow()[v.id].value.clone()
+    }
+
+    /// Shape of a variable's value.
+    pub fn shape_of(&self, v: Var) -> Shape {
+        self.nodes.borrow()[v.id].value.shape().clone()
+    }
+
+    pub(crate) fn push(
+        &self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackwardFn>,
+    ) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        let id = nodes.len();
+        nodes.push(Node {
+            value,
+            parents,
+            backward,
+        });
+        Var { id }
+    }
+
+    /// Run reverse-mode differentiation from `loss` (which must be a scalar)
+    /// and return the gradient of every node with respect to it.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        let nodes = self.nodes.borrow();
+        assert_eq!(
+            nodes[loss.id].value.numel(),
+            1,
+            "backward() requires a scalar loss, got shape {}",
+            nodes[loss.id].value.shape()
+        );
+        let mut grads: Vec<Option<Tensor>> = (0..nodes.len()).map(|_| None).collect();
+        grads[loss.id] = Some(Tensor::full(nodes[loss.id].value.shape().clone(), 1.0));
+        for id in (0..=loss.id).rev() {
+            let Some(g) = grads[id].as_ref() else {
+                continue;
+            };
+            let node = &nodes[id];
+            if let Some(back) = &node.backward {
+                let parent_grads = back(g);
+                debug_assert_eq!(
+                    parent_grads.len(),
+                    node.parents.len(),
+                    "backward fn returned wrong number of gradients"
+                );
+                for (&pid, pg) in node.parents.iter().zip(parent_grads) {
+                    debug_assert_eq!(
+                        pg.shape(),
+                        nodes[pid].value.shape(),
+                        "gradient shape mismatch for parent node {pid}"
+                    );
+                    match &mut grads[pid] {
+                        Some(existing) => existing.add_assign(&pg),
+                        slot @ None => *slot = Some(pg),
+                    }
+                }
+            }
+        }
+        Gradients { grads }
+    }
+}
+
+/// Gradients of every tape node with respect to the loss passed to
+/// [`Tape::backward`].
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of `v`, or `None` if the loss did not depend on it.
+    pub fn get(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.id).and_then(|g| g.as_ref())
+    }
+
+    /// Gradient of `v`, defaulting to zeros of the given shape when the loss
+    /// did not depend on it.
+    pub fn get_or_zeros(&self, v: Var, shape: &Shape) -> Tensor {
+        self.get(v)
+            .cloned()
+            .unwrap_or_else(|| Tensor::zeros(shape.clone()))
+    }
+
+    /// Take ownership of the gradient of `v`.
+    pub fn take(&mut self, v: Var) -> Option<Tensor> {
+        self.grads.get_mut(v.id).and_then(|g| g.take())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let tape = Tape::new();
+        let v = tape.leaf(Tensor::from_vec(vec![1., 2., 3.]));
+        assert_eq!(tape.get(v).data(), &[1., 2., 3.]);
+        assert_eq!(tape.len(), 1);
+    }
+
+    #[test]
+    fn backward_through_chain() {
+        // loss = sum(2 * x) => dloss/dx = 2 everywhere.
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1., 2., 3.]));
+        let y = tape.scale(x, 2.0);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().data(), &[2., 2., 2.]);
+    }
+
+    #[test]
+    fn gradient_accumulates_over_fanout() {
+        // loss = sum(x + x) => dloss/dx = 2.
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![5., -1.]));
+        let y = tape.add(x, x);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().data(), &[2., 2.]);
+    }
+
+    #[test]
+    fn unused_leaf_has_no_gradient() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0]));
+        let unused = tape.leaf(Tensor::from_vec(vec![9.0]));
+        let loss = tape.sum_all(x);
+        let grads = tape.backward(loss);
+        assert!(grads.get(unused).is_none());
+        assert!(grads.get(x).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn non_scalar_loss_panics() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1., 2.]));
+        tape.backward(x);
+    }
+}

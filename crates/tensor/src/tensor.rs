@@ -1,0 +1,243 @@
+//! The dense `f32` tensor type.
+
+use crate::shape::Shape;
+use std::fmt;
+
+/// A dense, row-major `f32` tensor.
+///
+/// Cloning copies the buffer; the models in this workspace are small enough
+/// that the simplicity is worth it (and the autograd tape relies on owned
+/// values).
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Build a tensor from a shape and matching data buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.numel()`.
+    pub fn new(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "tensor data length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Tensor of the given shape filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Rank-0 scalar.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// 1-D tensor from a slice.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Tensor {
+            shape: Shape::from([n]),
+            data,
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Borrow the underlying buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the underlying buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The single value of a rank-0 or one-element tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor with shape {}",
+            self.shape
+        );
+        self.data[0]
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshaped(mut self, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.data.len(),
+            "cannot reshape {} elements to {shape}",
+            self.data.len()
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Row `r` of a rank-≥1 tensor viewed as `[rows, last]`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let d = self.shape.last();
+        &self.data[r * d..(r + 1) * d]
+    }
+
+    /// Elementwise in-place addition. Shapes must match exactly.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            self.shape, other.shape,
+            "add_assign shape mismatch {} vs {}",
+            self.shape, other.shape
+        );
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise in-place scaling.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Index of the maximum element (first on ties). Empty tensors panic.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Euclidean norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// True if every element is finite (no NaN/inf) — used as a training
+    /// sanity check.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.numel() <= 8 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(
+                f,
+                "[{:.4}, {:.4}, …; n={}]",
+                self.data[0],
+                self.data[1],
+                self.numel()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape().rank(), 2);
+        assert_eq!(t.row(1), &[4., 5., 6.]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.sum(), 21.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn mismatched_data_panics() {
+        let _ = Tensor::new([2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4.]).reshaped([2, 2]);
+        assert_eq!(t.row(0), &[1., 2.]);
+        assert_eq!(t.row(1), &[3., 4.]);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        let t = Tensor::from_vec(vec![1., 5., 5., 2.]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Tensor::from_vec(vec![1., 2.]);
+        a.add_assign(&Tensor::from_vec(vec![3., 4.]));
+        a.scale_assign(2.0);
+        assert_eq!(a.data(), &[8., 12.]);
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(Tensor::from_vec(vec![1.0, -2.0]).is_finite());
+        assert!(!Tensor::from_vec(vec![1.0, f32::NAN]).is_finite());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based verification of the autograd engine: analytic gradients
+//! match finite differences for randomly-sampled inputs through composite
+//! graphs, and algebraic identities hold.
+
+use delrec_tensor::grad_check::check_grad;
+use delrec_tensor::{Shape, Tape, Tensor};
+use proptest::prelude::*;
+
+/// Bounded, well-conditioned values (finite differences are noisy near 0 for
+/// division and at large magnitudes for exp-family ops).
+fn values(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(prop_oneof![(-2.0f32..-0.2), (0.2f32..2.0)], n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn elementwise_chain_gradients(a in values(6), b in values(6)) {
+        check_grad(
+            &[a, b],
+            &[Shape::from([2, 3]), Shape::from([2, 3])],
+            |tape, vars| {
+                let s = tape.add(vars[0], vars[1]);
+                let m = tape.mul(s, vars[0]);
+                let t = tape.tanh(m);
+                tape.sum_all(t)
+            },
+        );
+    }
+
+    #[test]
+    fn matmul_composite_gradients(a in values(6), b in values(6)) {
+        check_grad(
+            &[a, b],
+            &[Shape::from([2, 3]), Shape::from([3, 2])],
+            |tape, vars| {
+                let p = tape.matmul(vars[0], vars[1]);
+                let q = tape.sigmoid(p);
+                tape.mean_all(q)
+            },
+        );
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradients(logits in values(8)) {
+        check_grad(&[logits], &[Shape::from([2, 4])], |tape, vars| {
+            tape.cross_entropy(vars[0], &[1, 3])
+        });
+    }
+
+    #[test]
+    fn layer_norm_gradients(x in values(8), g in values(4), b in values(4)) {
+        check_grad(
+            &[x, g, b],
+            &[Shape::from([2, 4]), Shape::from([4]), Shape::from([4])],
+            |tape, vars| {
+                let y = tape.layer_norm(vars[0], vars[1], vars[2]);
+                let q = tape.sqr(y);
+                tape.sum_all(q)
+            },
+        );
+    }
+
+    #[test]
+    fn gather_scatter_gradients(x in values(8)) {
+        check_grad(&[x], &[Shape::from([4, 2])], |tape, vars| {
+            let g = tape.gather_rows(vars[0], &[3, 1, 3, 0]);
+            let s = tape.scatter_rows(vars[0], &[(0, 1), (2, 0), (2, 1)], 3);
+            let gs = tape.sqr(g);
+            let ss = tape.sqr(s);
+            let a = tape.sum_all(gs);
+            let b = tape.sum_all(ss);
+            tape.add(a, b)
+        });
+    }
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ as computed by the tape ops.
+    #[test]
+    fn transpose_matmul_identity(a in values(6), b in values(6)) {
+        let tape = Tape::new();
+        let av = tape.leaf(Tensor::new([2, 3], a));
+        let bv = tape.leaf(Tensor::new([3, 2], b));
+        let ab_t = tape.transpose(tape.matmul(av, bv));
+        let bt_at = tape.matmul(tape.transpose(bv), tape.transpose(av));
+        let lhs = tape.get(ab_t);
+        let rhs = tape.get(bt_at);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// reshape → reshape-back is the identity, including for gradients.
+    #[test]
+    fn reshape_roundtrip_identity(x in values(12)) {
+        let tape = Tape::new();
+        let v = tape.leaf(Tensor::new([3, 4], x.clone()));
+        let r = tape.reshape(v, [2, 6]);
+        let back = tape.reshape(r, [3, 4]);
+        let restored = tape.get(back);
+        prop_assert_eq!(restored.data(), &x[..]);
+        let loss = tape.sum_all(back);
+        let grads = tape.backward(loss);
+        prop_assert_eq!(grads.get(v).unwrap().data(), &vec![1.0f32; 12][..]);
+    }
+
+    /// Gradient accumulates linearly: d(sum(a·x + b·x))/dx = a + b.
+    #[test]
+    fn fanout_linearity(x in values(5), a in 0.5f32..3.0, b in 0.5f32..3.0) {
+        let tape = Tape::new();
+        let v = tape.leaf(Tensor::from_vec(x));
+        let s1 = tape.scale(v, a);
+        let s2 = tape.scale(v, b);
+        let sum = tape.add(s1, s2);
+        let loss = tape.sum_all(sum);
+        let grads = tape.backward(loss);
+        for &g in grads.get(v).unwrap().data() {
+            prop_assert!((g - (a + b)).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Teacher comparison: train all three conventional backbones (Caser,
+//! GRU4Rec, SASRec) plus the counting baselines on a Steam-like dataset and
+//! compare them under the paper's protocol — the "Conventional" block of
+//! Table II in miniature, plus distillation on the strongest teacher.
+//!
+//! ```sh
+//! cargo run --release --example teacher_comparison
+//! ```
+
+use delrec::core::{
+    build_teacher, pretrained_lm, DelRec, DelRecConfig, LmPreset, Pipeline, TeacherKind,
+};
+use delrec::data::synthetic::{DatasetProfile, SyntheticConfig};
+use delrec::data::{ItemId, Split};
+use delrec::eval::{evaluate, EvalConfig, FnRanker};
+use delrec::lm::PretrainConfig;
+use delrec::seqrec::{MarkovRecommender, PopularityRecommender, SequentialRecommender};
+
+fn main() {
+    let data = SyntheticConfig::profile(DatasetProfile::Steam)
+        .scaled(0.15)
+        .generate(11);
+    println!("dataset: {}\n", data.name);
+    let eval_cfg = EvalConfig {
+        max_examples: Some(150),
+        ..Default::default()
+    };
+
+    let report_for = |name: &str, model: &dyn SequentialRecommender| {
+        let ranker = FnRanker::new(name, |prefix: &[ItemId], cands: &[ItemId]| {
+            let all = model.scores(prefix);
+            cands.iter().map(|c| all[c.index()]).collect()
+        });
+        let rep = evaluate(&ranker, &data, Split::Test, &eval_cfg);
+        println!(
+            "{name:<12} HR@1 {:.4}  HR@5 {:.4}  NDCG@10 {:.4}",
+            rep.hr(1),
+            rep.hr(5),
+            rep.ndcg(10)
+        );
+        rep.hr(1)
+    };
+
+    println!("## Counting baselines");
+    let pop = PopularityRecommender::fit(&data);
+    report_for("popularity", &pop);
+    let markov = MarkovRecommender::fit(&data);
+    report_for("markov", &markov);
+
+    println!("\n## Conventional neural models (paper §V-A3 recipes)");
+    let mut best: (f64, TeacherKind) = (f64::MIN, TeacherKind::SASRec);
+    for kind in [
+        TeacherKind::Caser,
+        TeacherKind::GRU4Rec,
+        TeacherKind::SASRec,
+    ] {
+        let teacher = build_teacher(&data, kind, 8, None, 11);
+        let hr1 = report_for(kind.name(), teacher.as_ref());
+        if hr1 > best.0 {
+            best = (hr1, kind);
+        }
+    }
+
+    println!("\n## DELRec on the strongest teacher ({})", best.1.name());
+    let pipeline = Pipeline::build(&data);
+    let lm = pretrained_lm(
+        &data,
+        &pipeline,
+        LmPreset::Xl,
+        &PretrainConfig {
+            epochs: 6,
+            lr: 5e-3,
+            ..Default::default()
+        },
+        11,
+    );
+    let teacher = build_teacher(&data, best.1, 8, None, 11);
+    let cfg = DelRecConfig::small(best.1).with_alpha_for(&data.name);
+    let model = DelRec::fit(&data, &pipeline, teacher.as_ref(), lm, &cfg);
+    let rep = evaluate(&model, &data, Split::Test, &eval_cfg);
+    println!(
+        "delrec       HR@1 {:.4}  HR@5 {:.4}  NDCG@10 {:.4}",
+        rep.hr(1),
+        rep.hr(5),
+        rep.ndcg(10)
+    );
+}

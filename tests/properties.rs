@@ -1,0 +1,146 @@
+//! Property-based tests over the workspace's core invariants.
+
+use delrec::data::synthetic::{DatasetProfile, SyntheticConfig};
+use delrec::data::{CandidateSampler, ItemId, Vocab};
+use delrec::eval::metrics::RankingReport;
+use delrec::eval::ttest::two_sided_p;
+use delrec::seqrec::top_k;
+use delrec::tensor::{Tape, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The candidate sampler always returns m distinct items containing the
+    /// positive, deterministically.
+    #[test]
+    fn candidate_sampler_invariants(
+        n_items in 20usize..200,
+        m in 2usize..16,
+        positive in 0u32..20,
+        seed in 0u64..1000,
+        idx in 0usize..50,
+    ) {
+        let sampler = CandidateSampler::new(n_items, m);
+        let c1 = sampler.candidates(ItemId(positive), seed, idx);
+        let c2 = sampler.candidates(ItemId(positive), seed, idx);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert_eq!(c1.len(), m);
+        prop_assert!(c1.contains(&ItemId(positive)));
+        let mut dedup = c1.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), m);
+        prop_assert!(c1.iter().all(|i| i.index() < n_items));
+    }
+
+    /// HR@k is monotone in k; NDCG@k ≤ HR@k; MRR ∈ (0, 1].
+    #[test]
+    fn metric_relationships(ranks in prop::collection::vec(0usize..15, 1..100)) {
+        let rep = RankingReport::new(ranks, 15);
+        let mut prev = 0.0;
+        for k in 1..=15 {
+            let hr = rep.hr(k);
+            prop_assert!(hr >= prev - 1e-12, "HR must be monotone in k");
+            prop_assert!(rep.ndcg(k) <= hr + 1e-12, "NDCG@k ≤ HR@k");
+            prev = hr;
+        }
+        prop_assert_eq!(rep.hr(15), 1.0);
+        prop_assert!(rep.mrr() > 0.0 && rep.mrr() <= 1.0);
+    }
+
+    /// `top_k` returns indices sorted by score, descending, without
+    /// duplicates.
+    #[test]
+    fn top_k_is_sorted_and_unique(scores in prop::collection::vec(-100f32..100.0, 1..60), k in 1usize..20) {
+        let top = top_k(&scores, k);
+        prop_assert_eq!(top.len(), k.min(scores.len()));
+        for w in top.windows(2) {
+            prop_assert!(scores[w[0].index()] >= scores[w[1].index()]);
+        }
+        let mut ids: Vec<_> = top.iter().map(|i| i.0).collect();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), top.len());
+    }
+
+    /// softmax rows are probability distributions for arbitrary logits.
+    #[test]
+    fn softmax_rows_are_distributions(data in prop::collection::vec(-30f32..30.0, 12)) {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::new([3, 4], data));
+        let y = tape.get(tape.softmax(x));
+        for r in 0..3 {
+            let row = y.row(r);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// cross_entropy is non-negative and equals ln(C) for uniform logits.
+    #[test]
+    fn cross_entropy_bounds(c in 2usize..12, target in 0usize..12) {
+        let target = target % c;
+        let tape = Tape::new();
+        let logits = tape.leaf(Tensor::new([1, c], vec![0.0; c]));
+        let loss = tape.get(tape.cross_entropy(logits, &[target])).item();
+        prop_assert!((loss - (c as f32).ln()).abs() < 1e-5);
+    }
+
+    /// Student-t p-values are valid probabilities, monotone decreasing in |t|.
+    #[test]
+    fn p_values_behave(t in 0.0f64..20.0, df in 2.0f64..200.0) {
+        let p = two_sided_p(t, df);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let p2 = two_sided_p(t + 1.0, df);
+        prop_assert!(p2 <= p + 1e-9, "p must fall as t grows");
+    }
+
+    /// Vocabulary encode/decode round-trips for any subset of known words.
+    #[test]
+    fn vocab_roundtrip(idx in prop::collection::vec(0usize..5, 1..20)) {
+        let words = ["alpha", "beta", "gamma", "delta", "epsilon"];
+        let vocab = Vocab::build(words);
+        let text: Vec<&str> = idx.iter().map(|&i| words[i]).collect();
+        let joined = text.join(" ");
+        let ids = vocab.encode(&joined);
+        prop_assert_eq!(vocab.decode(&ids), joined);
+    }
+}
+
+proptest! {
+    // Dataset generation is slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The synthetic generator always satisfies the min-interaction filter
+    /// and chronological split, for any seed.
+    #[test]
+    fn generator_invariants(seed in 0u64..10_000) {
+        let ds = SyntheticConfig::profile(DatasetProfile::MovieLens100K)
+            .scaled(0.06)
+            .generate(seed);
+        for seq in &ds.sequences {
+            prop_assert!(seq.len() >= 5);
+            // Timestamps strictly increase within a user.
+            for w in seq.events.windows(2) {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+        use delrec::data::Split;
+        let (tr, va, te) = (
+            ds.examples(Split::Train).len(),
+            ds.examples(Split::Val).len(),
+            ds.examples(Split::Test).len(),
+        );
+        let total = tr + va + te;
+        prop_assert!(tr >= total * 8 / 10 - 1);
+        prop_assert!(va.abs_diff(total / 10) <= 1);
+        // No leakage: max train ts < min test ts.
+        if tr > 0 && te > 0 {
+            let max_train = ds.examples(Split::Train).iter().map(|e| e.ts).max().unwrap();
+            let min_test = ds.examples(Split::Test).iter().map(|e| e.ts).min().unwrap();
+            prop_assert!(max_train < min_test);
+        }
+    }
+}
