@@ -1,0 +1,146 @@
+//! `batching` — throughput of the batch-first execution paths. Scores the
+//! same example stream at batch sizes {1, 8, 32} for the batched teachers
+//! (SASRec, GRU4Rec) and the MiniLm prompt scorer, reporting items/sec and
+//! the speedup over the single-example path. Writes `BENCH_batching.json`.
+//!
+//! Expect the teachers to gain the most: their per-item forward is tiny, so
+//! single-example scoring is dominated by per-tape overhead that batching
+//! amortizes (GRU4Rec additionally turns T per-step mat-vecs into [B,d]
+//! matmuls). The MiniLm prompt forward is compute-bound even at B = 1 on a
+//! single core (~115-token prompts), so its curve is flatter.
+
+use delrec_bench::{banner, write_json, CliArgs, ExperimentContext};
+use delrec_core::{LmPreset, PromptBuilder, SoftMode, TeacherKind};
+use delrec_data::synthetic::DatasetProfile;
+use delrec_data::{CandidateSampler, ItemId, Split};
+use delrec_eval::json::Json;
+use delrec_eval::report::Table;
+use delrec_lm::verbalizer;
+use delrec_tensor::{Ctx, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::Range;
+use std::time::Instant;
+
+const BATCH_SIZES: [usize; 3] = [1, 8, 32];
+
+/// Process `n` examples in chunks of `batch`, returning items/sec.
+fn measure(n: usize, batch: usize, mut run_chunk: impl FnMut(Range<usize>)) -> f64 {
+    let start = Instant::now();
+    let mut i = 0;
+    while i < n {
+        let end = (i + batch).min(n);
+        run_chunk(i..end);
+        i = end;
+    }
+    n as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Sweep the batch sizes over one scorer and emit (table cells, JSON series).
+fn sweep(n: usize, mut run_chunk: impl FnMut(Range<usize>)) -> (Vec<String>, Vec<Json>) {
+    let mut cells = Vec::new();
+    let mut series = Vec::new();
+    let mut base = f64::NAN;
+    for &b in &BATCH_SIZES {
+        let ips = measure(n, b, &mut run_chunk);
+        if b == 1 {
+            base = ips;
+        }
+        let speedup = ips / base;
+        cells.push(format!("{ips:.1} ({speedup:.2}x)"));
+        series.push(Json::obj([
+            ("batch", Json::from(b)),
+            ("items_per_sec", Json::from(ips)),
+            ("speedup_vs_b1", Json::from(speedup)),
+        ]));
+    }
+    (cells, series)
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    banner(&format!(
+        "Batching — items/sec at B = {{1, 8, 32}} (scale: {})",
+        args.scale
+    ));
+    let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, args.scale, args.seed);
+    let examples = ctx.dataset.examples(Split::Test);
+    let n = examples.len().min(64);
+    assert!(n > 0, "no test examples");
+
+    let mut table = Table::new(
+        std::iter::once("Scorer".to_string())
+            .chain(BATCH_SIZES.iter().map(|b| format!("B={b}")))
+            .collect::<Vec<_>>(),
+    );
+    let mut scorers = Vec::new();
+
+    // Teachers: one batched forward per chunk of prefixes.
+    let prefixes: Vec<&[ItemId]> = examples[..n].iter().map(|e| e.prefix.as_slice()).collect();
+    for kind in [TeacherKind::SASRec, TeacherKind::GRU4Rec] {
+        let teacher = ctx.teacher(kind);
+        let (cells, series) = sweep(n, |r| {
+            let _ = teacher.scores_batch(&prefixes[r]);
+        });
+        table.row(
+            std::iter::once(kind.name().to_string())
+                .chain(cells)
+                .collect::<Vec<_>>(),
+        );
+        scorers.push(Json::obj([
+            ("scorer", Json::from(kind.name())),
+            ("series", Json::arr(series)),
+        ]));
+    }
+
+    // MiniLm scorer: one padded mask-logits forward + batched verbalizer
+    // ranking per chunk of recommendation prompts.
+    let lm = ctx.lm(LmPreset::Large);
+    let pb = PromptBuilder::new(
+        &ctx.pipeline.vocab,
+        &ctx.pipeline.items,
+        TeacherKind::SASRec.name(),
+    );
+    let sampler = CandidateSampler::new(ctx.dataset.num_items(), 15);
+    let mut seqs = Vec::with_capacity(n);
+    let mut mask_pos = Vec::with_capacity(n);
+    let mut title_sets = Vec::with_capacity(n);
+    for (i, ex) in examples[..n].iter().enumerate() {
+        let cands = sampler.candidates(ex.target, args.seed, i);
+        let take = ex.prefix.len().min(9);
+        let prompt =
+            pb.recommendation(&ex.prefix[ex.prefix.len() - take..], &cands, SoftMode::None);
+        seqs.push(prompt.tokens);
+        mask_pos.push(prompt.mask_pos);
+        title_sets.push(ctx.pipeline.items.titles_of(&cands));
+    }
+    let (cells, series) = sweep(n, |r| {
+        let tape = Tape::new();
+        let c = Ctx::new(&tape, lm.store(), false);
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits =
+            lm.mask_logits_batch(&c, &seqs[r.clone()], None, &mask_pos[r.clone()], &mut rng);
+        let logits = tape.get(logits);
+        let refs: Vec<&[Vec<u32>]> = title_sets[r].iter().map(|t| t.as_slice()).collect();
+        let _ = verbalizer::rank_candidates_batch(&logits, &refs);
+    });
+    table.row(
+        std::iter::once("minilm".to_string())
+            .chain(cells)
+            .collect::<Vec<_>>(),
+    );
+    scorers.push(Json::obj([
+        ("scorer", Json::from("minilm")),
+        ("series", Json::arr(series)),
+    ]));
+
+    println!("{}", table.to_markdown());
+    let blob = Json::obj([
+        ("experiment", Json::from("batching")),
+        ("scale", Json::from(args.scale.to_string())),
+        ("dataset", Json::from(ctx.dataset.name.clone())),
+        ("examples", Json::from(n)),
+        ("scorers", Json::arr(scorers)),
+    ]);
+    write_json(&args.out, "BENCH_batching", &blob).expect("write results");
+}

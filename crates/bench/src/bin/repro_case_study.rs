@@ -72,8 +72,7 @@ fn main() {
     println!("### Recommendations (top 3 over the full catalog)\n");
     for (name, model) in entries {
         // Chunked: a full catalog of titles cannot fit one LM prompt.
-        let scores =
-            delrec_eval::score_candidates_chunked(model, &pick.prefix, &all_items, 14);
+        let scores = delrec_eval::score_candidates_chunked(model, &pick.prefix, &all_items, 14);
         let mut idx: Vec<usize> = (0..scores.len()).collect();
         idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
         let top: Vec<String> = idx

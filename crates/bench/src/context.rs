@@ -99,6 +99,7 @@ impl ExperimentContext {
             m: 15,
             candidate_seed: self.seed ^ 0xE7A1,
             max_examples: self.scale.eval_examples(),
+            batch_size: 16,
         }
     }
 }

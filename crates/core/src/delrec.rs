@@ -260,6 +260,35 @@ impl Ranker for DelRec {
         let logits = tape.get(logits);
         verbalizer::rank_candidates(&logits, &self.items.titles_of(candidates))
     }
+
+    fn score_candidates_batch(&self, requests: &[delrec_eval::ScoreRequest<'_>]) -> Vec<Vec<f32>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let pb = PromptBuilder::new(&self.vocab, &self.items, self.cfg.teacher.name());
+        let mut seqs = Vec::with_capacity(requests.len());
+        let mut mask_pos = Vec::with_capacity(requests.len());
+        let mut title_sets = Vec::with_capacity(requests.len());
+        for &(prefix, candidates) in requests {
+            let take = prefix.len().min(9);
+            let history = &prefix[prefix.len() - take..];
+            let prompt = pb.recommendation(history, candidates, self.soft_mode());
+            seqs.push(prompt.tokens);
+            mask_pos.push(prompt.mask_pos);
+            title_sets.push(self.items.titles_of(candidates));
+        }
+        // One padded forward for every request in the chunk.
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, self.lm.store(), false);
+        let soft_table = self.sp.as_ref().map(|s| s.var(&ctx));
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits = self
+            .lm
+            .mask_logits_batch(&ctx, &seqs, soft_table, &mask_pos, &mut rng);
+        let logits = tape.get(logits);
+        let set_refs: Vec<&[Vec<u32>]> = title_sets.iter().map(|t| t.as_slice()).collect();
+        verbalizer::rank_candidates_batch(&logits, &set_refs)
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +335,46 @@ mod tests {
         );
         assert_eq!(report.len(), 20);
         assert_eq!(report.hr(15), 1.0);
+
+        // The chunked (batched-forward) eval path must reproduce the
+        // per-example path's metrics exactly.
+        let per_example = evaluate(
+            &model,
+            &ds,
+            Split::Test,
+            &EvalConfig {
+                max_examples: Some(20),
+                batch_size: 1,
+                ..Default::default()
+            },
+        );
+        for k in [1, 5, 10, 15] {
+            assert_eq!(report.hr(k), per_example.hr(k), "HR@{k} differs");
+            assert_eq!(report.ndcg(k), per_example.ndcg(k), "NDCG@{k} differs");
+        }
+
+        // And batched candidate scores themselves stay within float noise of
+        // the single-prompt path.
+        let cands: Vec<Vec<ItemId>> = ds
+            .examples(Split::Test)
+            .iter()
+            .take(3)
+            .map(|_ex| ds.catalog.ids().take(6).collect())
+            .collect();
+        let requests: Vec<delrec_eval::ScoreRequest<'_>> = ds
+            .examples(Split::Test)
+            .iter()
+            .take(3)
+            .zip(&cands)
+            .map(|(ex, c)| (ex.prefix.as_slice(), c.as_slice()))
+            .collect();
+        let batched = model.score_candidates_batch(&requests);
+        for (&(prefix, c), row) in requests.iter().zip(&batched) {
+            let single = model.score_candidates(prefix, c);
+            for (got, want) in row.iter().zip(&single) {
+                assert!((got - want).abs() < 1e-5, "{got} vs {want}");
+            }
+        }
     }
 
     #[test]

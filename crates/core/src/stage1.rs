@@ -179,20 +179,22 @@ pub(crate) fn batch_loss(
     rng: &mut StdRng,
 ) -> delrec_tensor::Var {
     let tape = ctx.tape;
-    let mut rows = Vec::with_capacity(batch.len());
-    let mut targets = Vec::with_capacity(batch.len());
-    for item in batch {
-        let logits = lm.mask_logits(
-            ctx,
-            &item.prompt.tokens,
-            soft_table,
-            item.prompt.mask_pos,
-            rng,
-        );
-        rows.push(verbalizer::candidate_scores(tape, logits, &item.candidates));
-        targets.push(item.target_idx);
-    }
-    let scores = tape.stack_rows(&rows);
+    // One padded LM forward for the whole minibatch, one batched verbalizer
+    // reduction over its [B, V] mask logits, one cross-entropy. All DELRec
+    // training streams use fixed-size candidate sets, which the batched
+    // verbalizer requires.
+    let seqs: Vec<Vec<delrec_lm::LmToken>> = batch
+        .iter()
+        .map(|item| item.prompt.tokens.clone())
+        .collect();
+    let mask_pos: Vec<usize> = batch.iter().map(|item| item.prompt.mask_pos).collect();
+    let logits = lm.mask_logits_batch(ctx, &seqs, soft_table, &mask_pos, rng);
+    let candidate_sets: Vec<&[Vec<u32>]> = batch
+        .iter()
+        .map(|item| item.candidates.as_slice())
+        .collect();
+    let scores = verbalizer::candidate_scores_batch(tape, logits, &candidate_sets);
+    let targets: Vec<usize> = batch.iter().map(|item| item.target_idx).collect();
     tape.cross_entropy(scores, &targets)
 }
 
@@ -427,7 +429,10 @@ mod tests {
             dynamic_lambda(
                 &[1.0, 0.9],
                 &[1.0, 0.5],
-                Stage1Options { fixed_lambda: Some(0.3), ..opts }
+                Stage1Options {
+                    fixed_lambda: Some(0.3),
+                    ..opts
+                }
             ),
             0.3
         );

@@ -99,7 +99,11 @@ pub fn load_tsv_file(name: &str, path: &std::path::Path, max_prefix: usize) -> i
 /// lets a synthetic dataset be inspected, versioned, or consumed by other
 /// tooling, and makes generation externally reproducible.
 pub fn save_tsv<W: io::Write>(dataset: &Dataset, w: &mut W) -> io::Result<()> {
-    writeln!(w, "# user\titem\ttimestamp\ttitle (exported from {})", dataset.name)?;
+    writeln!(
+        w,
+        "# user\titem\ttimestamp\ttitle (exported from {})",
+        dataset.name
+    )?;
     for seq in &dataset.sequences {
         for &(item, ts) in &seq.events {
             writeln!(

@@ -34,7 +34,10 @@ impl ConfidenceInterval {
 /// deterministic in `seed`.
 pub fn bootstrap_ci(values: &[f64], level: f64, resamples: usize, seed: u64) -> ConfidenceInterval {
     assert!(!values.is_empty(), "bootstrap over an empty sample");
-    assert!((0.0..1.0).contains(&level) && level > 0.5, "level in (0.5, 1)");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.5,
+        "level in (0.5, 1)"
+    );
     assert!(resamples >= 20, "too few resamples for percentiles");
     let n = values.len();
     let estimate = values.iter().sum::<f64>() / n as f64;
@@ -49,9 +52,8 @@ pub fn bootstrap_ci(values: &[f64], level: f64, resamples: usize, seed: u64) -> 
     }
     means.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let alpha = (1.0 - level) / 2.0;
-    let idx = |q: f64| -> usize {
-        ((q * (resamples - 1) as f64).round() as usize).min(resamples - 1)
-    };
+    let idx =
+        |q: f64| -> usize { ((q * (resamples - 1) as f64).round() as usize).min(resamples - 1) };
     ConfidenceInterval {
         estimate,
         lo: means[idx(alpha)],
@@ -83,7 +85,9 @@ mod tests {
 
     #[test]
     fn wider_level_gives_wider_interval() {
-        let values: Vec<f64> = (0..100).map(|i| if i % 4 == 0 { 1.0 } else { 0.0 }).collect();
+        let values: Vec<f64> = (0..100)
+            .map(|i| if i % 4 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let narrow = bootstrap_ci(&values, 0.80, 1000, 7);
         let wide = bootstrap_ci(&values, 0.99, 1000, 7);
         assert!(wide.hi - wide.lo >= narrow.hi - narrow.lo);

@@ -12,5 +12,8 @@ pub mod ttest;
 
 pub use bootstrap::{bootstrap_ci, hr_ci, ndcg_ci, ConfidenceInterval};
 pub use metrics::RankingReport;
-pub use runner::{evaluate, score_candidates_chunked, EvalConfig, FnRanker, Ranker};
+pub use runner::{
+    evaluate, evaluate_examples, score_candidates_chunked, EvalConfig, FnRanker, Ranker,
+    ScoreRequest,
+};
 pub use ttest::{paired_t_test, TTestResult};

@@ -5,6 +5,9 @@
 use crate::metrics::RankingReport;
 use delrec_data::{CandidateSampler, Dataset, ItemId, Split};
 
+/// One history + candidate set awaiting scores (a batched-scoring request).
+pub type ScoreRequest<'a> = (&'a [ItemId], &'a [ItemId]);
+
 /// Anything that can order a candidate set given a user history.
 pub trait Ranker {
     /// Display name.
@@ -12,6 +15,18 @@ pub trait Ranker {
 
     /// One score per candidate (higher = better).
     fn score_candidates(&self, prefix: &[ItemId], candidates: &[ItemId]) -> Vec<f32>;
+
+    /// Score several `(history, candidates)` requests at once; row `i` holds
+    /// the scores for `requests[i]`. The default loops
+    /// [`Self::score_candidates`], so every ranker keeps identical semantics;
+    /// model-backed rankers override it to share one batched forward pass.
+    /// [`evaluate`] drives this method in chunks.
+    fn score_candidates_batch(&self, requests: &[ScoreRequest<'_>]) -> Vec<Vec<f32>> {
+        requests
+            .iter()
+            .map(|&(prefix, candidates)| self.score_candidates(prefix, candidates))
+            .collect()
+    }
 }
 
 /// Adapter turning a closure into a [`Ranker`] — used to wrap full-catalog
@@ -51,6 +66,10 @@ pub struct EvalConfig {
     pub candidate_seed: u64,
     /// Cap on test examples (None = all).
     pub max_examples: Option<usize>,
+    /// Examples handed to [`Ranker::score_candidates_batch`] per call. Purely
+    /// a throughput knob: metrics are identical for every value because the
+    /// protocol scores each example's candidate set independently.
+    pub batch_size: usize,
 }
 
 impl Default for EvalConfig {
@@ -59,6 +78,7 @@ impl Default for EvalConfig {
             m: 15,
             candidate_seed: 20_24,
             max_examples: None,
+            batch_size: 16,
         }
     }
 }
@@ -70,35 +90,7 @@ pub fn evaluate<R: Ranker + ?Sized>(
     split: Split,
     cfg: &EvalConfig,
 ) -> RankingReport {
-    let sampler = CandidateSampler::new(dataset.num_items(), cfg.m);
-    let examples = dataset.examples(split);
-    let take = cfg
-        .max_examples
-        .unwrap_or(examples.len())
-        .min(examples.len());
-    let mut ranks = Vec::with_capacity(take);
-    for (i, ex) in examples[..take].iter().enumerate() {
-        let candidates = sampler.candidates(ex.target, cfg.candidate_seed, i);
-        let scores = ranker.score_candidates(&ex.prefix, &candidates);
-        assert_eq!(
-            scores.len(),
-            candidates.len(),
-            "ranker returned wrong arity"
-        );
-        let pos = candidates
-            .iter()
-            .position(|&c| c == ex.target)
-            .expect("sampler always includes the positive");
-        // Rank = number of candidates scored strictly higher (ties favour
-        // earlier candidates to stay deterministic).
-        let rank = scores
-            .iter()
-            .enumerate()
-            .filter(|&(j, &s)| s > scores[pos] || (s == scores[pos] && j < pos))
-            .count();
-        ranks.push(rank);
-    }
-    RankingReport::new(ranks, cfg.m)
+    evaluate_examples(ranker, dataset.examples(split), dataset.num_items(), cfg)
 }
 
 /// Score an arbitrarily large candidate list by splitting it into chunks of
@@ -123,29 +115,60 @@ pub fn score_candidates_chunked<R: Ranker + ?Sized>(
 }
 
 /// Evaluate on an explicit example list (used by the cold-start study, which
-/// slices the test split by prefix length).
+/// slices the test split by prefix length). Examples are scored through
+/// [`Ranker::score_candidates_batch`] in chunks of `cfg.batch_size`; the
+/// rank computation is per-example, so the report is independent of how the
+/// chunking falls.
 pub fn evaluate_examples<R: Ranker + ?Sized>(
     ranker: &R,
     examples: &[delrec_data::Example],
     num_items: usize,
     cfg: &EvalConfig,
 ) -> RankingReport {
+    assert!(cfg.batch_size > 0, "batch_size must be positive");
     let sampler = CandidateSampler::new(num_items, cfg.m);
     let take = cfg
         .max_examples
         .unwrap_or(examples.len())
         .min(examples.len());
     let mut ranks = Vec::with_capacity(take);
-    for (i, ex) in examples[..take].iter().enumerate() {
-        let candidates = sampler.candidates(ex.target, cfg.candidate_seed, i);
-        let scores = ranker.score_candidates(&ex.prefix, &candidates);
-        let pos = candidates.iter().position(|&c| c == ex.target).unwrap();
-        let rank = scores
+    for (chunk_idx, chunk) in examples[..take].chunks(cfg.batch_size).enumerate() {
+        let base = chunk_idx * cfg.batch_size;
+        let candidate_sets: Vec<Vec<ItemId>> = chunk
             .iter()
             .enumerate()
-            .filter(|&(j, &s)| s > scores[pos] || (s == scores[pos] && j < pos))
-            .count();
-        ranks.push(rank);
+            .map(|(k, ex)| sampler.candidates(ex.target, cfg.candidate_seed, base + k))
+            .collect();
+        let requests: Vec<ScoreRequest<'_>> = chunk
+            .iter()
+            .zip(&candidate_sets)
+            .map(|(ex, cands)| (ex.prefix.as_slice(), cands.as_slice()))
+            .collect();
+        let score_rows = ranker.score_candidates_batch(&requests);
+        assert_eq!(
+            score_rows.len(),
+            chunk.len(),
+            "ranker returned wrong batch size"
+        );
+        for ((ex, candidates), scores) in chunk.iter().zip(&candidate_sets).zip(&score_rows) {
+            assert_eq!(
+                scores.len(),
+                candidates.len(),
+                "ranker returned wrong arity"
+            );
+            let pos = candidates
+                .iter()
+                .position(|&c| c == ex.target)
+                .expect("sampler always includes the positive");
+            // Rank = number of candidates scored strictly higher (ties favour
+            // earlier candidates to stay deterministic).
+            let rank = scores
+                .iter()
+                .enumerate()
+                .filter(|&(j, &s)| s > scores[pos] || (s == scores[pos] && j < pos))
+                .count();
+            ranks.push(rank);
+        }
     }
     RankingReport::new(ranks, cfg.m)
 }
@@ -229,6 +252,54 @@ mod tests {
         let cands: Vec<ItemId> = (0..10).map(ItemId).collect();
         let scores = score_candidates_chunked(&r, &[], &cands, 3);
         assert_eq!(scores, (0..10).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_eval_metrics_match_per_example_eval() {
+        let ds = tiny();
+        // Deterministic, history-sensitive scorer shared by both rankers.
+        fn score(p: &[ItemId], c: &[ItemId]) -> Vec<f32> {
+            let h: u32 = p
+                .iter()
+                .fold(17, |acc, i| acc.wrapping_mul(31).wrapping_add(i.0));
+            c.iter()
+                .map(|&i| (i.0.wrapping_mul(2_654_435_761).wrapping_add(h) % 1000) as f32)
+                .collect()
+        }
+        // A ranker with a real `score_candidates_batch` override, recording
+        // the largest batch it receives.
+        struct Batched(std::cell::Cell<usize>);
+        impl Ranker for Batched {
+            fn name(&self) -> &str {
+                "batched"
+            }
+            fn score_candidates(&self, p: &[ItemId], c: &[ItemId]) -> Vec<f32> {
+                score(p, c)
+            }
+            fn score_candidates_batch(&self, reqs: &[ScoreRequest<'_>]) -> Vec<Vec<f32>> {
+                self.0.set(self.0.get().max(reqs.len()));
+                reqs.iter().map(|&(p, c)| score(p, c)).collect()
+            }
+        }
+        let single = FnRanker::new("single", score);
+        let batched = Batched(std::cell::Cell::new(0));
+        let per_example = EvalConfig {
+            batch_size: 1,
+            ..Default::default()
+        };
+        let chunked = EvalConfig {
+            batch_size: 7,
+            ..Default::default()
+        };
+        let a = evaluate(&single, &ds, Split::Test, &per_example);
+        let b = evaluate(&batched, &ds, Split::Test, &chunked);
+        assert!(batched.0.get() > 1, "batched path never exercised");
+        assert_eq!(a.len(), b.len());
+        for k in [1, 5, 10, 15] {
+            assert_eq!(a.hr(k), b.hr(k), "HR@{k} differs across batch sizes");
+            assert_eq!(a.ndcg(k), b.ndcg(k), "NDCG@{k} differs across batch sizes");
+        }
+        assert_eq!(a.mrr(), b.mrr());
     }
 
     #[test]

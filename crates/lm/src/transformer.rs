@@ -196,37 +196,44 @@ impl MiniLm {
         }
     }
 
-    /// Input embeddings `[T, d]`: hard tokens from the tied table, soft
-    /// tokens from `soft_table`, plus learned positions (paper Eq. 2 — soft
-    /// prompts live directly in embedding space).
-    fn embed(&self, ctx: &Ctx<'_>, tokens: &[LmToken], soft_table: Option<Var>) -> Var {
+    /// Batched input embeddings `[B·t_max, d]` over right-padded sequences:
+    /// hard tokens from the tied table, soft tokens from `soft_table`, plus
+    /// learned positions (paper Eq. 2 — soft prompts live directly in
+    /// embedding space). Rows past a sequence's length stay exactly zero.
+    fn embed_batch(
+        &self,
+        ctx: &Ctx<'_>,
+        seqs: &[Vec<LmToken>],
+        soft_table: Option<Var>,
+        t_max: usize,
+    ) -> Var {
         let tape = ctx.tape;
-        let t = tokens.len();
-        assert!(t > 0, "empty input");
-        assert!(
-            t <= self.cfg.max_len,
-            "input length {t} exceeds max_len {}",
-            self.cfg.max_len
-        );
+        let rows = seqs.len() * t_max;
         let mut hard = Vec::new();
         let mut soft = Vec::new();
-        for (pos, tok) in tokens.iter().enumerate() {
-            match *tok {
-                LmToken::Vocab(w) => hard.push((w as usize, pos)),
-                LmToken::Soft(s) => soft.push((s, pos)),
+        let mut pos = Vec::new();
+        for (b, tokens) in seqs.iter().enumerate() {
+            for (t, tok) in tokens.iter().enumerate() {
+                let dst = b * t_max + t;
+                match *tok {
+                    LmToken::Vocab(w) => hard.push((w as usize, dst)),
+                    LmToken::Soft(s) => soft.push((s, dst)),
+                }
+                pos.push((t, dst));
             }
         }
-        let mut x = tape.scatter_rows(ctx.p(self.tok_emb), &hard, t);
+        let mut x = tape.scatter_rows(ctx.p(self.tok_emb), &hard, rows);
         if !soft.is_empty() {
             let table = soft_table.expect("input has soft tokens but no soft table given");
-            let s = tape.scatter_rows(table, &soft, t);
+            let s = tape.scatter_rows(table, &soft, rows);
             x = tape.add(x, s);
         }
-        let p = tape.slice_rows(ctx.p(self.pos_emb), 0, t);
+        let p = tape.scatter_rows(ctx.p(self.pos_emb), &pos, rows);
         tape.add(x, p)
     }
 
-    /// Hidden states `[T, d]` after the full encoder stack.
+    /// Hidden states `[T, d]` after the full encoder stack. Thin wrapper over
+    /// [`MiniLm::encode_batch`] with a batch of one.
     pub fn encode(
         &self,
         ctx: &Ctx<'_>,
@@ -234,22 +241,64 @@ impl MiniLm {
         soft_table: Option<Var>,
         rng: &mut StdRng,
     ) -> Var {
+        let (h, _) = self.encode_batch(ctx, &[tokens.to_vec()], soft_table, rng);
+        h
+    }
+
+    /// Batched hidden states over right-padded sequences.
+    ///
+    /// Returns `([B·t_max, d], t_max)` where `t_max` is the longest input
+    /// length; sequence `b`'s position `t` lives at row `b·t_max + t`.
+    /// Row-wise layers (projections, layer norm, FFN) run over the whole
+    /// flattened batch at once; attention is the only cross-row op, and its
+    /// [`delrec_tensor::Tape::softmax_masked`] valid-prefix masking gives
+    /// padded key positions exactly zero weight, so values in padded rows
+    /// never leak into valid rows. Padded rows themselves carry finite
+    /// garbage and must be ignored by the caller (e.g. gathered around).
+    pub fn encode_batch(
+        &self,
+        ctx: &Ctx<'_>,
+        seqs: &[Vec<LmToken>],
+        soft_table: Option<Var>,
+        rng: &mut StdRng,
+    ) -> (Var, usize) {
         let tape = ctx.tape;
-        let mut h = self.embed(ctx, tokens, soft_table);
+        let bsz = seqs.len();
+        assert!(bsz > 0, "empty batch");
+        let mut t_max = 0;
+        for tokens in seqs {
+            assert!(!tokens.is_empty(), "empty input");
+            assert!(
+                tokens.len() <= self.cfg.max_len,
+                "input length {} exceeds max_len {}",
+                tokens.len(),
+                self.cfg.max_len
+            );
+            t_max = t_max.max(tokens.len());
+        }
+        let rows = bsz * t_max;
+        // Per-(sequence, query-position) count of attendable key positions:
+        // the sequence's valid prefix, additionally clipped to `t + 1` for
+        // the decoder-only variant. Padded query rows get their sequence's
+        // count too — their output is garbage either way, but the count must
+        // stay in softmax_masked's 1..=t_max range.
+        let valid: Vec<usize> = seqs
+            .iter()
+            .flat_map(|tokens| {
+                let len = tokens.len();
+                (0..t_max).map(move |t| {
+                    if self.cfg.causal {
+                        (t + 1).min(len)
+                    } else {
+                        len
+                    }
+                })
+            })
+            .collect();
+        let mut h = self.embed_batch(ctx, seqs, soft_table, t_max);
         h = tape.dropout(h, self.cfg.dropout, ctx.train, rng);
         let dh = self.cfg.d_model / self.cfg.num_heads;
         let scale = 1.0 / (dh as f32).sqrt();
-        // Decoder-only variant: additive causal mask (position i sees j ≤ i).
-        let t_len = tokens.len();
-        let causal_mask = self.cfg.causal.then(|| {
-            let mut m = vec![0.0f32; t_len * t_len];
-            for i in 0..t_len {
-                for j in (i + 1)..t_len {
-                    m[i * t_len + j] = -1e9;
-                }
-            }
-            tape.constant(Tensor::new([t_len, t_len], m))
-        });
         for block in &self.blocks {
             let xin = tape.layer_norm(h, ctx.p(block.ln1_g), ctx.p(block.ln1_b));
             let mut outs_t = Vec::new();
@@ -257,15 +306,16 @@ impl MiniLm {
                 let q = tape.matmul(xin, self.proj(ctx, block.wq[hd]));
                 let k = tape.matmul(xin, self.proj(ctx, block.wk[hd]));
                 let v = tape.matmul(xin, self.proj(ctx, block.wv[hd]));
-                let kt = tape.transpose(k);
-                let scores = tape.matmul(q, kt);
-                let mut scores = tape.scale(scores, scale);
-                if let Some(mask) = causal_mask {
-                    scores = tape.add(scores, mask);
-                }
-                let attn = tape.softmax(scores);
+                let q3 = tape.reshape(q, [bsz, t_max, dh]);
+                let k3 = tape.reshape(k, [bsz, t_max, dh]);
+                let v3 = tape.reshape(v, [bsz, t_max, dh]);
+                let kt = tape.transpose(k3);
+                let scores = tape.matmul(q3, kt);
+                let scores = tape.scale(scores, scale);
+                let attn = tape.softmax_masked(scores, &valid);
                 let attn = tape.dropout(attn, self.cfg.dropout, ctx.train, rng);
-                let out = tape.matmul(attn, v);
+                let out = tape.matmul(attn, v3);
+                let out = tape.reshape(out, [rows, dh]);
                 outs_t.push(tape.transpose(out));
             }
             let concat_t = tape.concat_rows(&outs_t);
@@ -283,7 +333,26 @@ impl MiniLm {
             let f = tape.dropout(f, self.cfg.dropout, ctx.train, rng);
             h = tape.add(h, f);
         }
-        tape.layer_norm(h, ctx.p(self.ln_f_g), ctx.p(self.ln_f_b))
+        let h = tape.layer_norm(h, ctx.p(self.ln_f_g), ctx.p(self.ln_f_b));
+        (h, t_max)
+    }
+
+    /// Full-vocabulary logits at every position of every sequence:
+    /// `[B, t_max, vocab_size]`. One batched forward pass; positions past a
+    /// sequence's length hold garbage and must be masked by the caller.
+    pub fn forward_batch(
+        &self,
+        ctx: &Ctx<'_>,
+        seqs: &[Vec<LmToken>],
+        soft_table: Option<Var>,
+        rng: &mut StdRng,
+    ) -> Var {
+        let tape = ctx.tape;
+        let (h, t_max) = self.encode_batch(ctx, seqs, soft_table, rng);
+        let emb_t = tape.transpose(ctx.p(self.tok_emb));
+        let logits = tape.matmul(h, emb_t);
+        let logits = tape.add(logits, ctx.p(self.head_bias));
+        tape.reshape(logits, [seqs.len(), t_max, self.cfg.vocab_size])
     }
 
     /// MLM-head logits at several positions in one forward pass:
@@ -308,6 +377,7 @@ impl MiniLm {
 
     /// MLM-head logits (`[vocab_size]`) at `mask_pos` — the LM-head "output
     /// scores of all tokens" that the verbalizer turns into item scores.
+    /// Thin wrapper over [`MiniLm::mask_logits_batch`] with a batch of one.
     pub fn mask_logits(
         &self,
         ctx: &Ctx<'_>,
@@ -316,13 +386,36 @@ impl MiniLm {
         mask_pos: usize,
         rng: &mut StdRng,
     ) -> Var {
-        assert!(mask_pos < tokens.len(), "mask position out of range");
+        let logits = self.mask_logits_batch(ctx, &[tokens.to_vec()], soft_table, &[mask_pos], rng);
+        ctx.tape.reshape(logits, [self.cfg.vocab_size])
+    }
+
+    /// Batched mask-position logits: one `[B, vocab_size]` tensor holding,
+    /// for each sequence, the MLM-head scores at that sequence's mask slot.
+    /// The whole batch shares one encoder pass over right-padded inputs.
+    pub fn mask_logits_batch(
+        &self,
+        ctx: &Ctx<'_>,
+        seqs: &[Vec<LmToken>],
+        soft_table: Option<Var>,
+        mask_pos: &[usize],
+        rng: &mut StdRng,
+    ) -> Var {
+        assert_eq!(seqs.len(), mask_pos.len(), "one mask position per sequence");
         let tape = ctx.tape;
-        let h = self.encode(ctx, tokens, soft_table, rng);
-        let at_mask = tape.slice_rows(h, mask_pos, 1);
+        let (h, t_max) = self.encode_batch(ctx, seqs, soft_table, rng);
+        let rows: Vec<usize> = mask_pos
+            .iter()
+            .zip(seqs)
+            .enumerate()
+            .map(|(b, (&p, tokens))| {
+                assert!(p < tokens.len(), "mask position out of range");
+                b * t_max + p
+            })
+            .collect();
+        let at_mask = tape.gather_rows(h, &rows);
         let emb_t = tape.transpose(ctx.p(self.tok_emb));
         let logits = tape.matmul(at_mask, emb_t);
-        let logits = tape.reshape(logits, [self.cfg.vocab_size]);
         tape.add(logits, ctx.p(self.head_bias))
     }
 
@@ -442,14 +535,14 @@ mod tests {
             let tape = Tape::new();
             let ctx = Ctx::new(&tape, lm.store(), false);
             let mut r = rng.clone();
-            let toks = vec![
-                LmToken::Vocab(5),
-                LmToken::Vocab(1),
-                LmToken::Vocab(third),
-            ];
+            let toks = vec![LmToken::Vocab(5), LmToken::Vocab(1), LmToken::Vocab(third)];
             tape.get(lm.mask_logits(&ctx, &toks, None, 1, &mut r))
         };
-        assert_eq!(run(7).data(), run(9).data(), "causal LM must not look ahead");
+        assert_eq!(
+            run(7).data(),
+            run(9).data(),
+            "causal LM must not look ahead"
+        );
         // A bidirectional LM of the same seed *does* look ahead.
         let mut bi_cfg = MiniLmConfig::xl(50);
         bi_cfg.dropout = 0.0;
@@ -458,14 +551,72 @@ mod tests {
             let tape = Tape::new();
             let ctx = Ctx::new(&tape, bi.store(), false);
             let mut r = rng.clone();
-            let toks = vec![
-                LmToken::Vocab(5),
-                LmToken::Vocab(1),
-                LmToken::Vocab(third),
-            ];
+            let toks = vec![LmToken::Vocab(5), LmToken::Vocab(1), LmToken::Vocab(third)];
             tape.get(bi.mask_logits(&ctx, &toks, None, 1, &mut r))
         };
         assert_ne!(run_bi(7).data(), run_bi(9).data());
+    }
+
+    #[test]
+    fn batched_forward_matches_single_sequences() {
+        for causal in [false, true] {
+            let mut cfg = if causal {
+                MiniLmConfig::causal_xl(50)
+            } else {
+                MiniLmConfig::large(50)
+            };
+            cfg.dropout = 0.0;
+            let lm = MiniLm::new(cfg, 3);
+            let seqs: Vec<Vec<LmToken>> =
+                vec![toks(&[5, 6, 1, 7, 2]), toks(&[9]), toks(&[3, 3, 8])];
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, lm.store(), false);
+            let mut rng = StdRng::seed_from_u64(0);
+            let batched = tape.get(lm.forward_batch(&ctx, &seqs, None, &mut rng));
+            let t_max = 5;
+            assert_eq!(batched.shape().dim(0), 3);
+            assert_eq!(batched.shape().dim(1), t_max);
+            for (b, seq) in seqs.iter().enumerate() {
+                let positions: Vec<usize> = (0..seq.len()).collect();
+                let single = {
+                    let tape = Tape::new();
+                    let ctx = Ctx::new(&tape, lm.store(), false);
+                    let mut rng = StdRng::seed_from_u64(0);
+                    tape.get(lm.mask_logits_multi(&ctx, seq, None, &positions, &mut rng))
+                };
+                for t in 0..seq.len() {
+                    for c in 0..50 {
+                        let got = batched.data()[(b * t_max + t) * 50 + c];
+                        let want = single.data()[t * 50 + c];
+                        assert!(
+                            (got - want).abs() < 1e-5,
+                            "causal={causal} b={b} t={t} c={c}: {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_mask_logits_match_single_calls() {
+        let lm = tiny_lm();
+        let seqs: Vec<Vec<LmToken>> = vec![toks(&[5, 6, 1, 7]), toks(&[2, 9]), toks(&[4, 4, 4])];
+        let mask_pos = [2usize, 0, 1];
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, lm.store(), false);
+        let mut rng = StdRng::seed_from_u64(0);
+        let batched = tape.get(lm.mask_logits_batch(&ctx, &seqs, None, &mask_pos, &mut rng));
+        for (b, (seq, &p)) in seqs.iter().zip(&mask_pos).enumerate() {
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, lm.store(), false);
+            let mut rng = StdRng::seed_from_u64(0);
+            let single = tape.get(lm.mask_logits(&ctx, seq, None, p, &mut rng));
+            for c in 0..50 {
+                let (got, want) = (batched.row(b)[c], single.data()[c]);
+                assert!((got - want).abs() < 1e-5, "b={b} c={c}: {got} vs {want}");
+            }
+        }
     }
 
     #[test]

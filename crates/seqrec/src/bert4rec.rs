@@ -153,6 +153,10 @@ impl SequentialRecommender for Bert4Rec {
     fn scores(&self, prefix: &[ItemId]) -> Vec<f32> {
         self.scores_via_forward(prefix)
     }
+
+    fn scores_batch(&self, prefixes: &[&[ItemId]]) -> Vec<Vec<f32>> {
+        self.scores_batch_via_forward(prefixes)
+    }
 }
 
 impl NeuralSeqModel for Bert4Rec {
@@ -165,24 +169,56 @@ impl NeuralSeqModel for Bert4Rec {
     }
 
     fn logits(&self, ctx: &Ctx<'_>, prefix: &[ItemId], rng: &mut StdRng) -> Var {
-        assert!(!prefix.is_empty(), "empty prefix");
+        let logits = self.logits_batch(ctx, &[prefix], rng);
+        ctx.tape.reshape(logits, [self.num_items])
+    }
+
+    fn logits_batch(&self, ctx: &Ctx<'_>, prefixes: &[&[ItemId]], rng: &mut StdRng) -> Var {
+        assert!(!prefixes.is_empty(), "empty batch");
         let tape = ctx.tape;
         let l = self.cfg.seq_len;
-        let take = prefix.len().min(l - 1);
-        let ids: Vec<usize> = prefix[prefix.len() - take..]
+        let id_seqs: Vec<Vec<usize>> = prefixes
             .iter()
-            .map(|i| i.index())
+            .map(|prefix| {
+                assert!(!prefix.is_empty(), "empty prefix");
+                let take = prefix.len().min(l - 1);
+                prefix[prefix.len() - take..]
+                    .iter()
+                    .map(|i| i.index())
+                    .collect()
+            })
             .collect();
-        let t = ids.len() + 1; // + mask slot
-        let hist = tape.gather_rows(ctx.p(self.emb), &ids);
-        let mask_row = ctx.p(self.mask_emb);
-        let x = tape.concat_rows(&[hist, mask_row]);
-        let pos_ids: Vec<usize> = (l - t..l).collect();
-        let p = tape.gather_rows(ctx.p(self.pos), &pos_ids);
+        // Per-sequence length *including* the trailing mask slot.
+        let lens: Vec<usize> = id_seqs.iter().map(|s| s.len() + 1).collect();
+        let t_max = *lens.iter().max().unwrap();
+        let bsz = id_seqs.len();
+        let rows = bsz * t_max;
+        let d = self.cfg.embed_dim;
+
+        // History embeddings leave each sequence's mask slot zero; the mask
+        // embedding is scattered into exactly that row.
+        let hist = tape.embedding_padded(ctx.p(self.emb), &id_seqs, t_max);
+        let hist = tape.reshape(hist, [rows, d]);
+        let mask_slots: Vec<(usize, usize)> = lens
+            .iter()
+            .enumerate()
+            .map(|(b, &t)| (0, b * t_max + t - 1))
+            .collect();
+        let mask = tape.scatter_rows(ctx.p(self.mask_emb), &mask_slots, rows);
+        let x = tape.add(hist, mask);
+        let pos_seqs: Vec<Vec<usize>> = lens.iter().map(|&t| (l - t..l).collect()).collect();
+        let p = tape.embedding_padded(ctx.p(self.pos), &pos_seqs, t_max);
+        let p = tape.reshape(p, [rows, d]);
         let mut h = tape.add(x, p);
         h = tape.dropout(h, self.cfg.dropout, ctx.train, rng);
 
-        let dh = self.cfg.embed_dim / self.cfg.num_heads;
+        // Bidirectional within each sequence's valid prefix; padded key
+        // positions get zero attention weight.
+        let valid: Vec<usize> = lens
+            .iter()
+            .flat_map(|&len| (0..t_max).map(move |_| len))
+            .collect();
+        let dh = d / self.cfg.num_heads;
         let scale = 1.0 / (dh as f32).sqrt();
         for block in &self.blocks {
             let xin = tape.layer_norm(h, ctx.p(block.ln1_g), ctx.p(block.ln1_b));
@@ -191,13 +227,16 @@ impl NeuralSeqModel for Bert4Rec {
                 let q = tape.matmul(xin, ctx.p(block.wq[hd]));
                 let k = tape.matmul(xin, ctx.p(block.wk[hd]));
                 let v = tape.matmul(xin, ctx.p(block.wv[hd]));
-                let kt = tape.transpose(k);
-                let scores = tape.matmul(q, kt);
+                let q3 = tape.reshape(q, [bsz, t_max, dh]);
+                let k3 = tape.reshape(k, [bsz, t_max, dh]);
+                let v3 = tape.reshape(v, [bsz, t_max, dh]);
+                let kt = tape.transpose(k3);
+                let scores = tape.matmul(q3, kt);
                 let scores = tape.scale(scores, scale);
-                // Bidirectional: no causal mask.
-                let attn = tape.softmax(scores);
+                let attn = tape.softmax_masked(scores, &valid);
                 let attn = tape.dropout(attn, self.cfg.dropout, ctx.train, rng);
-                let out = tape.matmul(attn, v);
+                let out = tape.matmul(attn, v3);
+                let out = tape.reshape(out, [rows, dh]);
                 outs_t.push(tape.transpose(out));
             }
             let concat_t = tape.concat_rows(&outs_t);
@@ -216,10 +255,14 @@ impl NeuralSeqModel for Bert4Rec {
             h = tape.add(h, f);
         }
         let h = tape.layer_norm(h, ctx.p(self.ln_f_g), ctx.p(self.ln_f_b));
-        let at_mask = tape.slice_rows(h, t - 1, 1);
+        let mask_rows: Vec<usize> = lens
+            .iter()
+            .enumerate()
+            .map(|(b, &t)| b * t_max + t - 1)
+            .collect();
+        let at_mask = tape.gather_rows(h, &mask_rows); // [B, d]
         let emb_t = tape.transpose(ctx.p(self.emb));
-        let logits = tape.matmul(at_mask, emb_t);
-        tape.reshape(logits, [self.num_items])
+        tape.matmul(at_mask, emb_t) // [B, num_items]
     }
 
     fn num_items(&self) -> usize {
@@ -258,6 +301,24 @@ mod tests {
         m.set_item_embeddings(init::normal([20, 32], 0.05, &mut rng));
         let after = m.scores(&prefix(&[0, 5, 7]));
         assert_ne!(before, after);
+    }
+
+    #[test]
+    fn batched_scores_match_single_scores() {
+        let m = Bert4Rec::new(20, eval_cfg(), 1);
+        let prefixes: Vec<Vec<ItemId>> = vec![
+            prefix(&[0, 5, 7, 2]),
+            prefix(&[3]),
+            prefix(&(0..15).collect::<Vec<u32>>()), // truncated to seq_len − 1
+        ];
+        let refs: Vec<&[ItemId]> = prefixes.iter().map(|p| p.as_slice()).collect();
+        let batched = m.scores_batch(&refs);
+        for (b, p) in prefixes.iter().enumerate() {
+            let single = m.scores(p);
+            for (i, (got, want)) in batched[b].iter().zip(&single).enumerate() {
+                assert!((got - want).abs() < 1e-5, "b={b} item={i}: {got} vs {want}");
+            }
+        }
     }
 
     #[test]

@@ -49,12 +49,22 @@ impl Fossil {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
         let r = cfg.rank;
-        let sim_src = store.add("fossil.sim_src", init::normal([num_items, r], 0.05, &mut rng));
-        let sim_dst = store.add("fossil.sim_dst", init::normal([num_items, r], 0.05, &mut rng));
-        let markov_src =
-            store.add("fossil.markov_src", init::normal([num_items, r], 0.05, &mut rng));
-        let markov_dst =
-            store.add("fossil.markov_dst", init::normal([num_items, r], 0.05, &mut rng));
+        let sim_src = store.add(
+            "fossil.sim_src",
+            init::normal([num_items, r], 0.05, &mut rng),
+        );
+        let sim_dst = store.add(
+            "fossil.sim_dst",
+            init::normal([num_items, r], 0.05, &mut rng),
+        );
+        let markov_src = store.add(
+            "fossil.markov_src",
+            init::normal([num_items, r], 0.05, &mut rng),
+        );
+        let markov_dst = store.add(
+            "fossil.markov_dst",
+            init::normal([num_items, r], 0.05, &mut rng),
+        );
         // Recent lags start more influential, like Fossil's decaying weights.
         let eta_init: Vec<f32> = (0..cfg.order).map(|k| 0.5f32.powi(k as i32)).collect();
         let eta = store.add("fossil.eta", Tensor::new([cfg.order, 1], eta_init));
@@ -160,7 +170,14 @@ mod tests {
 
     #[test]
     fn short_histories_use_available_lags() {
-        let m = Fossil::new(20, FossilConfig { order: 3, ..Default::default() }, 1);
+        let m = Fossil::new(
+            20,
+            FossilConfig {
+                order: 3,
+                ..Default::default()
+            },
+            1,
+        );
         // A single-item history must still work (1 lag available).
         let s = m.scores(&prefix(&[5]));
         assert_eq!(s.len(), 20);
@@ -193,6 +210,9 @@ mod tests {
                 ..TrainConfig::adam(3, 5e-3)
             },
         );
-        assert!(losses.last().unwrap() < losses.first().unwrap(), "{losses:?}");
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "{losses:?}"
+        );
     }
 }

@@ -26,7 +26,10 @@ pub struct FpmcConfig {
 
 impl Default for FpmcConfig {
     fn default() -> Self {
-        FpmcConfig { rank: 24, window: 2 }
+        FpmcConfig {
+            rank: 24,
+            window: 2,
+        }
     }
 }
 
@@ -48,8 +51,14 @@ impl Fpmc {
     pub fn new(num_items: usize, cfg: FpmcConfig, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
-        let src = store.add("fpmc.src", init::normal([num_items, cfg.rank], 0.05, &mut rng));
-        let dst = store.add("fpmc.dst", init::normal([num_items, cfg.rank], 0.05, &mut rng));
+        let src = store.add(
+            "fpmc.src",
+            init::normal([num_items, cfg.rank], 0.05, &mut rng),
+        );
+        let dst = store.add(
+            "fpmc.dst",
+            init::normal([num_items, cfg.rank], 0.05, &mut rng),
+        );
         let bias = store.add("fpmc.bias", Tensor::zeros([num_items]));
         Fpmc {
             store,
@@ -130,7 +139,14 @@ mod tests {
 
     #[test]
     fn only_the_window_matters() {
-        let m = Fpmc::new(20, FpmcConfig { window: 2, ..Default::default() }, 1);
+        let m = Fpmc::new(
+            20,
+            FpmcConfig {
+                window: 2,
+                ..Default::default()
+            },
+            1,
+        );
         // Same last-2 window, different earlier history → identical scores.
         assert_eq!(
             m.scores(&prefix(&[9, 4, 5])),

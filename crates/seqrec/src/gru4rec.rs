@@ -85,13 +85,26 @@ impl Gru4Rec {
         }
     }
 
-    /// Final hidden state (`[1, hidden]`) for a prefix.
-    fn final_hidden(&self, ctx: &Ctx<'_>, prefix: &[ItemId]) -> Var {
+    /// Final hidden states (`[B, hidden]`) for a batch of prefixes: one
+    /// time-major GRU sweep where every step's gate matmuls cover the whole
+    /// batch. Sequences shorter than the longest are frozen once exhausted —
+    /// their update is multiplied by a zero row — so row `b` equals the
+    /// single-sequence recurrence over `prefixes[b]` exactly.
+    fn final_hidden_batch(&self, ctx: &Ctx<'_>, prefixes: &[&[ItemId]]) -> Var {
         let tape = ctx.tape;
         let emb = ctx.p(self.emb);
-        let mut h = tape.constant(Tensor::zeros([1, self.cfg.hidden_dim]));
-        for item in prefix {
-            let x = tape.gather_rows(emb, &[item.index()]);
+        let bsz = prefixes.len();
+        let hd = self.cfg.hidden_dim;
+        let t_max = prefixes.iter().map(|p| p.len()).max().unwrap();
+        let mut h = tape.constant(Tensor::zeros([bsz, hd]));
+        for t in 0..t_max {
+            // Exhausted sequences contribute a dummy row 0 lookup; their
+            // update is zeroed below, so the value never matters.
+            let ids: Vec<usize> = prefixes
+                .iter()
+                .map(|p| if t < p.len() { p[t].index() } else { 0 })
+                .collect();
+            let x = tape.gather_rows(emb, &ids); // [B, d]
             let z = {
                 let a = tape.matmul(x, ctx.p(self.wz));
                 let b = tape.matmul(h, ctx.p(self.uz));
@@ -116,7 +129,17 @@ impl Gru4Rec {
             };
             // h ← (1 − z) ⊙ h + z ⊙ hc  ≡  h + z ⊙ (hc − h)
             let diff = tape.sub(hc, h);
-            let step = tape.mul(z, diff);
+            let mut step = tape.mul(z, diff);
+            if prefixes.iter().any(|p| t >= p.len()) {
+                let mut mask = vec![0.0f32; bsz * hd];
+                for (b, p) in prefixes.iter().enumerate() {
+                    if t < p.len() {
+                        mask[b * hd..(b + 1) * hd].fill(1.0);
+                    }
+                }
+                let mask = tape.constant(Tensor::new([bsz, hd], mask));
+                step = tape.mul(step, mask);
+            }
             h = tape.add(h, step);
         }
         h
@@ -130,6 +153,10 @@ impl SequentialRecommender for Gru4Rec {
 
     fn scores(&self, prefix: &[ItemId]) -> Vec<f32> {
         self.scores_via_forward(prefix)
+    }
+
+    fn scores_batch(&self, prefixes: &[&[ItemId]]) -> Vec<Vec<f32>> {
+        self.scores_batch_via_forward(prefixes)
     }
 
     fn item_embeddings(&self) -> Option<Vec<Vec<f32>>> {
@@ -148,14 +175,21 @@ impl NeuralSeqModel for Gru4Rec {
     }
 
     fn logits(&self, ctx: &Ctx<'_>, prefix: &[ItemId], rng: &mut StdRng) -> Var {
-        assert!(!prefix.is_empty(), "empty prefix");
+        let logits = self.logits_batch(ctx, &[prefix], rng);
+        ctx.tape.reshape(logits, [self.num_items])
+    }
+
+    fn logits_batch(&self, ctx: &Ctx<'_>, prefixes: &[&[ItemId]], rng: &mut StdRng) -> Var {
+        assert!(!prefixes.is_empty(), "empty batch");
+        for p in prefixes {
+            assert!(!p.is_empty(), "empty prefix");
+        }
         let tape = ctx.tape;
-        let h = self.final_hidden(ctx, prefix);
+        let h = self.final_hidden_batch(ctx, prefixes); // [B, hidden]
         let o = tape.matmul(h, ctx.p(self.wo));
         let o = tape.dropout(o, self.cfg.dropout, ctx.train, rng);
         let emb_t = tape.transpose(ctx.p(self.emb));
-        let logits = tape.matmul(o, emb_t);
-        tape.reshape(logits, [self.num_items])
+        tape.matmul(o, emb_t) // [B, num_items]
     }
 
     fn num_items(&self) -> usize {
@@ -186,6 +220,27 @@ mod tests {
         let a = m.scores(&prefix(&[1, 2, 3]));
         let b = m.scores(&prefix(&[3, 2, 1]));
         assert_ne!(a, b, "a recurrent model must be order-sensitive");
+    }
+
+    #[test]
+    fn batched_scores_match_single_scores() {
+        let m = Gru4Rec::new(
+            20,
+            Gru4RecConfig {
+                dropout: 0.0,
+                ..Default::default()
+            },
+            1,
+        );
+        let prefixes: Vec<Vec<ItemId>> = vec![prefix(&[1, 2, 3, 4]), prefix(&[5]), prefix(&[6, 7])];
+        let refs: Vec<&[ItemId]> = prefixes.iter().map(|p| p.as_slice()).collect();
+        let batched = m.scores_batch(&refs);
+        for (b, p) in prefixes.iter().enumerate() {
+            let single = m.scores(p);
+            for (i, (got, want)) in batched[b].iter().zip(&single).enumerate() {
+                assert!((got - want).abs() < 1e-5, "b={b} item={i}: {got} vs {want}");
+            }
+        }
     }
 
     #[test]

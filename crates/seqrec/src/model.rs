@@ -14,6 +14,13 @@ pub trait SequentialRecommender {
     /// Unnormalized preference scores over all items (index = item id).
     fn scores(&self, prefix: &[ItemId]) -> Vec<f32>;
 
+    /// Score a batch of histories at once. The default loops [`Self::scores`];
+    /// neural models override it to share one padded forward pass across the
+    /// batch (see [`NeuralSeqModel::scores_batch_via_forward`]).
+    fn scores_batch(&self, prefixes: &[&[ItemId]]) -> Vec<Vec<f32>> {
+        prefixes.iter().map(|p| self.scores(p)).collect()
+    }
+
     /// Convenience: ids of the `k` highest-scoring items, best first.
     fn recommend(&self, prefix: &[ItemId], k: usize) -> Vec<ItemId> {
         top_k(&self.scores(prefix), k)
@@ -39,6 +46,18 @@ pub trait NeuralSeqModel: SequentialRecommender {
     /// `rng` drives dropout when `ctx.train` is set.
     fn logits(&self, ctx: &Ctx<'_>, prefix: &[ItemId], rng: &mut StdRng) -> Var;
 
+    /// Batched forward pass: `[B, num_items]` logits, one row per prefix.
+    ///
+    /// The default stacks per-example [`Self::logits`] calls onto the same
+    /// tape; models with a padded batch kernel (SASRec, GRU4Rec, BERT4Rec)
+    /// override it so the whole batch shares each layer's matmuls. Training
+    /// and batched scoring both route through this method.
+    fn logits_batch(&self, ctx: &Ctx<'_>, prefixes: &[&[ItemId]], rng: &mut StdRng) -> Var {
+        assert!(!prefixes.is_empty(), "empty batch");
+        let rows: Vec<Var> = prefixes.iter().map(|p| self.logits(ctx, p, rng)).collect();
+        ctx.tape.stack_rows(&rows)
+    }
+
     /// Number of catalog items (logit dimensionality).
     fn num_items(&self) -> usize;
 
@@ -50,6 +69,18 @@ pub trait NeuralSeqModel: SequentialRecommender {
         let mut rng = rand::SeedableRng::seed_from_u64(0);
         let logits = self.logits(&ctx, prefix, &mut rng);
         tape.get(logits).into_data()
+    }
+
+    /// Default [`SequentialRecommender::scores_batch`] implementation for
+    /// neural models: one eval-mode [`Self::logits_batch`] pass shared by
+    /// every prefix.
+    fn scores_batch_via_forward(&self, prefixes: &[&[ItemId]]) -> Vec<Vec<f32>> {
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, self.store(), false);
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let logits = self.logits_batch(&ctx, prefixes, &mut rng);
+        let v = tape.get(logits);
+        (0..prefixes.len()).map(|b| v.row(b).to_vec()).collect()
     }
 }
 

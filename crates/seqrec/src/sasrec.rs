@@ -125,55 +125,77 @@ impl SasRec {
         }
     }
 
-    /// Hidden states `[T, d]` after all blocks for the last `T ≤ seq_len`
-    /// prefix items.
-    fn encode(&self, ctx: &Ctx<'_>, prefix: &[ItemId], rng: &mut StdRng) -> Var {
+    /// Batched hidden states over right-padded histories: `[B·t_max, d]`
+    /// after all blocks, plus each history's trimmed length and `t_max`.
+    /// Sequence `b`'s step `t` lives at row `b·t_max + t`; rows past a
+    /// sequence's length are garbage kept out of valid rows by the
+    /// valid-prefix attention mask.
+    fn encode_batch(
+        &self,
+        ctx: &Ctx<'_>,
+        prefixes: &[&[ItemId]],
+        rng: &mut StdRng,
+    ) -> (Var, Vec<usize>, usize) {
         let tape = ctx.tape;
         let l = self.cfg.seq_len;
-        let take = prefix.len().min(l);
-        let ids: Vec<usize> = prefix[prefix.len() - take..]
+        let id_seqs: Vec<Vec<usize>> = prefixes
             .iter()
-            .map(|i| i.index())
+            .map(|prefix| {
+                assert!(!prefix.is_empty(), "empty prefix");
+                let take = prefix.len().min(l);
+                prefix[prefix.len() - take..]
+                    .iter()
+                    .map(|i| i.index())
+                    .collect()
+            })
             .collect();
-        let t = ids.len();
-        let x = tape.gather_rows(ctx.p(self.emb), &ids);
+        let lens: Vec<usize> = id_seqs.iter().map(|s| s.len()).collect();
+        let t_max = *lens.iter().max().unwrap();
+        let bsz = id_seqs.len();
+        let rows = bsz * t_max;
+        let d = self.cfg.embed_dim;
+
+        let x = tape.embedding_padded(ctx.p(self.emb), &id_seqs, t_max);
+        let x = tape.reshape(x, [rows, d]);
         // Align positions to the *end* of the position table so "most recent"
         // is always the same position regardless of prefix length.
-        let pos_ids: Vec<usize> = (l - t..l).collect();
-        let p = tape.gather_rows(ctx.p(self.pos), &pos_ids);
+        let pos_seqs: Vec<Vec<usize>> = lens.iter().map(|&t| (l - t..l).collect()).collect();
+        let p = tape.embedding_padded(ctx.p(self.pos), &pos_seqs, t_max);
+        let p = tape.reshape(p, [rows, d]);
         let mut h = tape.add(x, p);
         h = tape.dropout(h, self.cfg.dropout, ctx.train, rng);
 
-        // Additive causal mask: position i attends to j ≤ i.
-        let mut mask = vec![0.0f32; t * t];
-        for i in 0..t {
-            for j in (i + 1)..t {
-                mask[i * t + j] = -1e9;
-            }
-        }
-        let mask = tape.constant(Tensor::new([t, t], mask));
-        let dh = self.cfg.embed_dim / self.cfg.num_heads;
+        // Causal + padding mask as a valid-prefix count per query row:
+        // position t attends to j ≤ t, clipped to the sequence's length.
+        let valid: Vec<usize> = lens
+            .iter()
+            .flat_map(|&len| (0..t_max).map(move |t| (t + 1).min(len)))
+            .collect();
+        let dh = d / self.cfg.num_heads;
         let scale = 1.0 / (dh as f32).sqrt();
 
         for block in &self.blocks {
             let xin = tape.layer_norm(h, ctx.p(block.ln1_g), ctx.p(block.ln1_b));
-            // Heads → [dh, T] slices concatenated into [d, T], then back.
+            // Heads → [dh, B·T] slices concatenated into [d, B·T], then back.
             let mut head_outs_t = Vec::with_capacity(block.heads.len());
             for head in &block.heads {
                 let q = tape.matmul(xin, ctx.p(head.wq));
                 let k = tape.matmul(xin, ctx.p(head.wk));
                 let v = tape.matmul(xin, ctx.p(head.wv));
-                let kt = tape.transpose(k);
-                let scores = tape.matmul(q, kt);
+                let q3 = tape.reshape(q, [bsz, t_max, dh]);
+                let k3 = tape.reshape(k, [bsz, t_max, dh]);
+                let v3 = tape.reshape(v, [bsz, t_max, dh]);
+                let kt = tape.transpose(k3);
+                let scores = tape.matmul(q3, kt); // [B, T, T]
                 let scores = tape.scale(scores, scale);
-                let scores = tape.add(scores, mask);
-                let attn = tape.softmax(scores);
+                let attn = tape.softmax_masked(scores, &valid);
                 let attn = tape.dropout(attn, self.cfg.dropout, ctx.train, rng);
-                let out = tape.matmul(attn, v); // [T, dh]
-                head_outs_t.push(tape.transpose(out)); // [dh, T]
+                let out = tape.matmul(attn, v3); // [B, T, dh]
+                let out = tape.reshape(out, [rows, dh]);
+                head_outs_t.push(tape.transpose(out)); // [dh, B·T]
             }
-            let concat_t = tape.concat_rows(&head_outs_t); // [d, T]
-            let attn_out = tape.transpose(concat_t); // [T, d]
+            let concat_t = tape.concat_rows(&head_outs_t); // [d, B·T]
+            let attn_out = tape.transpose(concat_t); // [B·T, d]
             let attn_out = tape.matmul(attn_out, ctx.p(block.wo));
             let attn_out = tape.dropout(attn_out, self.cfg.dropout, ctx.train, rng);
             h = tape.add(h, attn_out);
@@ -187,7 +209,8 @@ impl SasRec {
             let f = tape.dropout(f, self.cfg.dropout, ctx.train, rng);
             h = tape.add(h, f);
         }
-        tape.layer_norm(h, ctx.p(self.ln_f_g), ctx.p(self.ln_f_b))
+        let h = tape.layer_norm(h, ctx.p(self.ln_f_g), ctx.p(self.ln_f_b));
+        (h, lens, t_max)
     }
 }
 
@@ -198,6 +221,10 @@ impl SequentialRecommender for SasRec {
 
     fn scores(&self, prefix: &[ItemId]) -> Vec<f32> {
         self.scores_via_forward(prefix)
+    }
+
+    fn scores_batch(&self, prefixes: &[&[ItemId]]) -> Vec<Vec<f32>> {
+        self.scores_batch_via_forward(prefixes)
     }
 
     fn item_embeddings(&self) -> Option<Vec<Vec<f32>>> {
@@ -216,14 +243,23 @@ impl NeuralSeqModel for SasRec {
     }
 
     fn logits(&self, ctx: &Ctx<'_>, prefix: &[ItemId], rng: &mut StdRng) -> Var {
-        assert!(!prefix.is_empty(), "empty prefix");
+        let logits = self.logits_batch(ctx, &[prefix], rng);
+        ctx.tape.reshape(logits, [self.num_items])
+    }
+
+    fn logits_batch(&self, ctx: &Ctx<'_>, prefixes: &[&[ItemId]], rng: &mut StdRng) -> Var {
+        assert!(!prefixes.is_empty(), "empty batch");
         let tape = ctx.tape;
-        let h = self.encode(ctx, prefix, rng);
-        let t = prefix.len().min(self.cfg.seq_len);
-        let last = tape.slice_rows(h, t - 1, 1); // [1, d]
+        let (h, lens, t_max) = self.encode_batch(ctx, prefixes, rng);
+        // Each sequence's representation is its *last valid* row.
+        let last_rows: Vec<usize> = lens
+            .iter()
+            .enumerate()
+            .map(|(b, &t)| b * t_max + t - 1)
+            .collect();
+        let last = tape.gather_rows(h, &last_rows); // [B, d]
         let emb_t = tape.transpose(ctx.p(self.emb));
-        let logits = tape.matmul(last, emb_t);
-        tape.reshape(logits, [self.num_items])
+        tape.matmul(last, emb_t) // [B, num_items]
     }
 
     fn num_items(&self) -> usize {
@@ -276,6 +312,25 @@ mod tests {
         let long: Vec<u32> = (0..20).collect();
         let tail: Vec<u32> = long[20 - 9..].to_vec();
         assert_eq!(m.scores(&prefix(&long)), m.scores(&prefix(&tail)));
+    }
+
+    #[test]
+    fn batched_scores_match_single_scores() {
+        let m = SasRec::new(25, eval_cfg(), 3);
+        let prefixes: Vec<Vec<ItemId>> = vec![
+            prefix(&[1, 2, 3, 4, 5, 6]),
+            prefix(&[9]),
+            prefix(&[7, 8, 7]),
+            prefix(&(0..20).collect::<Vec<u32>>()), // truncated to seq_len
+        ];
+        let refs: Vec<&[ItemId]> = prefixes.iter().map(|p| p.as_slice()).collect();
+        let batched = m.scores_batch(&refs);
+        for (b, p) in prefixes.iter().enumerate() {
+            let single = m.scores(p);
+            for (i, (got, want)) in batched[b].iter().zip(&single).enumerate() {
+                assert!((got - want).abs() < 1e-5, "b={b} item={i}: {got} vs {want}");
+            }
+        }
     }
 
     #[test]

@@ -104,14 +104,17 @@ pub fn train<M: NeuralSeqModel>(
             let (loss_value, mut updates) = {
                 let tape = Tape::new();
                 let ctx = Ctx::new(&tape, model.store(), true);
-                let mut rows = Vec::with_capacity(chunk.len());
-                let mut targets = Vec::with_capacity(chunk.len());
-                for &ei in chunk {
-                    let ex = &examples[ei];
-                    rows.push(model.logits(&ctx, &ex.prefix, &mut rng));
-                    targets.push(ex.target.index());
-                }
-                let logits = tape.stack_rows(&rows);
+                let prefixes: Vec<&[delrec_data::ItemId]> = chunk
+                    .iter()
+                    .map(|&ei| examples[ei].prefix.as_slice())
+                    .collect();
+                let targets: Vec<usize> = chunk
+                    .iter()
+                    .map(|&ei| examples[ei].target.index())
+                    .collect();
+                // One padded forward for the whole minibatch; the loss is a
+                // single cross-entropy over its [B, num_items] logits.
+                let logits = model.logits_batch(&ctx, &prefixes, &mut rng);
                 let loss = tape.cross_entropy(logits, &targets);
                 let loss_value = tape.get(loss).item();
                 let mut grads = tape.backward(loss);

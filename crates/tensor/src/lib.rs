@@ -31,8 +31,8 @@ pub mod tensor;
 
 mod ops;
 
-pub use ops::matmul_raw;
+pub use ops::{matmul_raw, matmul_raw_sparse};
 pub use params::{Ctx, ParamId, ParamStore};
 pub use shape::Shape;
-pub use tape::{Gradients, Tape, Var};
+pub use tape::{BufferPool, BwdCtx, Gradients, Tape, Var};
 pub use tensor::Tensor;

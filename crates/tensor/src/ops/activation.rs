@@ -25,19 +25,23 @@ impl Tape {
         // Derivative as a function of (input, output).
         bwd: impl Fn(f32, f32) -> f32 + 'static,
     ) -> Var {
-        let va = self.get(a);
-        let out: Vec<f32> = va.data().iter().map(|&x| fwd(x)).collect();
-        let out_t = Tensor::new(va.shape().clone(), out.clone());
+        let (shape, out) = {
+            let va = self.value(a);
+            let mut out = self.alloc(va.numel());
+            for (o, &x) in out.iter_mut().zip(va.data()) {
+                *o = fwd(x);
+            }
+            (va.shape().clone(), out)
+        };
         self.push(
-            out_t,
+            Tensor::new(shape, out),
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
-                let gr: Vec<f32> = g
-                    .data()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &gv)| gv * bwd(va.data()[i], out[i]))
-                    .collect();
+            Some(Box::new(move |ctx| {
+                let (va, y, g) = (ctx.value(a), ctx.out(), ctx.grad());
+                let mut gr = ctx.alloc(va.numel());
+                for (i, (o, &gv)) in gr.iter_mut().zip(g.data()).enumerate() {
+                    *o = gv * bwd(va.data()[i], y.data()[i]);
+                }
                 vec![Tensor::new(va.shape().clone(), gr)]
             })),
         )

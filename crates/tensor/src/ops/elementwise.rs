@@ -32,16 +32,6 @@ fn classify(a: &Shape, b: &Shape) -> Broadcast {
     }
 }
 
-/// Sum `grad` (shaped like the left operand) down to `b_shape` (a suffix).
-fn reduce_to_suffix(grad: &Tensor, b_shape: &Shape) -> Tensor {
-    let n = b_shape.numel();
-    let mut out = vec![0.0f32; n];
-    for (i, &g) in grad.data().iter().enumerate() {
-        out[i % n] += g;
-    }
-    Tensor::new(b_shape.clone(), out)
-}
-
 impl Tape {
     fn binary(
         &self,
@@ -51,39 +41,52 @@ impl Tape {
         dfa: impl Fn(f32, f32) -> f32 + 'static,
         dfb: impl Fn(f32, f32) -> f32 + 'static,
     ) -> Var {
-        let (va, vb) = (self.get(a), self.get(b));
-        let mode = classify(va.shape(), vb.shape());
-        let n = vb.numel();
-        let out: Vec<f32> = va
-            .data()
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| fwd(x, vb.data()[i % n]))
-            .collect();
-        let out = Tensor::new(va.shape().clone(), out);
-        let b_shape = vb.shape().clone();
+        let (shape, out) = {
+            let (va, vb) = (self.value(a), self.value(b));
+            let mode = classify(va.shape(), vb.shape());
+            debug_assert!(matches!(
+                mode,
+                Broadcast::Exact | Broadcast::Scalar | Broadcast::Suffix
+            ));
+            let n = vb.numel();
+            let mut out = self.alloc(va.numel());
+            for (i, (o, &x)) in out.iter_mut().zip(va.data()).enumerate() {
+                *o = fwd(x, vb.data()[i % n]);
+            }
+            (va.shape().clone(), out)
+        };
         self.push(
-            out,
+            Tensor::new(shape, out),
             vec![a.id, b.id],
-            Some(Box::new(move |g: &Tensor| {
-                let ga: Vec<f32> = g
-                    .data()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &gv)| gv * dfa(va.data()[i], vb.data()[i % n]))
-                    .collect();
-                let gb_full: Vec<f32> = g
-                    .data()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &gv)| gv * dfb(va.data()[i], vb.data()[i % n]))
-                    .collect();
-                let gb_full = Tensor::new(va.shape().clone(), gb_full);
+            Some(Box::new(move |ctx| {
+                let (va, vb, g) = (ctx.value(a), ctx.value(b), ctx.grad());
+                let mode = classify(va.shape(), vb.shape());
+                let n = vb.numel();
+                let mut ga = ctx.alloc(va.numel());
+                for (i, (o, &gv)) in ga.iter_mut().zip(g.data()).enumerate() {
+                    *o = gv * dfa(va.data()[i], vb.data()[i % n]);
+                }
                 let gb = match mode {
-                    Broadcast::Exact => gb_full,
-                    Broadcast::Scalar | Broadcast::Suffix => reduce_to_suffix(&gb_full, &b_shape),
+                    Broadcast::Exact => {
+                        let mut gb = ctx.alloc(va.numel());
+                        for (i, (o, &gv)) in gb.iter_mut().zip(g.data()).enumerate() {
+                            *o = gv * dfb(va.data()[i], vb.data()[i]);
+                        }
+                        gb
+                    }
+                    Broadcast::Scalar | Broadcast::Suffix => {
+                        // Sum the full-shaped gradient down onto the suffix.
+                        let mut gb = ctx.alloc(n);
+                        for (i, &gv) in g.data().iter().enumerate() {
+                            gb[i % n] += gv * dfb(va.data()[i], vb.data()[i % n]);
+                        }
+                        gb
+                    }
                 };
-                vec![Tensor::new(va.shape().clone(), ga), gb]
+                vec![
+                    Tensor::new(va.shape().clone(), ga),
+                    Tensor::new(vb.shape().clone(), gb),
+                ]
             })),
         )
     }
@@ -114,19 +117,23 @@ impl Tape {
         fwd: impl Fn(f32) -> f32,
         dfa: impl Fn(f32, f32) -> f32 + 'static,
     ) -> Var {
-        let va = self.get(a);
-        let out: Vec<f32> = va.data().iter().map(|&x| fwd(x)).collect();
-        let out_t = Tensor::new(va.shape().clone(), out.clone());
+        let (shape, out) = {
+            let va = self.value(a);
+            let mut out = self.alloc(va.numel());
+            for (o, &x) in out.iter_mut().zip(va.data()) {
+                *o = fwd(x);
+            }
+            (va.shape().clone(), out)
+        };
         self.push(
-            out_t,
+            Tensor::new(shape, out),
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
-                let ga: Vec<f32> = g
-                    .data()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &gv)| gv * dfa(va.data()[i], out[i]))
-                    .collect();
+            Some(Box::new(move |ctx| {
+                let (va, y, g) = (ctx.value(a), ctx.out(), ctx.grad());
+                let mut ga = ctx.alloc(va.numel());
+                for (i, (o, &gv)) in ga.iter_mut().zip(g.data()).enumerate() {
+                    *o = gv * dfa(va.data()[i], y.data()[i]);
+                }
                 vec![Tensor::new(va.shape().clone(), ga)]
             })),
         )

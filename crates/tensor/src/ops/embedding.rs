@@ -7,21 +7,25 @@ impl Tape {
     /// Gather rows of a `[n, d]` tensor: `out[i] = x[indices[i]]`.
     /// Duplicate indices are allowed; their gradients accumulate.
     pub fn gather_rows(&self, x: Var, indices: &[usize]) -> Var {
-        let vx = self.get(x);
-        assert_eq!(vx.shape().rank(), 2, "gather_rows expects rank 2");
-        let (n, d) = (vx.shape().dim(0), vx.shape().dim(1));
+        let (n, d, out) = {
+            let vx = self.value(x);
+            assert_eq!(vx.shape().rank(), 2, "gather_rows expects rank 2");
+            let (n, d) = (vx.shape().dim(0), vx.shape().dim(1));
+            let mut out = self.alloc(indices.len() * d);
+            for (i, &idx) in indices.iter().enumerate() {
+                assert!(idx < n, "gather index {idx} out of bounds for {n} rows");
+                out[i * d..(i + 1) * d].copy_from_slice(vx.row(idx));
+            }
+            (n, d, out)
+        };
         let m = indices.len();
-        let mut out = vec![0.0f32; m * d];
-        for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < n, "gather index {idx} out of bounds for {n} rows");
-            out[i * d..(i + 1) * d].copy_from_slice(vx.row(idx));
-        }
         let indices = indices.to_vec();
         self.push(
             Tensor::new([m, d], out),
             vec![x.id],
-            Some(Box::new(move |g: &Tensor| {
-                let mut gx = vec![0.0f32; n * d];
+            Some(Box::new(move |ctx| {
+                let g = ctx.grad();
+                let mut gx = ctx.alloc(n * d);
                 for (i, &idx) in indices.iter().enumerate() {
                     for c in 0..d {
                         gx[idx * d + c] += g.data()[i * d + c];
@@ -32,32 +36,96 @@ impl Tape {
         )
     }
 
+    /// Batched embedding lookup over right-padded sequences: gathers each
+    /// sequence's rows from a `[v, d]` table into a `[B, t_max, d]` tensor,
+    /// leaving padded positions exactly zero.
+    ///
+    /// Equivalent to `B` separate [`Tape::gather_rows`] calls plus padding,
+    /// but records a single node, and its backward pass touches only the
+    /// valid positions — the one-hot/padded sparsity that used to be chased
+    /// with a zero-skip branch inside the dense matmul kernel lives here,
+    /// where the zero rows are known structurally instead of tested per
+    /// element.
+    ///
+    /// # Panics
+    /// Panics if any sequence is longer than `t_max` or indexes out of range.
+    pub fn embedding_padded(&self, table: Var, seqs: &[Vec<usize>], t_max: usize) -> Var {
+        let bsz = seqs.len();
+        assert!(bsz > 0, "embedding_padded over zero sequences");
+        let (v, d, out) = {
+            let vt = self.value(table);
+            assert_eq!(
+                vt.shape().rank(),
+                2,
+                "embedding_padded expects rank-2 table"
+            );
+            let (v, d) = (vt.shape().dim(0), vt.shape().dim(1));
+            let mut out = self.alloc(bsz * t_max * d);
+            for (b, seq) in seqs.iter().enumerate() {
+                assert!(
+                    seq.len() <= t_max,
+                    "sequence {b} has {} tokens but t_max is {t_max}",
+                    seq.len()
+                );
+                for (t, &idx) in seq.iter().enumerate() {
+                    assert!(idx < v, "embedding index {idx} out of bounds for {v} rows");
+                    let row = (b * t_max + t) * d;
+                    out[row..row + d].copy_from_slice(vt.row(idx));
+                }
+            }
+            (v, d, out)
+        };
+        let seqs: Vec<Vec<usize>> = seqs.to_vec();
+        self.push(
+            Tensor::new([bsz, t_max, d], out),
+            vec![table.id],
+            Some(Box::new(move |ctx| {
+                let g = ctx.grad();
+                let mut gt = ctx.alloc(v * d);
+                for (b, seq) in seqs.iter().enumerate() {
+                    // Padded positions (t ≥ seq.len()) are skipped wholesale.
+                    for (t, &idx) in seq.iter().enumerate() {
+                        let row = (b * t_max + t) * d;
+                        for c in 0..d {
+                            gt[idx * d + c] += g.data()[row + c];
+                        }
+                    }
+                }
+                vec![Tensor::new([v, d], gt)]
+            })),
+        )
+    }
+
     /// Scatter selected rows of `table` (`[v, d]`) into a fresh `[out_rows, d]`
     /// tensor: for each `(src, dst)` pair, `out[dst] = table[src]`. Rows not
     /// mentioned stay zero, so two scatters from different tables can be
     /// summed to interleave hard-token and soft-prompt embeddings.
     pub fn scatter_rows(&self, table: Var, pairs: &[(usize, usize)], out_rows: usize) -> Var {
-        let vt = self.get(table);
-        assert_eq!(vt.shape().rank(), 2, "scatter_rows expects rank-2 table");
-        let (v, d) = (vt.shape().dim(0), vt.shape().dim(1));
-        let mut out = vec![0.0f32; out_rows * d];
-        for &(src, dst) in pairs {
-            assert!(src < v, "scatter source row {src} out of bounds ({v})");
-            assert!(
-                dst < out_rows,
-                "scatter dest row {dst} out of bounds ({out_rows})"
-            );
-            let row = vt.row(src);
-            for c in 0..d {
-                out[dst * d + c] += row[c];
+        let (v, d, out) = {
+            let vt = self.value(table);
+            assert_eq!(vt.shape().rank(), 2, "scatter_rows expects rank-2 table");
+            let (v, d) = (vt.shape().dim(0), vt.shape().dim(1));
+            let mut out = self.alloc(out_rows * d);
+            for &(src, dst) in pairs {
+                assert!(src < v, "scatter source row {src} out of bounds ({v})");
+                assert!(
+                    dst < out_rows,
+                    "scatter dest row {dst} out of bounds ({out_rows})"
+                );
+                let row = vt.row(src);
+                for c in 0..d {
+                    out[dst * d + c] += row[c];
+                }
             }
-        }
+            (v, d, out)
+        };
         let pairs = pairs.to_vec();
         self.push(
             Tensor::new([out_rows, d], out),
             vec![table.id],
-            Some(Box::new(move |g: &Tensor| {
-                let mut gt = vec![0.0f32; v * d];
+            Some(Box::new(move |ctx| {
+                let g = ctx.grad();
+                let mut gt = ctx.alloc(v * d);
                 for &(src, dst) in &pairs {
                     for c in 0..d {
                         gt[src * d + c] += g.data()[dst * d + c];
@@ -70,7 +138,7 @@ impl Tape {
 
     /// Select one row of a `[n, d]` tensor as a `[d]` vector.
     pub fn select_row(&self, x: Var, row: usize) -> Var {
-        let d = self.get(x).shape().last();
+        let d = self.value(x).shape().last();
         let g = self.gather_rows(x, &[row]);
         self.reshape(g, [d])
     }
@@ -78,23 +146,29 @@ impl Tape {
     /// Stack `k` vectors of shape `[d]` into a `[k, d]` matrix.
     pub fn stack_rows(&self, rows: &[Var]) -> Var {
         assert!(!rows.is_empty(), "stack_rows of zero vars");
-        let d = self.get(rows[0]).numel();
-        let mut out = Vec::with_capacity(rows.len() * d);
-        for &r in rows {
-            let vr = self.get(r);
-            assert_eq!(vr.numel(), d, "stack_rows rows must share length");
-            out.extend_from_slice(vr.data());
-        }
+        let (d, out) = {
+            let d = self.value(rows[0]).numel();
+            let mut out = self.alloc(rows.len() * d);
+            for (i, &r) in rows.iter().enumerate() {
+                let vr = self.value(r);
+                assert_eq!(vr.numel(), d, "stack_rows rows must share length");
+                out[i * d..(i + 1) * d].copy_from_slice(vr.data());
+            }
+            (d, out)
+        };
         let k = rows.len();
         let shapes: Vec<_> = rows.iter().map(|&r| self.shape_of(r)).collect();
         self.push(
             Tensor::new([k, d], out),
             rows.iter().map(|r| r.id).collect(),
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |ctx| {
+                let g = ctx.grad();
                 shapes
                     .iter()
                     .enumerate()
-                    .map(|(i, s)| Tensor::new(s.clone(), g.data()[i * d..(i + 1) * d].to_vec()))
+                    .map(|(i, s)| {
+                        Tensor::new(s.clone(), ctx.alloc_copy(&g.data()[i * d..(i + 1) * d]))
+                    })
                     .collect()
             })),
         )
@@ -116,6 +190,40 @@ mod tests {
         let loss = tape.sum_all(g);
         let grads = tape.backward(loss);
         assert_eq!(grads.get(x).unwrap().data(), &[1., 1., 2., 2., 0., 0.]);
+    }
+
+    #[test]
+    fn embedding_padded_matches_per_sequence_gathers() {
+        let tape = Tape::new();
+        let table = tape.leaf(Tensor::new([4, 2], vec![1., 2., 3., 4., 5., 6., 7., 8.]));
+        let seqs = vec![vec![2, 0, 1], vec![3]];
+        let e = tape.embedding_padded(table, &seqs, 3);
+        assert_eq!(tape.shape_of(e), Shape::from([2, 3, 2]));
+        let ve = tape.get(e);
+        // Batch 0: rows 2, 0, 1 of the table.
+        assert_eq!(&ve.data()[..6], &[5., 6., 1., 2., 3., 4.]);
+        // Batch 1: row 3 then zero padding.
+        assert_eq!(&ve.data()[6..], &[7., 8., 0., 0., 0., 0.]);
+        // Gradients accumulate only into looked-up rows.
+        let loss = tape.sum_all(e);
+        let grads = tape.backward(loss);
+        assert_eq!(
+            grads.get(table).unwrap().data(),
+            &[1., 1., 1., 1., 1., 1., 1., 1.]
+        );
+    }
+
+    #[test]
+    fn grad_check_embedding_padded() {
+        check_grad(
+            &[vec![0.5, -1.2, 2.0, 0.1, 0.9, -0.4]],
+            &[Shape::from([3, 2])],
+            |tape, vars| {
+                let e = tape.embedding_padded(vars[0], &[vec![2, 2], vec![0]], 2);
+                let q = tape.sqr(e);
+                tape.sum_all(q)
+            },
+        );
     }
 
     #[test]

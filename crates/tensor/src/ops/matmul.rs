@@ -5,9 +5,46 @@ use crate::tensor::Tensor;
 
 /// `out[m,n] += a[m,k] * b[k,n]` over contiguous row-major buffers.
 ///
-/// The `i-k-j` loop order keeps the inner loop streaming over `b`'s rows and
-/// `out`'s rows, which is the cache-friendly layout for row-major data.
+/// Dense kernel: the `k` loop is unrolled four-wide so each pass over an
+/// output row folds four rank-1 updates into one fused sweep — four times
+/// fewer passes over `out`, and an inner loop the compiler can vectorize
+/// without a data-dependent branch. For operands that are mostly zero *rows*
+/// (one-hot / padded inputs) use [`matmul_raw_sparse`] instead.
 pub fn matmul_raw(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+            let (b0, rest) = b[kk * n..].split_at(n);
+            let (b1, rest) = rest.split_at(n);
+            let (b2, rest) = rest.split_at(n);
+            let b3 = &rest[..n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+            }
+            kk += 4;
+        }
+        for (kk, &av) in a_row.iter().enumerate().skip(kk) {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out[m,n] += a[m,k] * b[k,n]`, skipping zero entries of `a`.
+///
+/// Worth it only when `a` is mostly zeros — one-hot selector matrices and the
+/// padded-position gradient rows of embedding backward. On dense data the
+/// per-element branch costs more than the multiplies it saves; use
+/// [`matmul_raw`] there.
+pub fn matmul_raw_sparse(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -26,14 +63,14 @@ pub fn matmul_raw(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: 
     }
 }
 
-fn transpose_raw(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; x.len()];
+fn transpose_into(x: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
+    debug_assert_eq!(x.len(), rows * cols);
+    debug_assert_eq!(out.len(), rows * cols);
     for r in 0..rows {
         for c in 0..cols {
             out[c * rows + r] = x[r * cols + c];
         }
     }
-    out
 }
 
 impl Tape {
@@ -43,76 +80,99 @@ impl Tape {
     /// * `[b,m,k] × [k,n] → [b,m,n]` (shared right operand)
     /// * `[b,m,k] × [b,k,n] → [b,m,n]` (batched)
     pub fn matmul(&self, a: Var, b: Var) -> Var {
-        let (va, vb) = (self.get(a), self.get(b));
-        let (ra, rb) = (va.shape().rank(), vb.shape().rank());
+        let (ra, rb, a_dims, b_dims) = {
+            let (va, vb) = (self.value(a), self.value(b));
+            (
+                va.shape().rank(),
+                vb.shape().rank(),
+                va.shape().clone(),
+                vb.shape().clone(),
+            )
+        };
         match (ra, rb) {
             (2, 2) => self.matmul_2d(a, b),
             (3, 2) => {
-                let (bsz, m, k) = (va.shape().dim(0), va.shape().dim(1), va.shape().dim(2));
+                let (bsz, m, k) = (a_dims.dim(0), a_dims.dim(1), a_dims.dim(2));
                 let flat = self.reshape(a, [bsz * m, k]);
                 let out = self.matmul_2d(flat, b);
-                self.reshape(out, [bsz, m, vb.shape().dim(1)])
+                self.reshape(out, [bsz, m, b_dims.dim(1)])
             }
             (3, 3) => self.matmul_batched(a, b),
-            _ => panic!("unsupported matmul ranks: {} x {}", va.shape(), vb.shape()),
+            _ => panic!("unsupported matmul ranks: {a_dims} x {b_dims}"),
         }
     }
 
     fn matmul_2d(&self, a: Var, b: Var) -> Var {
-        let (va, vb) = (self.get(a), self.get(b));
-        let (m, k) = (va.shape().dim(0), va.shape().dim(1));
-        let (k2, n) = (vb.shape().dim(0), vb.shape().dim(1));
-        assert_eq!(k, k2, "matmul inner dims: {} x {}", va.shape(), vb.shape());
-        let mut out = vec![0.0f32; m * n];
-        matmul_raw(va.data(), vb.data(), &mut out, m, k, n);
+        let (m, k, n, out) = {
+            let (va, vb) = (self.value(a), self.value(b));
+            let (m, k) = (va.shape().dim(0), va.shape().dim(1));
+            let (k2, n) = (vb.shape().dim(0), vb.shape().dim(1));
+            assert_eq!(k, k2, "matmul inner dims: {} x {}", va.shape(), vb.shape());
+            let mut out = self.alloc(m * n);
+            matmul_raw(va.data(), vb.data(), &mut out, m, k, n);
+            (m, k, n, out)
+        };
         self.push(
             Tensor::new([m, n], out),
             vec![a.id, b.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |ctx| {
                 // dA = g @ B^T ; dB = A^T @ g
-                let bt = transpose_raw(vb.data(), k, n);
-                let mut ga = vec![0.0f32; m * k];
+                let (va, vb, g) = (ctx.value(a), ctx.value(b), ctx.grad());
+                let mut bt = ctx.alloc(k * n);
+                transpose_into(vb.data(), k, n, &mut bt);
+                let mut ga = ctx.alloc(m * k);
                 matmul_raw(g.data(), &bt, &mut ga, m, n, k);
-                let at = transpose_raw(va.data(), m, k);
-                let mut gb = vec![0.0f32; k * n];
+                ctx.recycle(bt);
+                let mut at = ctx.alloc(m * k);
+                transpose_into(va.data(), m, k, &mut at);
+                let mut gb = ctx.alloc(k * n);
                 matmul_raw(&at, g.data(), &mut gb, k, m, n);
+                ctx.recycle(at);
                 vec![Tensor::new([m, k], ga), Tensor::new([k, n], gb)]
             })),
         )
     }
 
     fn matmul_batched(&self, a: Var, b: Var) -> Var {
-        let (va, vb) = (self.get(a), self.get(b));
-        let (bsz, m, k) = (va.shape().dim(0), va.shape().dim(1), va.shape().dim(2));
-        let (bsz2, k2, n) = (vb.shape().dim(0), vb.shape().dim(1), vb.shape().dim(2));
-        assert_eq!(bsz, bsz2, "batched matmul batch dims differ");
-        assert_eq!(k, k2, "matmul inner dims: {} x {}", va.shape(), vb.shape());
-        let mut out = vec![0.0f32; bsz * m * n];
-        for i in 0..bsz {
-            matmul_raw(
-                &va.data()[i * m * k..(i + 1) * m * k],
-                &vb.data()[i * k * n..(i + 1) * k * n],
-                &mut out[i * m * n..(i + 1) * m * n],
-                m,
-                k,
-                n,
-            );
-        }
+        let (bsz, m, k, n, out) = {
+            let (va, vb) = (self.value(a), self.value(b));
+            let (bsz, m, k) = (va.shape().dim(0), va.shape().dim(1), va.shape().dim(2));
+            let (bsz2, k2, n) = (vb.shape().dim(0), vb.shape().dim(1), vb.shape().dim(2));
+            assert_eq!(bsz, bsz2, "batched matmul batch dims differ");
+            assert_eq!(k, k2, "matmul inner dims: {} x {}", va.shape(), vb.shape());
+            let mut out = self.alloc(bsz * m * n);
+            for i in 0..bsz {
+                matmul_raw(
+                    &va.data()[i * m * k..(i + 1) * m * k],
+                    &vb.data()[i * k * n..(i + 1) * k * n],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            (bsz, m, k, n, out)
+        };
         self.push(
             Tensor::new([bsz, m, n], out),
             vec![a.id, b.id],
-            Some(Box::new(move |g: &Tensor| {
-                let mut ga = vec![0.0f32; bsz * m * k];
-                let mut gb = vec![0.0f32; bsz * k * n];
+            Some(Box::new(move |ctx| {
+                let (va, vb, g) = (ctx.value(a), ctx.value(b), ctx.grad());
+                let mut ga = ctx.alloc(bsz * m * k);
+                let mut gb = ctx.alloc(bsz * k * n);
+                let mut bt = ctx.alloc(k * n);
+                let mut at = ctx.alloc(m * k);
                 for i in 0..bsz {
                     let gs = &g.data()[i * m * n..(i + 1) * m * n];
                     let asl = &va.data()[i * m * k..(i + 1) * m * k];
                     let bsl = &vb.data()[i * k * n..(i + 1) * k * n];
-                    let bt = transpose_raw(bsl, k, n);
+                    transpose_into(bsl, k, n, &mut bt);
                     matmul_raw(gs, &bt, &mut ga[i * m * k..(i + 1) * m * k], m, n, k);
-                    let at = transpose_raw(asl, m, k);
+                    transpose_into(asl, m, k, &mut at);
                     matmul_raw(&at, gs, &mut gb[i * k * n..(i + 1) * k * n], k, m, n);
                 }
+                ctx.recycle(bt);
+                ctx.recycle(at);
                 vec![Tensor::new([bsz, m, k], ga), Tensor::new([bsz, k, n], gb)]
             })),
         )
@@ -120,34 +180,54 @@ impl Tape {
 
     /// Transpose of a 2-D tensor, or of the last two axes of a 3-D tensor.
     pub fn transpose(&self, a: Var) -> Var {
-        let va = self.get(a);
-        match va.shape().rank() {
+        let rank = self.value(a).shape().rank();
+        match rank {
             2 => {
-                let (m, n) = (va.shape().dim(0), va.shape().dim(1));
-                let out = transpose_raw(va.data(), m, n);
+                let (m, n, out) = {
+                    let va = self.value(a);
+                    let (m, n) = (va.shape().dim(0), va.shape().dim(1));
+                    let mut out = self.alloc(m * n);
+                    transpose_into(va.data(), m, n, &mut out);
+                    (m, n, out)
+                };
                 self.push(
                     Tensor::new([n, m], out),
                     vec![a.id],
-                    Some(Box::new(move |g: &Tensor| {
-                        vec![Tensor::new([m, n], transpose_raw(g.data(), n, m))]
+                    Some(Box::new(move |ctx| {
+                        let mut gr = ctx.alloc(m * n);
+                        transpose_into(ctx.grad().data(), n, m, &mut gr);
+                        vec![Tensor::new([m, n], gr)]
                     })),
                 )
             }
             3 => {
-                let (b, m, n) = (va.shape().dim(0), va.shape().dim(1), va.shape().dim(2));
-                let mut out = vec![0.0f32; b * m * n];
-                for i in 0..b {
-                    let t = transpose_raw(&va.data()[i * m * n..(i + 1) * m * n], m, n);
-                    out[i * m * n..(i + 1) * m * n].copy_from_slice(&t);
-                }
+                let (b, m, n, out) = {
+                    let va = self.value(a);
+                    let (b, m, n) = (va.shape().dim(0), va.shape().dim(1), va.shape().dim(2));
+                    let mut out = self.alloc(b * m * n);
+                    for i in 0..b {
+                        transpose_into(
+                            &va.data()[i * m * n..(i + 1) * m * n],
+                            m,
+                            n,
+                            &mut out[i * m * n..(i + 1) * m * n],
+                        );
+                    }
+                    (b, m, n, out)
+                };
                 self.push(
                     Tensor::new([b, n, m], out),
                     vec![a.id],
-                    Some(Box::new(move |g: &Tensor| {
-                        let mut gr = vec![0.0f32; b * m * n];
+                    Some(Box::new(move |ctx| {
+                        let g = ctx.grad();
+                        let mut gr = ctx.alloc(b * m * n);
                         for i in 0..b {
-                            let t = transpose_raw(&g.data()[i * m * n..(i + 1) * m * n], n, m);
-                            gr[i * m * n..(i + 1) * m * n].copy_from_slice(&t);
+                            transpose_into(
+                                &g.data()[i * m * n..(i + 1) * m * n],
+                                n,
+                                m,
+                                &mut gr[i * m * n..(i + 1) * m * n],
+                            );
                         }
                         vec![Tensor::new([b, m, n], gr)]
                     })),
@@ -171,6 +251,30 @@ mod tests {
         let mut out = vec![0.0; 4];
         matmul_raw(&a, &eye, &mut out, 2, 2, 2);
         assert_eq!(out, a);
+    }
+
+    #[test]
+    fn dense_and_sparse_kernels_agree() {
+        // Covers the unroll remainder (k = 7 hits both the 4-wide body and
+        // the tail) and zero entries (the sparse kernel's skip path).
+        let (m, k, n) = (3, 7, 5);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| {
+                if i % 3 == 0 {
+                    0.0
+                } else {
+                    (i as f32) * 0.25 - 2.0
+                }
+            })
+            .collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32) * 0.5 - 8.0).collect();
+        let mut dense = vec![0.0; m * n];
+        let mut sparse = vec![0.0; m * n];
+        matmul_raw(&a, &b, &mut dense, m, k, n);
+        matmul_raw_sparse(&a, &b, &mut sparse, m, k, n);
+        for (d, s) in dense.iter().zip(&sparse) {
+            assert!((d - s).abs() < 1e-4, "kernels disagree: {d} vs {s}");
+        }
     }
 
     #[test]

@@ -13,4 +13,4 @@ mod reduce;
 mod slice;
 mod softmax;
 
-pub use matmul::matmul_raw;
+pub use matmul::{matmul_raw, matmul_raw_sparse};

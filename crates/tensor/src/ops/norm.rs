@@ -9,35 +9,38 @@ impl Tape {
     /// Layer normalization over the last axis with learned scale `gamma` and
     /// shift `beta` (both `[d]`).
     pub fn layer_norm(&self, x: Var, gamma: Var, beta: Var) -> Var {
-        let (vx, vg, vb) = (self.get(x), self.get(gamma), self.get(beta));
-        let d = vx.shape().last();
-        assert_eq!(vg.numel(), d, "gamma must be [{d}]");
-        assert_eq!(vb.numel(), d, "beta must be [{d}]");
-        let rows = vx.shape().rows();
-        let mut out = vec![0.0f32; vx.numel()];
-        // Normalized (pre-affine) values, needed by the backward pass.
-        let mut xhat = vec![0.0f32; vx.numel()];
-        let mut inv_std = vec![0.0f32; rows];
-        for r in 0..rows {
-            let row = vx.row(r);
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let istd = 1.0 / (var + EPS).sqrt();
-            inv_std[r] = istd;
-            for c in 0..d {
-                let h = (row[c] - mean) * istd;
-                xhat[r * d + c] = h;
-                out[r * d + c] = h * vg.data()[c] + vb.data()[c];
+        let (rows, d, shape, out, xhat, inv_std) = {
+            let (vx, vg, vb) = (self.value(x), self.value(gamma), self.value(beta));
+            let d = vx.shape().last();
+            assert_eq!(vg.numel(), d, "gamma must be [{d}]");
+            assert_eq!(vb.numel(), d, "beta must be [{d}]");
+            let rows = vx.shape().rows();
+            let mut out = self.alloc(vx.numel());
+            // Normalized (pre-affine) values, needed by the backward pass.
+            let mut xhat = self.alloc(vx.numel());
+            let mut inv_std = self.alloc(rows);
+            for r in 0..rows {
+                let row = vx.row(r);
+                let mean = row.iter().sum::<f32>() / d as f32;
+                let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                let istd = 1.0 / (var + EPS).sqrt();
+                inv_std[r] = istd;
+                for c in 0..d {
+                    let h = (row[c] - mean) * istd;
+                    xhat[r * d + c] = h;
+                    out[r * d + c] = h * vg.data()[c] + vb.data()[c];
+                }
             }
-        }
-        let shape = vx.shape().clone();
+            (rows, d, vx.shape().clone(), out, xhat, inv_std)
+        };
         self.push(
-            Tensor::new(shape.clone(), out),
+            Tensor::new(shape, out),
             vec![x.id, gamma.id, beta.id],
-            Some(Box::new(move |g: &Tensor| {
-                let mut gx = vec![0.0f32; g.numel()];
-                let mut gg = vec![0.0f32; d];
-                let mut gb = vec![0.0f32; d];
+            Some(Box::new(move |ctx| {
+                let (vg, g) = (ctx.value(gamma), ctx.grad());
+                let mut gx = ctx.alloc(g.numel());
+                let mut gg = ctx.alloc(d);
+                let mut gb = ctx.alloc(d);
                 for r in 0..rows {
                     let gs = &g.data()[r * d..(r + 1) * d];
                     let hs = &xhat[r * d..(r + 1) * d];
@@ -63,7 +66,7 @@ impl Tape {
                     }
                 }
                 vec![
-                    Tensor::new(shape.clone(), gx),
+                    Tensor::new(ctx.value(x).shape().clone(), gx),
                     Tensor::from_vec(gg),
                     Tensor::from_vec(gb),
                 ]

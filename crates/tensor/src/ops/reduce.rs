@@ -6,44 +6,51 @@ use crate::tensor::Tensor;
 impl Tape {
     /// Sum of all elements → scalar.
     pub fn sum_all(&self, a: Var) -> Var {
-        let va = self.get(a);
-        let s = va.sum();
+        let s = self.value(a).sum();
         self.push(
             Tensor::scalar(s),
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
-                vec![Tensor::full(va.shape().clone(), g.item())]
+            Some(Box::new(move |ctx| {
+                let va = ctx.value(a);
+                let mut gr = ctx.alloc(va.numel());
+                gr.fill(ctx.grad().item());
+                vec![Tensor::new(va.shape().clone(), gr)]
             })),
         )
     }
 
     /// Mean of all elements → scalar.
     pub fn mean_all(&self, a: Var) -> Var {
-        let n = self.get(a).numel() as f32;
+        let n = self.value(a).numel() as f32;
         let s = self.sum_all(a);
         self.scale(s, 1.0 / n)
     }
 
     /// Mean over the row axis: `[n, d] → [d]`.
     pub fn mean_rows(&self, a: Var) -> Var {
-        let va = self.get(a);
-        assert_eq!(va.shape().rank(), 2, "mean_rows expects rank 2");
-        let (n, d) = (va.shape().dim(0), va.shape().dim(1));
-        let mut out = vec![0.0f32; d];
-        for r in 0..n {
-            for (o, &v) in out.iter_mut().zip(va.row(r)) {
-                *o += v;
+        let (n, d, out) = {
+            let va = self.value(a);
+            assert_eq!(va.shape().rank(), 2, "mean_rows expects rank 2");
+            let (n, d) = (va.shape().dim(0), va.shape().dim(1));
+            let mut out = self.alloc(d);
+            for r in 0..n {
+                for (o, &v) in out.iter_mut().zip(va.row(r)) {
+                    *o += v;
+                }
             }
-        }
-        let inv = 1.0 / n as f32;
-        for o in &mut out {
-            *o *= inv;
-        }
+            let inv = 1.0 / n as f32;
+            for o in &mut out {
+                *o *= inv;
+            }
+            (n, d, out)
+        };
         self.push(
             Tensor::from_vec(out),
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
-                let mut gr = vec![0.0f32; n * d];
+            Some(Box::new(move |ctx| {
+                let g = ctx.grad();
+                let inv = 1.0 / n as f32;
+                let mut gr = ctx.alloc(n * d);
                 for r in 0..n {
                     for (c, &gv) in g.data().iter().enumerate() {
                         gr[r * d + c] = gv * inv;
@@ -58,26 +65,29 @@ impl Tape {
     /// Caser's horizontal convolutions). Gradient flows to the first argmax
     /// row per column.
     pub fn max_rows(&self, a: Var) -> Var {
-        let va = self.get(a);
-        assert_eq!(va.shape().rank(), 2, "max_rows expects rank 2");
-        let (n, d) = (va.shape().dim(0), va.shape().dim(1));
-        assert!(n > 0, "max_rows over zero rows");
-        let mut out = va.row(0).to_vec();
-        let mut arg = vec![0usize; d];
-        for r in 1..n {
-            for (c, &v) in va.row(r).iter().enumerate() {
-                if v > out[c] {
-                    out[c] = v;
-                    arg[c] = r;
+        let (n, d, out, arg) = {
+            let va = self.value(a);
+            assert_eq!(va.shape().rank(), 2, "max_rows expects rank 2");
+            let (n, d) = (va.shape().dim(0), va.shape().dim(1));
+            assert!(n > 0, "max_rows over zero rows");
+            let mut out = self.alloc_copy(va.row(0));
+            let mut arg = vec![0usize; d];
+            for r in 1..n {
+                for (c, &v) in va.row(r).iter().enumerate() {
+                    if v > out[c] {
+                        out[c] = v;
+                        arg[c] = r;
+                    }
                 }
             }
-        }
+            (n, d, out, arg)
+        };
         self.push(
             Tensor::from_vec(out),
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
-                let mut gr = vec![0.0f32; n * d];
-                for (c, &gv) in g.data().iter().enumerate() {
+            Some(Box::new(move |ctx| {
+                let mut gr = ctx.alloc(n * d);
+                for (c, &gv) in ctx.grad().data().iter().enumerate() {
                     gr[arg[c] * d + c] = gv;
                 }
                 vec![Tensor::new([n, d], gr)]

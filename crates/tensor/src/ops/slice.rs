@@ -8,41 +8,50 @@ use rand::Rng;
 impl Tape {
     /// Reinterpret a value with a new shape of equal element count.
     pub fn reshape(&self, a: Var, shape: impl Into<Shape>) -> Var {
-        let va = self.get(a);
-        let old = va.shape().clone();
-        let new: Shape = shape.into();
-        assert_eq!(
-            old.numel(),
-            new.numel(),
-            "reshape {old} -> {new} changes element count"
-        );
-        let out = va.clone().reshaped(new);
+        let (out, new) = {
+            let va = self.value(a);
+            let new: Shape = shape.into();
+            assert_eq!(
+                va.shape().numel(),
+                new.numel(),
+                "reshape {} -> {new} changes element count",
+                va.shape()
+            );
+            (self.alloc_copy(va.data()), new)
+        };
         self.push(
-            out,
+            Tensor::new(new, out),
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
-                vec![g.clone().reshaped(old.clone())]
+            Some(Box::new(move |ctx| {
+                let old = ctx.value(a).shape().clone();
+                vec![Tensor::new(old, ctx.alloc_copy(ctx.grad().data()))]
             })),
         )
     }
 
     /// Rows `start..start+len` of a rank-2 tensor.
     pub fn slice_rows(&self, a: Var, start: usize, len: usize) -> Var {
-        let va = self.get(a);
-        assert_eq!(va.shape().rank(), 2, "slice_rows expects rank 2");
-        let (n, d) = (va.shape().dim(0), va.shape().dim(1));
-        assert!(
-            start + len <= n,
-            "slice {start}..{} out of {n} rows",
-            start + len
-        );
-        let out = va.data()[start * d..(start + len) * d].to_vec();
+        let (n, d, out) = {
+            let va = self.value(a);
+            assert_eq!(va.shape().rank(), 2, "slice_rows expects rank 2");
+            let (n, d) = (va.shape().dim(0), va.shape().dim(1));
+            assert!(
+                start + len <= n,
+                "slice {start}..{} out of {n} rows",
+                start + len
+            );
+            (
+                n,
+                d,
+                self.alloc_copy(&va.data()[start * d..(start + len) * d]),
+            )
+        };
         self.push(
             Tensor::new([len, d], out),
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
-                let mut gx = vec![0.0f32; n * d];
-                gx[start * d..(start + len) * d].copy_from_slice(g.data());
+            Some(Box::new(move |ctx| {
+                let mut gx = ctx.alloc(n * d);
+                gx[start * d..(start + len) * d].copy_from_slice(ctx.grad().data());
                 vec![Tensor::new([n, d], gx)]
             })),
         )
@@ -51,27 +60,38 @@ impl Tape {
     /// Concatenate rank-2 tensors along the row axis.
     pub fn concat_rows(&self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat_rows of zero parts");
-        let d = self.get(parts[0]).shape().last();
-        let mut data = Vec::new();
-        let mut row_counts = Vec::with_capacity(parts.len());
-        for &p in parts {
-            let vp = self.get(p);
-            assert_eq!(vp.shape().rank(), 2, "concat_rows expects rank 2 parts");
-            assert_eq!(vp.shape().last(), d, "concat_rows last dims must match");
-            row_counts.push(vp.shape().dim(0));
-            data.extend_from_slice(vp.data());
-        }
+        let (d, data, row_counts) = {
+            let d = self.value(parts[0]).shape().last();
+            let mut row_counts = Vec::with_capacity(parts.len());
+            let mut total_rows = 0;
+            for &p in parts {
+                let vp = self.value(p);
+                assert_eq!(vp.shape().rank(), 2, "concat_rows expects rank 2 parts");
+                assert_eq!(vp.shape().last(), d, "concat_rows last dims must match");
+                row_counts.push(vp.shape().dim(0));
+                total_rows += vp.shape().dim(0);
+            }
+            let mut data = self.alloc(total_rows * d);
+            let mut offset = 0;
+            for &p in parts {
+                let vp = self.value(p);
+                data[offset..offset + vp.numel()].copy_from_slice(vp.data());
+                offset += vp.numel();
+            }
+            (d, data, row_counts)
+        };
         let total: usize = row_counts.iter().sum();
         self.push(
             Tensor::new([total, d], data),
             parts.iter().map(|p| p.id).collect(),
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |ctx| {
+                let g = ctx.grad();
                 let mut out = Vec::with_capacity(row_counts.len());
                 let mut offset = 0;
                 for &rc in &row_counts {
                     out.push(Tensor::new(
                         [rc, d],
-                        g.data()[offset * d..(offset + rc) * d].to_vec(),
+                        ctx.alloc_copy(&g.data()[offset * d..(offset + rc) * d]),
                     ));
                     offset += rc;
                 }
@@ -87,26 +107,34 @@ impl Tape {
             return a;
         }
         assert!(p < 1.0, "dropout probability must be < 1");
-        let va = self.get(a);
-        let keep = 1.0 - p;
-        let scale = 1.0 / keep;
-        let mask: Vec<f32> = (0..va.numel())
-            .map(|_| {
-                if rng.random::<f32>() < keep {
+        let (shape, out, mask) = {
+            let va = self.value(a);
+            let keep = 1.0 - p;
+            let scale = 1.0 / keep;
+            let mut mask = self.alloc(va.numel());
+            for m in mask.iter_mut() {
+                *m = if rng.random::<f32>() < keep {
                     scale
                 } else {
                     0.0
-                }
-            })
-            .collect();
-        let out: Vec<f32> = va.data().iter().zip(&mask).map(|(&x, &m)| x * m).collect();
-        let shape = va.shape().clone();
+                };
+            }
+            let mut out = self.alloc(va.numel());
+            for ((o, &x), &m) in out.iter_mut().zip(va.data()).zip(&mask) {
+                *o = x * m;
+            }
+            (va.shape().clone(), out, mask)
+        };
         self.push(
-            Tensor::new(shape.clone(), out),
+            Tensor::new(shape, out),
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
-                let gr: Vec<f32> = g.data().iter().zip(&mask).map(|(&gv, &m)| gv * m).collect();
-                vec![Tensor::new(shape.clone(), gr)]
+            Some(Box::new(move |ctx| {
+                let g = ctx.grad();
+                let mut gr = ctx.alloc(g.numel());
+                for ((o, &gv), &m) in gr.iter_mut().zip(g.data()).zip(&mask) {
+                    *o = gv * m;
+                }
+                vec![Tensor::new(g.shape().clone(), gr)]
             })),
         )
     }

@@ -5,10 +5,22 @@
 //! one gradient per parent. [`Tape::backward`] walks the nodes in reverse
 //! topological order (which is simply reverse creation order) accumulating
 //! gradients.
+//!
+//! Two pieces keep the hot path allocation-light:
+//!
+//! * Backward closures receive a [`BwdCtx`] giving read access to every node
+//!   value already on the tape, so ops capture [`Var`] handles and small
+//!   metadata instead of cloning their operands into the closure.
+//! * A [`BufferPool`] recycles `Vec<f32>` buffers. Node values return to the
+//!   pool when the tape drops, gradients when [`Gradients`] drops, and both
+//!   forward and backward passes allocate scratch through it. Sharing one
+//!   pool across the tapes of a training loop (via [`Tape::with_pool`]) makes
+//!   every step after the first run in recycled memory.
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use std::cell::{Ref, RefCell};
+use std::rc::Rc;
 
 /// Handle to a value recorded on a [`Tape`]. Cheap to copy; only valid for
 /// the tape that created it.
@@ -17,7 +29,150 @@ pub struct Var {
     pub(crate) id: usize,
 }
 
-type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
+/// Size-classed free list of `f32` buffers.
+///
+/// Buffers are binned by `floor(log2(capacity))`, so a request of `n`
+/// elements is served from the first non-empty bin of capacity ≥ `n` (at most
+/// two bins above the exact fit, to avoid handing huge buffers to tiny
+/// requests). Misses fall back to a fresh allocation; each bin is capped so a
+/// one-off giant pass cannot pin memory forever.
+#[derive(Default)]
+pub struct BufferPool {
+    bins: RefCell<Vec<Vec<Vec<f32>>>>,
+}
+
+/// Per-bin retention cap. 64 buffers per size class comfortably covers the
+/// widest layer fan-out in this workspace while bounding steady-state memory.
+const POOL_BIN_CAP: usize = 64;
+/// How many bins above the exact size class to search before allocating.
+const POOL_SLACK_BINS: usize = 2;
+
+fn size_class(n: usize) -> usize {
+    // floor(log2(n)) for n ≥ 1; class 0 holds capacities 1..=1, etc.
+    usize::BITS as usize - 1 - (n.max(1)).leading_zeros() as usize
+}
+
+impl BufferPool {
+    /// Fresh, empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed buffer of length `n`, recycled when possible.
+    pub fn take(&self, n: usize) -> Vec<f32> {
+        if let Some(mut buf) = self.take_raw(n) {
+            buf.clear();
+            buf.resize(n, 0.0);
+            return buf;
+        }
+        vec![0.0; n]
+    }
+
+    /// A buffer holding a copy of `src`, recycled when possible.
+    pub fn take_copy(&self, src: &[f32]) -> Vec<f32> {
+        if let Some(mut buf) = self.take_raw(src.len()) {
+            buf.clear();
+            buf.extend_from_slice(src);
+            return buf;
+        }
+        src.to_vec()
+    }
+
+    fn take_raw(&self, n: usize) -> Option<Vec<f32>> {
+        if n == 0 {
+            return None;
+        }
+        let mut bins = self.bins.borrow_mut();
+        let lo = size_class(n);
+        if lo >= bins.len() {
+            return None;
+        }
+        // Capacities in n's own class straddle n — scan for one that fits.
+        if let Some(pos) = bins[lo].iter().rposition(|b| b.capacity() >= n) {
+            return Some(bins[lo].swap_remove(pos));
+        }
+        // Every buffer in a strictly higher class is guaranteed to fit.
+        let hi = (lo + POOL_SLACK_BINS).min(bins.len() - 1);
+        for cls in lo + 1..=hi {
+            if let Some(buf) = bins[cls].pop() {
+                debug_assert!(buf.capacity() >= n);
+                return Some(buf);
+            }
+        }
+        None
+    }
+
+    /// Return a buffer to the pool. Buffers beyond the per-class cap (or with
+    /// no capacity) are simply dropped.
+    pub fn put(&self, buf: Vec<f32>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        let cls = size_class(cap);
+        let mut bins = self.bins.borrow_mut();
+        if bins.len() <= cls {
+            bins.resize_with(cls + 1, Vec::new);
+        }
+        if bins[cls].len() < POOL_BIN_CAP {
+            bins[cls].push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled (diagnostics and tests).
+    pub fn len(&self) -> usize {
+        self.bins.borrow().iter().map(Vec::len).sum()
+    }
+
+    /// True when nothing is pooled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Everything a backward closure may touch: the upstream gradient, the values
+/// of all tape nodes (so closures read operands instead of owning clones of
+/// them), this node's own forward output, and the buffer pool for scratch.
+pub struct BwdCtx<'a> {
+    nodes: &'a [Node],
+    id: usize,
+    grad: &'a Tensor,
+    pool: &'a BufferPool,
+}
+
+impl<'a> BwdCtx<'a> {
+    /// Gradient of the loss with respect to this node's output.
+    pub fn grad(&self) -> &'a Tensor {
+        self.grad
+    }
+
+    /// Value of any variable recorded before this node (operands, usually).
+    pub fn value(&self, v: Var) -> &'a Tensor {
+        &self.nodes[v.id].value
+    }
+
+    /// This node's own forward output.
+    pub fn out(&self) -> &'a Tensor {
+        &self.nodes[self.id].value
+    }
+
+    /// Zeroed scratch buffer of length `n` from the pool.
+    pub fn alloc(&self, n: usize) -> Vec<f32> {
+        self.pool.take(n)
+    }
+
+    /// Pooled copy of `src`.
+    pub fn alloc_copy(&self, src: &[f32]) -> Vec<f32> {
+        self.pool.take_copy(src)
+    }
+
+    /// Return a finished scratch buffer to the pool.
+    pub fn recycle(&self, buf: Vec<f32>) {
+        self.pool.put(buf);
+    }
+}
+
+type BackwardFn = Box<dyn Fn(&BwdCtx) -> Vec<Tensor>>;
 
 pub(crate) struct Node {
     value: Tensor,
@@ -28,7 +183,9 @@ pub(crate) struct Node {
 /// A gradient tape: the computation graph for one forward/backward pass.
 ///
 /// Tapes are intended to be short-lived — build one per training step, call
-/// [`Tape::backward`], read the gradients, and drop it.
+/// [`Tape::backward`], read the gradients, and drop it. Loops that build many
+/// tapes should share one [`BufferPool`] via [`Tape::with_pool`] so each
+/// step's tensors are carved out of the previous step's memory.
 ///
 /// ```
 /// use delrec_tensor::{Tape, Tensor};
@@ -43,12 +200,38 @@ pub(crate) struct Node {
 #[derive(Default)]
 pub struct Tape {
     pub(crate) nodes: RefCell<Vec<Node>>,
+    pool: Rc<BufferPool>,
 }
 
 impl Tape {
-    /// Create an empty tape.
+    /// Create an empty tape with its own private buffer pool.
     pub fn new() -> Self {
         Tape::default()
+    }
+
+    /// Create an empty tape backed by a shared buffer pool. Training loops
+    /// pass the same pool to every step's tape so buffers recycle across
+    /// steps instead of hitting the allocator.
+    pub fn with_pool(pool: Rc<BufferPool>) -> Self {
+        Tape {
+            nodes: RefCell::new(Vec::new()),
+            pool,
+        }
+    }
+
+    /// The buffer pool backing this tape.
+    pub fn pool(&self) -> &Rc<BufferPool> {
+        &self.pool
+    }
+
+    /// Zeroed buffer of length `n` from this tape's pool (forward scratch).
+    pub fn alloc(&self, n: usize) -> Vec<f32> {
+        self.pool.take(n)
+    }
+
+    /// Pooled copy of `src`.
+    pub fn alloc_copy(&self, src: &[f32]) -> Vec<f32> {
+        self.pool.take_copy(src)
     }
 
     /// Record a leaf value (an input or parameter). Leaves receive gradients
@@ -125,7 +308,13 @@ impl Tape {
             };
             let node = &nodes[id];
             if let Some(back) = &node.backward {
-                let parent_grads = back(g);
+                let ctx = BwdCtx {
+                    nodes: &nodes,
+                    id,
+                    grad: g,
+                    pool: &self.pool,
+                };
+                let parent_grads = back(&ctx);
                 debug_assert_eq!(
                     parent_grads.len(),
                     node.parents.len(),
@@ -138,20 +327,38 @@ impl Tape {
                         "gradient shape mismatch for parent node {pid}"
                     );
                     match &mut grads[pid] {
-                        Some(existing) => existing.add_assign(&pg),
+                        Some(existing) => {
+                            existing.add_assign(&pg);
+                            self.pool.put(pg.into_data());
+                        }
                         slot @ None => *slot = Some(pg),
                     }
                 }
             }
         }
-        Gradients { grads }
+        Gradients {
+            grads,
+            pool: Rc::clone(&self.pool),
+        }
+    }
+}
+
+impl Drop for Tape {
+    fn drop(&mut self) {
+        // Hand every node's buffer back to the pool so the next tape built on
+        // the same pool replays the step without fresh allocations.
+        for node in self.nodes.get_mut().drain(..) {
+            self.pool.put(node.value.into_data());
+        }
     }
 }
 
 /// Gradients of every tape node with respect to the loss passed to
-/// [`Tape::backward`].
+/// [`Tape::backward`]. Gradients not moved out with [`Gradients::take`]
+/// return to the tape's buffer pool on drop.
 pub struct Gradients {
     grads: Vec<Option<Tensor>>,
+    pool: Rc<BufferPool>,
 }
 
 impl Gradients {
@@ -171,6 +378,14 @@ impl Gradients {
     /// Take ownership of the gradient of `v`.
     pub fn take(&mut self, v: Var) -> Option<Tensor> {
         self.grads.get_mut(v.id).and_then(|g| g.take())
+    }
+}
+
+impl Drop for Gradients {
+    fn drop(&mut self) {
+        for g in self.grads.drain(..).flatten() {
+            self.pool.put(g.into_data());
+        }
     }
 }
 
@@ -225,5 +440,82 @@ mod tests {
         let tape = Tape::new();
         let x = tape.leaf(Tensor::from_vec(vec![1., 2.]));
         tape.backward(x);
+    }
+
+    #[test]
+    fn pool_serves_and_recycles_buffers() {
+        let pool = BufferPool::new();
+        let buf = pool.take(100);
+        assert_eq!(buf.len(), 100);
+        assert!(buf.iter().all(|&v| v == 0.0));
+        pool.put(buf);
+        assert_eq!(pool.len(), 1);
+        let again = pool.take(100);
+        assert_eq!(again.len(), 100);
+        assert_eq!(pool.len(), 0, "buffer was reused, not re-pooled");
+        // A request far larger than anything pooled allocates fresh.
+        pool.put(again);
+        let big = pool.take(100_000);
+        assert_eq!(big.len(), 100_000);
+        assert_eq!(pool.len(), 1, "small buffer not handed to huge request");
+    }
+
+    #[test]
+    fn pool_zeroes_reused_buffers() {
+        let pool = BufferPool::new();
+        let mut buf = pool.take(8);
+        buf.iter_mut().for_each(|v| *v = 7.0);
+        pool.put(buf);
+        let reused = pool.take(6);
+        assert!(reused.iter().all(|&v| v == 0.0), "stale data leaked");
+    }
+
+    #[test]
+    fn dropping_tape_and_grads_refills_shared_pool() {
+        let pool = Rc::new(BufferPool::new());
+        {
+            let tape = Tape::with_pool(Rc::clone(&pool));
+            let x = tape.leaf(Tensor::from_vec(vec![1., 2., 3.]));
+            let y = tape.sqr(x);
+            let loss = tape.sum_all(y);
+            let grads = tape.backward(loss);
+            assert!(grads.get(x).is_some());
+        }
+        assert!(
+            pool.len() >= 3,
+            "node values and gradients should return to the pool"
+        );
+        // A second identical pass should be served from the pool.
+        let before = pool.len();
+        {
+            let tape = Tape::with_pool(Rc::clone(&pool));
+            let x = tape.leaf(Tensor::from_vec(vec![1., 2., 3.]));
+            let y = tape.sqr(x);
+            let loss = tape.sum_all(y);
+            let _ = tape.backward(loss);
+        }
+        assert!(pool.len() >= before, "pool should not shrink across steps");
+    }
+
+    #[test]
+    fn results_identical_with_and_without_shared_pool() {
+        let run = |pool: Option<Rc<BufferPool>>| -> Vec<f32> {
+            let tape = match pool {
+                Some(p) => Tape::with_pool(p),
+                None => Tape::new(),
+            };
+            let x = tape.leaf(Tensor::from_vec(vec![0.5, -1.5, 2.0]));
+            let y = tape.sqr(x);
+            let z = tape.scale(y, 3.0);
+            let loss = tape.sum_all(z);
+            let grads = tape.backward(loss);
+            grads.get(x).unwrap().data().to_vec()
+        };
+        let fresh = run(None);
+        let pool = Rc::new(BufferPool::new());
+        let first = run(Some(Rc::clone(&pool)));
+        let second = run(Some(pool)); // runs entirely on recycled buffers
+        assert_eq!(fresh, first);
+        assert_eq!(fresh, second);
     }
 }

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 /// Bounded, well-conditioned values (finite differences are noisy near 0 for
 /// division and at large magnitudes for exp-family ops).
 fn values(n: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(prop_oneof![(-2.0f32..-0.2), (0.2f32..2.0)], n..=n)
+    prop::collection::vec(prop_oneof![-2.0f32..-0.2, 0.2f32..2.0], n..=n)
 }
 
 proptest! {

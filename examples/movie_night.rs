@@ -18,7 +18,6 @@ use delrec::core::{
 };
 use delrec::data::synthetic::{DatasetProfile, SyntheticConfig};
 use delrec::data::{ItemId, Split};
-use delrec::eval::Ranker;
 use delrec::lm::PretrainConfig;
 
 fn main() {

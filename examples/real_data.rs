@@ -7,7 +7,9 @@
 //! cargo run --release --example real_data
 //! ```
 
-use delrec::core::{build_teacher, pretrained_lm, DelRec, DelRecConfig, LmPreset, Pipeline, TeacherKind};
+use delrec::core::{
+    build_teacher, pretrained_lm, DelRec, DelRecConfig, LmPreset, Pipeline, TeacherKind,
+};
 use delrec::data::io::load_tsv_file;
 use delrec::data::Split;
 use delrec::eval::{evaluate, EvalConfig};
@@ -22,11 +24,26 @@ fn main() -> std::io::Result<()> {
         let mut f = std::fs::File::create(&path)?;
         writeln!(f, "# user\titem\tts\ttitle")?;
         let titles = [
-            "midnight harbor", "silver canyon", "iron resolve", "paper moons",
-            "static bloom", "lantern hill", "copper sky", "quiet engine",
-            "glass orchard", "ember field", "north signal", "velvet rail",
-            "hollow crown", "sable coast", "briar gate", "plain thunder",
-            "garnet row", "winter market", "salt meridian", "cedar line",
+            "midnight harbor",
+            "silver canyon",
+            "iron resolve",
+            "paper moons",
+            "static bloom",
+            "lantern hill",
+            "copper sky",
+            "quiet engine",
+            "glass orchard",
+            "ember field",
+            "north signal",
+            "velvet rail",
+            "hollow crown",
+            "sable coast",
+            "briar gate",
+            "plain thunder",
+            "garnet row",
+            "winter market",
+            "salt meridian",
+            "cedar line",
         ];
         for user in 0..30 {
             for step in 0..12 {

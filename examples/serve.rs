@@ -18,7 +18,6 @@ use delrec::core::{
 };
 use delrec::data::synthetic::{DatasetProfile, SyntheticConfig};
 use delrec::data::{Dataset, ItemId};
-use delrec::eval::Ranker;
 use delrec::lm::PretrainConfig;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -87,7 +86,10 @@ fn main() {
     }
     let (body, latency) = t.join().unwrap();
     println!("response: {body}");
-    println!("round-trip latency: {:.1} ms", latency.as_secs_f64() * 1000.0);
+    println!(
+        "round-trip latency: {:.1} ms",
+        latency.as_secs_f64() * 1000.0
+    );
 }
 
 /// Parse one request, write one response, close.
@@ -104,12 +106,14 @@ fn handle(stream: TcpStream, model: &DelRec, data: &Dataset) {
     }
     let mut stream = reader.into_inner();
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
-    let response = match path.strip_prefix("/recommend/").and_then(|u| u.parse::<usize>().ok()) {
+    let response = match path
+        .strip_prefix("/recommend/")
+        .and_then(|u| u.parse::<usize>().ok())
+    {
         Some(user) if user < data.sequences.len() => {
             let history: Vec<ItemId> = data.sequences[user].items().collect();
             let candidates: Vec<ItemId> = data.catalog.ids().collect();
-            let scores =
-                delrec::eval::score_candidates_chunked(model, &history, &candidates, 14);
+            let scores = delrec::eval::score_candidates_chunked(model, &history, &candidates, 14);
             let mut idx: Vec<usize> = (0..scores.len()).collect();
             idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
             let items: Vec<String> = idx

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Repo-wide checks: formatting, lints (warnings are errors), and tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace -- -D warnings
+cargo test -q

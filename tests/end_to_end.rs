@@ -10,7 +10,6 @@ use delrec::data::{Dataset, Split};
 use delrec::eval::{evaluate, EvalConfig, Ranker};
 use delrec::lm::{MiniLm, PretrainConfig};
 
-
 fn tiny_world() -> (Dataset, Pipeline, MiniLm) {
     let data = SyntheticConfig::profile(DatasetProfile::MovieLens100K)
         .scaled(0.08)

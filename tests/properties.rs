@@ -4,9 +4,12 @@ use delrec::data::synthetic::{DatasetProfile, SyntheticConfig};
 use delrec::data::{CandidateSampler, ItemId, Vocab};
 use delrec::eval::metrics::RankingReport;
 use delrec::eval::ttest::two_sided_p;
+use delrec::lm::{verbalizer, LmToken, MiniLm, MiniLmConfig};
 use delrec::seqrec::top_k;
-use delrec::tensor::{Tape, Tensor};
+use delrec::tensor::{Ctx, Tape, Tensor};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -106,6 +109,121 @@ proptest! {
         let joined = text.join(" ");
         let ids = vocab.encode(&joined);
         prop_assert_eq!(vocab.decode(&ids), joined);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `forward_batch` over right-padded sequences matches running each
+    /// sequence through its own forward pass, within 1e-5, at every valid
+    /// position — the batched == looped-single contract of the batch-first
+    /// execution path.
+    #[test]
+    fn forward_batch_matches_per_sequence_forward(
+        lens in prop::collection::vec(1usize..12, 1..5),
+        causal_bit in 0u8..2,
+        seed in 0u64..1000,
+    ) {
+        let causal = causal_bit == 1;
+        let vocab = 40usize;
+        let cfg = MiniLmConfig {
+            vocab_size: vocab,
+            d_model: 16,
+            num_layers: 1,
+            num_heads: 2,
+            ffn_dim: 32,
+            max_len: 16,
+            dropout: 0.0,
+            causal,
+        };
+        let lm = MiniLm::new(cfg, seed);
+        let mut tok_rng = StdRng::seed_from_u64(seed ^ 0x51ED);
+        use rand::Rng;
+        let seqs: Vec<Vec<LmToken>> = lens
+            .iter()
+            .map(|&l| {
+                (0..l)
+                    .map(|_| LmToken::Vocab(tok_rng.random_range(0..vocab as u32)))
+                    .collect()
+            })
+            .collect();
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, lm.store(), false);
+        let mut rng = StdRng::seed_from_u64(0);
+        let batched = tape.get(lm.forward_batch(&ctx, &seqs, None, &mut rng));
+        let t_max = lens.iter().copied().max().unwrap();
+        for (b, seq) in seqs.iter().enumerate() {
+            let tape1 = Tape::new();
+            let ctx1 = Ctx::new(&tape1, lm.store(), false);
+            let mut rng1 = StdRng::seed_from_u64(0);
+            let single = tape1.get(lm.forward_batch(&ctx1, std::slice::from_ref(seq), None, &mut rng1));
+            for t in 0..seq.len() {
+                let got = batched.row(b * t_max + t);
+                let want = single.row(t);
+                for (v, (g, w)) in got.iter().zip(want).enumerate() {
+                    prop_assert!(
+                        (g - w).abs() < 1e-5,
+                        "b={b} t={t} vocab={v}: {g} vs {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Batched candidate scoring commutes with any permutation of the
+    /// candidate order: permuting a candidate set permutes its score row the
+    /// same way, independent of the other examples in the batch.
+    #[test]
+    fn batched_candidate_scores_commute_with_order(
+        bsz in 1usize..4,
+        m in 2usize..6,
+        keys in prop::collection::vec(0u32..1000, 8),
+        seed in 0u64..1000,
+    ) {
+        let vocab = 30usize;
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Fixed-size candidate sets of 1–3-token titles per batch row.
+        let sets: Vec<Vec<Vec<u32>>> = (0..bsz)
+            .map(|_| {
+                (0..m)
+                    .map(|_| {
+                        let l = rng.random_range(1..4usize);
+                        (0..l).map(|_| rng.random_range(0..vocab as u32)).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let logits_data: Vec<f32> =
+            (0..bsz * vocab).map(|_| rng.random_range(-3.0..3.0f32)).collect();
+        // Permutation of 0..m derived from the generated keys by argsort.
+        let mut perm: Vec<usize> = (0..m).collect();
+        perm.sort_by_key(|&i| keys[i]);
+
+        let score = |sets: &[Vec<Vec<u32>>]| -> Vec<Vec<f32>> {
+            let tape = Tape::new();
+            let logits = tape.leaf(Tensor::new([bsz, vocab], logits_data.clone()));
+            let refs: Vec<&[Vec<u32>]> = sets.iter().map(|s| s.as_slice()).collect();
+            let out = tape.get(verbalizer::candidate_scores_batch(&tape, logits, &refs));
+            (0..bsz).map(|b| out.row(b).to_vec()).collect()
+        };
+        let base = score(&sets);
+        let permuted_sets: Vec<Vec<Vec<u32>>> = sets
+            .iter()
+            .map(|s| perm.iter().map(|&i| s[i].clone()).collect())
+            .collect();
+        let permuted = score(&permuted_sets);
+        for b in 0..bsz {
+            for (j, &i) in perm.iter().enumerate() {
+                prop_assert!(
+                    (permuted[b][j] - base[b][i]).abs() < 1e-6,
+                    "b={b}: permuted[{j}]={} vs base[{i}]={}",
+                    permuted[b][j],
+                    base[b][i]
+                );
+            }
+        }
     }
 }
 

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset this workspace uses: `Criterion::default()`,
+//! `sample_size`, `bench_function` with `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros (the `name/config/targets`
+//! form). Each benchmark runs a short warmup, then `sample_size` timed
+//! samples, and reports min/median/mean iteration time to stdout.
+//!
+//! Deviations from upstream: no statistical outlier analysis, no HTML
+//! reports, no baseline comparison — just wall-clock numbers, so benches
+//! stay runnable without registry access.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark harness: collects samples and prints a summary per benchmark.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (upstream default is 100; this
+    /// shim defaults lower since there is no statistical analysis to feed).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark: warmup, then `sample_size` timed samples of the
+    /// closure handed to [`Bencher::iter`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // Warmup: run until ~50ms elapsed so caches/branch predictors settle
+        // and we can pick an iteration count that makes samples measurable.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warmup_start = Instant::now();
+        let mut warmup_runs = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            warmup_runs += 1;
+            if bencher.elapsed > Duration::from_millis(200) {
+                break;
+            }
+        }
+        let per_iter = if warmup_runs > 0 {
+            warmup_start.elapsed() / warmup_runs as u32
+        } else {
+            Duration::from_millis(1)
+        };
+        // Aim for samples of ~10ms each, capped to keep total time bounded.
+        let target = Duration::from_millis(10);
+        let iters = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed / iters as u32);
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{id:<40} time: [min {:>12?}  median {:>12?}  mean {:>12?}]  ({} samples x {iters} iters)",
+            min,
+            median,
+            mean,
+            samples.len(),
+        );
+        self
+    }
+
+    /// Upstream calls this after all groups run; here it's a no-op.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Handed to each benchmark closure; times the routine under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it the harness-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Define a benchmark group. Supports both the plain form
+/// `criterion_group!(benches, f1, f2)` and the configured form
+/// `criterion_group!{name = benches; config = ...; targets = f1, f2}`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given benchmark groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("sum_small", |b| {
+            b.iter(|| (0..64u64).map(black_box).sum::<u64>())
+        });
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        let mut c = Criterion::default().sample_size(3);
+        tiny_bench(&mut c);
+    }
+}
