@@ -1,0 +1,209 @@
+//! `infer` — throughput of the grad-free inference engine vs. the autograd
+//! tape on the MiniLm prompt scorer. Sweeps {tape, engine exact/fast} ×
+//! {prefix cache off/on} × B ∈ {1, 8, 32} over the same recommendation
+//! prompts and writes `BENCH_infer.json`.
+//!
+//! What to expect: the tape pays per-op node allocation and closure boxing on
+//! every forward, and pads every example to the longest prompt in its chunk.
+//! The engine removes the tape bookkeeping, prunes the final block down to
+//! the mask rows (one row per example instead of the whole padded batch —
+//! the dominant win for a 1-layer model, since the [B·T, vocab] head matmul
+//! and T² softmaxes collapse to [B, ·]), and with the prefix cache skips
+//! re-encoding the shared template head. Fast math trades the libm
+//! transcendentals for polynomial kernels on top. Exact-mode engine scores
+//! are asserted bitwise equal to the tape's before timing starts.
+
+use delrec_bench::{banner, write_json, CliArgs, ExperimentContext};
+use delrec_core::{LmPreset, PromptBuilder, SoftMode, TeacherKind};
+use delrec_data::synthetic::DatasetProfile;
+use delrec_data::{CandidateSampler, Split};
+use delrec_eval::json::Json;
+use delrec_eval::report::Table;
+use delrec_lm::verbalizer;
+use delrec_tensor::{Ctx, InferCtx, MathMode, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::Range;
+use std::time::Instant;
+
+const BATCH_SIZES: [usize; 3] = [1, 8, 32];
+
+/// Process `n` examples in chunks of `batch`, returning items/sec — best of
+/// three passes (the engine configurations are fast enough at bench scale
+/// that a single pass is timer-noise-dominated).
+fn measure(n: usize, batch: usize, mut run_chunk: impl FnMut(Range<usize>)) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut i = 0;
+        while i < n {
+            let end = (i + batch).min(n);
+            run_chunk(i..end);
+            i = end;
+        }
+        best = best.max(n as f64 / start.elapsed().as_secs_f64().max(1e-9));
+    }
+    best
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    banner(&format!(
+        "Inference engine — MiniLm items/sec at B = {{1, 8, 32}} (scale: {})",
+        args.scale
+    ));
+    let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, args.scale, args.seed);
+    let examples = ctx.dataset.examples(Split::Test);
+    let n = examples.len().min(64);
+    assert!(n > 0, "no test examples");
+
+    // The same prompt stream the batching benchmark scores.
+    let lm = ctx.lm(LmPreset::Large);
+    let pb = PromptBuilder::new(
+        &ctx.pipeline.vocab,
+        &ctx.pipeline.items,
+        TeacherKind::SASRec.name(),
+    );
+    let sampler = CandidateSampler::new(ctx.dataset.num_items(), 15);
+    let mut seqs = Vec::with_capacity(n);
+    let mut mask_pos = Vec::with_capacity(n);
+    let mut title_sets = Vec::with_capacity(n);
+    let mut prefix_len = 0;
+    for (i, ex) in examples[..n].iter().enumerate() {
+        let cands = sampler.candidates(ex.target, args.seed, i);
+        let take = ex.prefix.len().min(9);
+        let prompt =
+            pb.recommendation(&ex.prefix[ex.prefix.len() - take..], &cands, SoftMode::None);
+        prefix_len = prompt.prefix_len;
+        seqs.push(prompt.tokens);
+        mask_pos.push(prompt.mask_pos);
+        title_sets.push(ctx.pipeline.items.titles_of(&cands));
+    }
+    let shared_prefix = seqs[0][..prefix_len].to_vec();
+
+    // Correctness gate before any timing: exact engine scores (cache on)
+    // must be bitwise identical to the tape's.
+    {
+        let tape = Tape::new();
+        let c = Ctx::new(&tape, lm.store(), false);
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits = tape.get(lm.mask_logits_batch(&c, &seqs, None, &mask_pos, &mut rng));
+        let refs: Vec<&[Vec<u32>]> = title_sets.iter().map(|t| t.as_slice()).collect();
+        let want = verbalizer::rank_candidates_batch(&logits, &refs);
+        let ic = InferCtx::new(MathMode::Exact);
+        let cache = lm.build_prefix_cache(&ic, &shared_prefix, None);
+        let logits = lm.mask_logits_infer_batch(&ic, &seqs, None, &mask_pos, cache.as_ref());
+        let got = verbalizer::rank_candidates_batch_mode(&logits, &refs, MathMode::Exact);
+        assert_eq!(got, want, "exact engine must reproduce tape scores");
+    }
+
+    let mut table = Table::new(
+        std::iter::once("Engine".to_string())
+            .chain(BATCH_SIZES.iter().map(|b| format!("B={b}")))
+            .collect::<Vec<_>>(),
+    );
+    let mut engines = Vec::new();
+    let mut tape_by_batch = [f64::NAN; BATCH_SIZES.len()];
+
+    // Reference: the PR-1 tape path.
+    {
+        let mut cells = Vec::new();
+        let mut series = Vec::new();
+        for (bi, &b) in BATCH_SIZES.iter().enumerate() {
+            let ips = measure(n, b, |r| {
+                let tape = Tape::new();
+                let c = Ctx::new(&tape, lm.store(), false);
+                let mut rng = StdRng::seed_from_u64(0);
+                let logits = lm.mask_logits_batch(
+                    &c,
+                    &seqs[r.clone()],
+                    None,
+                    &mask_pos[r.clone()],
+                    &mut rng,
+                );
+                let logits = tape.get(logits);
+                let refs: Vec<&[Vec<u32>]> = title_sets[r].iter().map(|t| t.as_slice()).collect();
+                let _ = verbalizer::rank_candidates_batch(&logits, &refs);
+            });
+            tape_by_batch[bi] = ips;
+            cells.push(format!("{ips:.1} (1.00x)"));
+            series.push(Json::obj([
+                ("batch", Json::from(b)),
+                ("items_per_sec", Json::from(ips)),
+                ("speedup_vs_tape", Json::from(1.0)),
+            ]));
+        }
+        table.row(
+            std::iter::once("tape".to_string())
+                .chain(cells)
+                .collect::<Vec<_>>(),
+        );
+        engines.push(Json::obj([
+            ("engine", Json::from("tape")),
+            ("series", Json::arr(series)),
+        ]));
+    }
+
+    // Closure shared by the four engine configurations.
+    let mut run_engine = |label: &str, math: MathMode, use_cache: bool, table: &mut Table| {
+        let ic = InferCtx::new(math);
+        // Built once per run, like the eval path (rebuilt only when
+        // parameters, math mode, or the template prefix change).
+        let cache = if use_cache {
+            lm.build_prefix_cache(&ic, &shared_prefix, None)
+        } else {
+            None
+        };
+        let mut cells = Vec::new();
+        let mut series = Vec::new();
+        let mut base = f64::NAN;
+        for (bi, &b) in BATCH_SIZES.iter().enumerate() {
+            let ips = measure(n, b, |r| {
+                let logits = lm.mask_logits_infer_batch(
+                    &ic,
+                    &seqs[r.clone()],
+                    None,
+                    &mask_pos[r.clone()],
+                    cache.as_ref(),
+                );
+                let refs: Vec<&[Vec<u32>]> = title_sets[r].iter().map(|t| t.as_slice()).collect();
+                let _ = verbalizer::rank_candidates_batch_mode(&logits, &refs, math);
+            });
+            if b == 1 {
+                base = ips;
+            }
+            series.push(Json::obj([
+                ("batch", Json::from(b)),
+                ("items_per_sec", Json::from(ips)),
+                ("speedup_vs_b1", Json::from(ips / base)),
+                ("speedup_vs_tape", Json::from(ips / tape_by_batch[bi])),
+            ]));
+            cells.push(format!("{ips:.1} ({:.2}x tape)", ips / tape_by_batch[bi]));
+        }
+        table.row(
+            std::iter::once(label.to_string())
+                .chain(cells)
+                .collect::<Vec<_>>(),
+        );
+        engines.push(Json::obj([
+            ("engine", Json::from(label)),
+            ("series", Json::arr(series)),
+        ]));
+    };
+
+    run_engine("infer_exact", MathMode::Exact, false, &mut table);
+    run_engine("infer_exact_cache", MathMode::Exact, true, &mut table);
+    run_engine("infer_fast", MathMode::Fast, false, &mut table);
+    run_engine("infer_fast_cache", MathMode::Fast, true, &mut table);
+
+    println!("{}", table.to_markdown());
+    let blob = Json::obj([
+        ("experiment", Json::from("infer")),
+        ("scale", Json::from(args.scale.to_string())),
+        ("dataset", Json::from(ctx.dataset.name.clone())),
+        ("examples", Json::from(n)),
+        ("prefix_len", Json::from(prefix_len)),
+        ("engines", Json::arr(engines)),
+    ]);
+    write_json(&args.out, "BENCH_infer", &blob).expect("write results");
+}

@@ -45,6 +45,7 @@ impl Llara {
             &mut t,
         );
         t.push(LmToken::Vocab(vocab.sep()));
+        let prefix_len = t.len();
         for (slot, &id) in history.iter().enumerate() {
             for &w in items.title(id) {
                 t.push(LmToken::Vocab(w));
@@ -63,6 +64,7 @@ impl Llara {
         Prompt {
             tokens: t,
             mask_pos,
+            prefix_len,
         }
     }
 

@@ -65,6 +65,7 @@ impl LlmTrsr {
             &mut t,
         );
         t.push(LmToken::Vocab(vocab.sep()));
+        let prefix_len = t.len();
         if !older.is_empty() {
             // The "recurrent summary" of the older history.
             push_words(vocab, "the user history is like", &mut t);
@@ -89,6 +90,7 @@ impl LlmTrsr {
         Prompt {
             tokens: t,
             mask_pos,
+            prefix_len,
         }
     }
 

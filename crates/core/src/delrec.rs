@@ -8,11 +8,24 @@ use crate::stage1::{build_rps_items, build_ta_items, distill, Stage1Options, Sta
 use crate::stage2::{build_lsr_items, finetune, Stage2Options};
 use delrec_data::{Dataset, ItemId, Vocab};
 use delrec_eval::Ranker;
-use delrec_lm::{verbalizer, MiniLm, SoftPrompt};
+use delrec_lm::{verbalizer, MiniLm, PrefixCache, SoftPrompt, TitleCache};
 use delrec_seqrec::SequentialRecommender;
-use delrec_tensor::{Ctx, Tape};
+use delrec_tensor::{Ctx, InferCtx, MathMode, Tape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher;
+use std::rc::Rc;
+
+/// Lazily-maintained state of the grad-free scoring engine: the tape-free
+/// forward context (buffer pool + math mode) and the current prefix K/V
+/// cache, rebuilt whenever the parameter-store version, math mode, or prompt
+/// prefix changes.
+struct EngineState {
+    ctx: InferCtx,
+    cache: Option<PrefixCache>,
+}
 
 /// A fitted DELRec recommender.
 ///
@@ -29,6 +42,12 @@ pub struct DelRec {
     pub stage1_stats: Stage1Stats,
     /// Stage 2 loss curve (empty if fine-tuning was skipped).
     pub stage2_losses: Vec<f32>,
+    /// Whether scoring routes through the grad-free inference engine
+    /// (default) or the reference autograd tape.
+    infer_enabled: bool,
+    math: MathMode,
+    engine: RefCell<EngineState>,
+    titles: TitleCache,
 }
 
 impl DelRec {
@@ -138,6 +157,13 @@ impl DelRec {
             cfg: cfg.clone(),
             stage1_stats,
             stage2_losses,
+            infer_enabled: true,
+            math: MathMode::Exact,
+            engine: RefCell::new(EngineState {
+                ctx: InferCtx::new(MathMode::Exact),
+                cache: None,
+            }),
+            titles: TitleCache::new(),
         }
     }
 
@@ -194,7 +220,100 @@ impl DelRec {
             cfg: cfg.clone(),
             stage1_stats: Stage1Stats::default(),
             stage2_losses: Vec::new(),
+            infer_enabled: true,
+            math: MathMode::Exact,
+            engine: RefCell::new(EngineState {
+                ctx: InferCtx::new(MathMode::Exact),
+                cache: None,
+            }),
+            titles: TitleCache::new(),
         })
+    }
+
+    /// Route candidate scoring through the grad-free inference engine
+    /// (`true`, the default) or through the reference autograd-tape forward
+    /// (`false`). In [`MathMode::Exact`] the two produce bitwise-identical
+    /// scores; the tape path remains as the always-correct oracle.
+    pub fn set_inference_engine(&mut self, enabled: bool) {
+        self.infer_enabled = enabled;
+    }
+
+    /// Whether scoring currently uses the inference engine.
+    pub fn inference_engine_enabled(&self) -> bool {
+        self.infer_enabled
+    }
+
+    /// Numeric mode for engine scoring: [`MathMode::Exact`] mirrors the tape
+    /// bit for bit, [`MathMode::Fast`] swaps `exp`/`tanh` for polynomial
+    /// kernels. Switching drops the prefix K/V cache (it is keyed on the
+    /// mode).
+    pub fn set_math_mode(&mut self, math: MathMode) {
+        self.math = math;
+        let mut eng = self.engine.borrow_mut();
+        eng.ctx.set_math(math);
+        eng.cache = None;
+    }
+
+    /// Current numeric mode of the engine.
+    pub fn math_mode(&self) -> MathMode {
+        self.math
+    }
+
+    /// Memoized candidate-title lookup, keyed on the full candidate id list.
+    fn candidate_titles(&self, candidates: &[ItemId]) -> Rc<Vec<Vec<u32>>> {
+        let mut h = DefaultHasher::new();
+        h.write_usize(candidates.len());
+        for &id in candidates {
+            h.write_usize(id.index());
+        }
+        self.titles
+            .get_or_build(h.finish(), || self.items.titles_of(candidates))
+    }
+
+    /// Grad-free scoring for a chunk of requests: build the Stage-2 prompts,
+    /// refresh the shared-prefix K/V cache if stale, run the tape-free
+    /// batched forward, and verbalize.
+    fn score_infer(&self, requests: &[delrec_eval::ScoreRequest<'_>]) -> Vec<Vec<f32>> {
+        let pb = PromptBuilder::new(&self.vocab, &self.items, self.cfg.teacher.name());
+        let soft_mode = self.soft_mode();
+        let mut seqs = Vec::with_capacity(requests.len());
+        let mut mask_pos = Vec::with_capacity(requests.len());
+        let mut title_sets = Vec::with_capacity(requests.len());
+        let mut prefix_len = 0;
+        for &(prefix, candidates) in requests {
+            let take = prefix.len().min(9);
+            let history = &prefix[prefix.len() - take..];
+            let prompt = pb.recommendation(history, candidates, soft_mode);
+            debug_assert!(seqs.is_empty() || prompt.prefix_len == prefix_len);
+            prefix_len = prompt.prefix_len;
+            seqs.push(prompt.tokens);
+            mask_pos.push(prompt.mask_pos);
+            title_sets.push(self.candidate_titles(candidates));
+        }
+        let soft_values = self.sp.as_ref().map(|s| s.values(self.lm.store()));
+        let eng = &mut *self.engine.borrow_mut();
+        let shared_prefix = &seqs[0][..prefix_len];
+        let version = self.lm.store().version();
+        let fresh = eng
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.is_valid_for(version, eng.ctx.math(), shared_prefix));
+        if !fresh {
+            // `None` here (unsupported config) simply disables prefix reuse;
+            // the tape-free forward still runs.
+            eng.cache = self
+                .lm
+                .build_prefix_cache(&eng.ctx, shared_prefix, soft_values);
+        }
+        let logits = self.lm.mask_logits_infer_batch(
+            &eng.ctx,
+            &seqs,
+            soft_values,
+            &mask_pos,
+            eng.cache.as_ref(),
+        );
+        let set_refs: Vec<&[Vec<u32>]> = title_sets.iter().map(|t| t.as_slice()).collect();
+        verbalizer::rank_candidates_batch_mode(&logits, &set_refs, eng.ctx.math())
     }
 
     /// The underlying language model (for diagnostics: parameter counts,
@@ -245,6 +364,12 @@ impl Ranker for DelRec {
     }
 
     fn score_candidates(&self, prefix: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
+        if self.infer_enabled {
+            return self
+                .score_infer(&[(prefix, candidates)])
+                .pop()
+                .expect("one score row per request");
+        }
         let pb = PromptBuilder::new(&self.vocab, &self.items, self.cfg.teacher.name());
         // Cap history to the paper's n − 1 most recent interactions.
         let take = prefix.len().min(9);
@@ -264,6 +389,9 @@ impl Ranker for DelRec {
     fn score_candidates_batch(&self, requests: &[delrec_eval::ScoreRequest<'_>]) -> Vec<Vec<f32>> {
         if requests.is_empty() {
             return Vec::new();
+        }
+        if self.infer_enabled {
+            return self.score_infer(requests);
         }
         let pb = PromptBuilder::new(&self.vocab, &self.items, self.cfg.teacher.name());
         let mut seqs = Vec::with_capacity(requests.len());

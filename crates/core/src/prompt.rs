@@ -79,6 +79,13 @@ pub struct Prompt {
     pub tokens: Vec<LmToken>,
     /// Position of the `[mask]` token.
     pub mask_pos: usize,
+    /// Length of the example-independent head: instruction words, soft-prompt
+    /// slots, and the section header up to where per-example content (the
+    /// user history, the in-context example) begins. Prompts built from the
+    /// same template share their first `prefix_len` tokens exactly, which is
+    /// what the inference engine's prefix K/V cache keys on. Always
+    /// `< mask_pos`.
+    pub prefix_len: usize,
 }
 
 /// Builds the three DELRec prompts over a shared vocabulary.
@@ -158,11 +165,18 @@ impl<'a> PromptBuilder<'a> {
     }
 
     /// Finish with the mask slot; returns the completed prompt.
-    fn finish(&self, mut tokens: Vec<LmToken>) -> Prompt {
+    /// `prefix_len` is the template's shared-head boundary recorded by the
+    /// caller before any per-example tokens were pushed.
+    fn finish(&self, mut tokens: Vec<LmToken>, prefix_len: usize) -> Prompt {
         self.words("answer", &mut tokens);
         let mask_pos = tokens.len();
         tokens.push(LmToken::Vocab(self.vocab.mask()));
-        Prompt { tokens, mask_pos }
+        debug_assert!(prefix_len < mask_pos);
+        Prompt {
+            tokens,
+            mask_pos,
+            prefix_len,
+        }
     }
 
     /// Figure 4 — *Temporal Analysis* (PMRI). The in-context example shows
@@ -194,6 +208,7 @@ impl<'a> PromptBuilder<'a> {
         self.push_soft(soft, &mut t);
         self.words("example", &mut t);
         t.push(LmToken::Vocab(self.vocab.sep()));
+        let prefix_len = t.len();
         self.push_items(icl_history, &mut t);
         self.words("next", &mut t);
         self.push_item(icl_next, &mut t);
@@ -210,6 +225,7 @@ impl<'a> PromptBuilder<'a> {
         Prompt {
             tokens: t,
             mask_pos,
+            prefix_len,
         }
     }
 
@@ -236,6 +252,7 @@ impl<'a> PromptBuilder<'a> {
         self.push_soft(soft, &mut t);
         self.words("history", &mut t);
         t.push(LmToken::Vocab(self.vocab.sep()));
+        let prefix_len = t.len();
         self.push_items(history, &mut t);
         self.words(
             &format!("top items by the {} model", self.teacher_name),
@@ -244,7 +261,7 @@ impl<'a> PromptBuilder<'a> {
         t.push(LmToken::Vocab(self.vocab.sep()));
         self.push_items(top_h_shuffled, &mut t);
         self.push_candidates(candidates, &mut t);
-        self.finish(t)
+        self.finish(t, prefix_len)
     }
 
     /// Paradigm-1 baseline prompt (RecRanker-style): the ground-truth task
@@ -267,6 +284,7 @@ impl<'a> PromptBuilder<'a> {
         t.push(LmToken::Vocab(self.vocab.sep()));
         self.words("history", &mut t);
         t.push(LmToken::Vocab(self.vocab.sep()));
+        let prefix_len = t.len();
         self.push_items(history, &mut t);
         self.words(
             &format!("top items by the {} model", self.teacher_name),
@@ -275,7 +293,7 @@ impl<'a> PromptBuilder<'a> {
         t.push(LmToken::Vocab(self.vocab.sep()));
         self.push_items(teacher_hints, &mut t);
         self.push_candidates(candidates, &mut t);
-        self.finish(t)
+        self.finish(t, prefix_len)
     }
 
     /// Figure 6 — *LLMs-based Sequential Recommendation*: the Stage 2 /
@@ -305,9 +323,10 @@ impl<'a> PromptBuilder<'a> {
         self.push_soft(soft, &mut t);
         self.words("history", &mut t);
         t.push(LmToken::Vocab(self.vocab.sep()));
+        let prefix_len = t.len();
         self.push_items(history, &mut t);
         self.push_candidates(candidates, &mut t);
-        self.finish(t)
+        self.finish(t, prefix_len)
     }
 }
 
@@ -344,6 +363,29 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(masks, vec![p.mask_pos]);
+    }
+
+    #[test]
+    fn same_template_prompts_share_exactly_their_prefix() {
+        let (ds, vocab) = setup();
+        let items = ItemTokens::build(&ds.catalog, &vocab);
+        let pb = PromptBuilder::new(&vocab, &items, "sasrec");
+        for soft in [SoftMode::None, SoftMode::Slots(4), SoftMode::Manual] {
+            let a = pb.recommendation(&ids(&[0, 1, 2]), &ids(&[3, 4, 5]), soft);
+            let b = pb.recommendation(&ids(&[6, 7]), &ids(&[8, 9, 0]), soft);
+            assert_eq!(a.prefix_len, b.prefix_len, "{soft:?}");
+            assert!(a.prefix_len > 0 && a.prefix_len < a.mask_pos);
+            assert_eq!(
+                a.tokens[..a.prefix_len],
+                b.tokens[..b.prefix_len],
+                "{soft:?}: shared head must be example-independent"
+            );
+            assert_ne!(
+                a.tokens[a.prefix_len..],
+                b.tokens[b.prefix_len..],
+                "{soft:?}: per-example content differs"
+            );
+        }
     }
 
     #[test]

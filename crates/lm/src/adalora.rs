@@ -6,7 +6,7 @@
 //! are pruned by an exponential-moving-average sensitivity score, so the
 //! rank budget concentrates on the projections that matter.
 
-use delrec_tensor::{init, Ctx, ParamId, ParamStore, Tensor, Var};
+use delrec_tensor::{init, matmul_raw, Ctx, ParamId, ParamStore, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -122,6 +122,28 @@ impl AdaLora {
         let pe = tape.mul(p, e);
         let d = tape.matmul(pe, q);
         tape.scale(d, self.cfg.scale)
+    }
+
+    /// Dense `ΔW` for adapter `idx`, computed without a tape. Mirrors
+    /// [`AdaLora::delta`] step for step — same suffix broadcast of `e`, same
+    /// [`matmul_raw`] kernel, same final scale — so `W + ΔW` built from it is
+    /// bitwise identical to the tape path's effective projection. Used by the
+    /// grad-free inference engine.
+    pub fn delta_dense(&self, store: &ParamStore, idx: usize) -> Tensor {
+        let a = &self.adapters[idx];
+        let (p, e, q) = (store.get(a.p), store.get(a.e), store.get(a.q));
+        let (d_in, r) = (p.shape().dim(0), p.shape().dim(1));
+        let d_out = q.shape().dim(1);
+        let mut pe = vec![0.0f32; d_in * r];
+        for (i, (o, &x)) in pe.iter_mut().zip(p.data()).enumerate() {
+            *o = x * e.data()[i % r];
+        }
+        let mut out = vec![0.0f32; d_in * d_out];
+        matmul_raw(&pe, q.data(), &mut out, d_in, r, d_out);
+        for o in &mut out {
+            *o *= self.cfg.scale;
+        }
+        Tensor::new([d_in, d_out], out)
     }
 
     /// Mark adapter parameters trainable/frozen (soft-prompt stages flip

@@ -1,0 +1,634 @@
+//! Grad-free inference engine for [`MiniLm`]: a tape-free forward pass with
+//! an optional shared-prefix K/V cache.
+//!
+//! Evaluation and serving score thousands of candidate sets without ever
+//! taking a gradient, yet the tape path re-records every op — node
+//! allocations, parent lists, boxed backward closures — per scoring call.
+//! [`MiniLm::mask_logits_infer_batch`] runs the same arithmetic straight on
+//! pooled buffers, with two structural savings the tape cannot express:
+//!
+//! * **Shared-prefix K/V cache** ([`PrefixCache`]): DELRec's Stage-2 prompt
+//!   opens with a frozen head — instruction words, the distilled soft
+//!   prompts, and the template up to the history section — identical across
+//!   every example of an eval run. Its per-layer attention keys/values are
+//!   computed once and reused, shrinking per-example attention from
+//!   O((P+S)²) to O(S·(P+S)) and skipping the prefix FFN entirely.
+//! * **Last-layer query pruning**: only the mask positions feed the output
+//!   head, so the final block computes queries, attention, and FFN for one
+//!   row per example instead of the whole padded batch.
+//!
+//! In [`MathMode::Exact`] the output is **bitwise identical** to
+//! [`MiniLm::mask_logits_batch`]: every kernel mirrors its tape counterpart
+//! (same `matmul_raw` k-grouping, same masked-softmax prefix, same
+//! layer-norm epsilon), padded tails contribute exact `+0.0` terms, and
+//! row-local ops are computed per row either way. The tests below pin this
+//! for every preset, with soft prompts and AdaLoRA adapters attached.
+//!
+//! **Cache validity**: per-layer prefix K/V are suffix-independent only when
+//! the model is causal or has a single layer (a bidirectional layer ≥ 1
+//! reads suffix positions into every prefix hidden state), so
+//! [`MiniLm::build_prefix_cache`] returns `None` otherwise and callers fall
+//! back to the plain tape-free forward. A cache is also keyed on the
+//! parameter-store [`version`](delrec_tensor::ParamStore::version) and the
+//! [`MathMode`], so any soft-prompt or AdaLoRA update invalidates it.
+
+use crate::transformer::{LmToken, MiniLm};
+use delrec_tensor::infer::{layer_norm_rows, InferCtx, MathMode};
+use delrec_tensor::{matmul_raw, transpose_into, ParamId, Tensor};
+use std::borrow::Cow;
+
+/// Per-head cached attention tensors: `Kᵀ` (`[d_head, P]`) and `V`
+/// (`[P, d_head]`).
+type HeadKv = (Vec<f32>, Vec<f32>);
+
+/// Precomputed per-layer, per-head attention keys/values for a frozen prompt
+/// prefix shared by every sequence of a batch (and typically a whole eval
+/// run).
+///
+/// Memory layout: `layers[l][h] = (Kᵀ, V)` where `Kᵀ` is `[d_head, P]`
+/// (ready to sit as the first `P` columns of the assembled key matrix) and
+/// `V` is `[P, d_head]` (the first `P` rows of the value matrix) — about
+/// `2·L·d_model·P` floats total.
+pub struct PrefixCache {
+    tokens: Vec<LmToken>,
+    version: u64,
+    math: MathMode,
+    layers: Vec<Vec<HeadKv>>,
+    p: usize,
+    has_soft: bool,
+}
+
+impl PrefixCache {
+    /// Number of cached prefix positions.
+    pub fn len(&self) -> usize {
+        self.p
+    }
+
+    /// True when no positions are cached (never constructed; `build_prefix_cache`
+    /// returns `None` instead).
+    pub fn is_empty(&self) -> bool {
+        self.p == 0
+    }
+
+    /// The prefix tokens this cache was built for.
+    pub fn tokens(&self) -> &[LmToken] {
+        &self.tokens
+    }
+
+    /// Whether this cache may be used for the given store version, math mode
+    /// and prompt prefix. Any parameter write (soft-prompt or AdaLoRA
+    /// update, optimizer step) bumps the store version and invalidates.
+    pub fn is_valid_for(&self, store_version: u64, math: MathMode, prefix: &[LmToken]) -> bool {
+        self.version == store_version && self.math == math && self.tokens == prefix
+    }
+}
+
+/// Effective weights of one block, resolved once per forward: attention
+/// projections carry their AdaLoRA delta (mirroring the tape path, which
+/// adapts only q/k/v — `wo`/`w1`/`w2` use the raw store weights there even
+/// though adapters exist for them).
+struct EffBlock<'a> {
+    wq: Vec<Cow<'a, [f32]>>,
+    wk: Vec<Cow<'a, [f32]>>,
+    wv: Vec<Cow<'a, [f32]>>,
+    wo: &'a [f32],
+    ln1_g: &'a [f32],
+    ln1_b: &'a [f32],
+    w1: &'a [f32],
+    b1: &'a [f32],
+    w2: &'a [f32],
+    b2: &'a [f32],
+    ln2_g: &'a [f32],
+    ln2_b: &'a [f32],
+}
+
+/// Embedding tables plus the batch-level soft flag, so suffix rows mirror
+/// the tape's scatter-add order (including the exact `+0.0` a hard token
+/// receives from the soft scatter when the batch has any soft token).
+struct EmbedTables<'a> {
+    tok: &'a [f32],
+    pos: &'a [f32],
+    soft: Option<&'a Tensor>,
+    has_soft: bool,
+    d: usize,
+}
+
+impl EmbedTables<'_> {
+    fn write_row(&self, token: LmToken, t: usize, out: &mut [f32]) {
+        let d = self.d;
+        for (c, o) in out.iter_mut().enumerate() {
+            let mut v = match token {
+                LmToken::Vocab(w) => self.tok[w as usize * d + c],
+                LmToken::Soft(_) => 0.0,
+            };
+            if self.has_soft {
+                v += match token {
+                    LmToken::Soft(s) => self
+                        .soft
+                        .expect("input has soft tokens but no soft table given")
+                        .data()[s * d + c],
+                    LmToken::Vocab(_) => 0.0,
+                };
+            }
+            *o = v + self.pos[t * d + c];
+        }
+    }
+}
+
+impl MiniLm {
+    /// Effective projection `W (+ ΔW)`, mirroring the tape's `proj`.
+    fn eff_proj(&self, id: ParamId) -> Cow<'_, [f32]> {
+        match (&self.adapters, self.adapter_of.get(&id)) {
+            (Some(ada), Some(&idx)) => {
+                let delta = ada.delta_dense(&self.store, idx);
+                let mut out = self.store.get(id).data().to_vec();
+                for (o, &dv) in out.iter_mut().zip(delta.data()) {
+                    *o += dv;
+                }
+                Cow::Owned(out)
+            }
+            _ => Cow::Borrowed(self.store.get(id).data()),
+        }
+    }
+
+    fn eff_blocks(&self) -> Vec<EffBlock<'_>> {
+        self.blocks
+            .iter()
+            .map(|b| EffBlock {
+                wq: b.wq.iter().map(|&id| self.eff_proj(id)).collect(),
+                wk: b.wk.iter().map(|&id| self.eff_proj(id)).collect(),
+                wv: b.wv.iter().map(|&id| self.eff_proj(id)).collect(),
+                wo: self.store.get(b.wo).data(),
+                ln1_g: self.store.get(b.ln1_g).data(),
+                ln1_b: self.store.get(b.ln1_b).data(),
+                w1: self.store.get(b.w1).data(),
+                b1: self.store.get(b.b1).data(),
+                w2: self.store.get(b.w2).data(),
+                b2: self.store.get(b.b2).data(),
+                ln2_g: self.store.get(b.ln2_g).data(),
+                ln2_b: self.store.get(b.ln2_b).data(),
+            })
+            .collect()
+    }
+
+    /// Build a K/V cache for `prefix`, or `None` when caching cannot be
+    /// exact: every sequence scored against the cache must start with
+    /// exactly these tokens, and the model must be causal or single-layer
+    /// (deeper bidirectional prefix states depend on the suffix).
+    pub fn build_prefix_cache(
+        &self,
+        ic: &InferCtx,
+        prefix: &[LmToken],
+        soft_table: Option<&Tensor>,
+    ) -> Option<PrefixCache> {
+        if prefix.is_empty() {
+            return None;
+        }
+        if !self.cfg.causal && self.cfg.num_layers > 1 {
+            return None;
+        }
+        assert!(
+            prefix.len() < self.cfg.max_len,
+            "prefix length {} leaves no room for a suffix under max_len {}",
+            prefix.len(),
+            self.cfg.max_len
+        );
+        let mut layers = Vec::with_capacity(self.cfg.num_layers);
+        let seqs = [prefix.to_vec()];
+        let h = self.encode_infer(ic, &seqs, soft_table, None, None, Some(&mut layers));
+        ic.recycle(h);
+        Some(PrefixCache {
+            tokens: prefix.to_vec(),
+            version: self.store.version(),
+            math: ic.math(),
+            layers,
+            p: prefix.len(),
+            has_soft: prefix.iter().any(|t| matches!(t, LmToken::Soft(_))),
+        })
+    }
+
+    /// Batched mask-position logits `[B, vocab_size]` without a tape: the
+    /// grad-free counterpart of [`MiniLm::mask_logits_batch`], bitwise
+    /// identical to it in [`MathMode::Exact`]. With a [`PrefixCache`], every
+    /// sequence must extend the cached prefix and only the suffix is
+    /// embedded and encoded.
+    pub fn mask_logits_infer_batch(
+        &self,
+        ic: &InferCtx,
+        seqs: &[Vec<LmToken>],
+        soft_table: Option<&Tensor>,
+        mask_pos: &[usize],
+        cache: Option<&PrefixCache>,
+    ) -> Tensor {
+        let bsz = seqs.len();
+        assert_eq!(bsz, mask_pos.len(), "one mask position per sequence");
+        let d = self.cfg.d_model;
+        let vsz = self.cfg.vocab_size;
+        let h = self.encode_infer(ic, seqs, soft_table, cache, Some(mask_pos), None);
+        // Final layer norm over the mask rows only — row-local, so identical
+        // to the tape's normalize-everything-then-gather.
+        let mut hf = ic.alloc(bsz * d);
+        layer_norm_rows(
+            &h,
+            self.store.get(self.ln_f_g).data(),
+            self.store.get(self.ln_f_b).data(),
+            &mut hf,
+        );
+        ic.recycle(h);
+        let tok_emb = self.store.get(self.tok_emb).data();
+        let mut emb_t = ic.alloc(d * vsz);
+        transpose_into(tok_emb, vsz, d, &mut emb_t);
+        let mut logits = ic.alloc(bsz * vsz);
+        matmul_raw(&hf, &emb_t, &mut logits, bsz, d, vsz);
+        let head_bias = self.store.get(self.head_bias).data();
+        for (i, x) in logits.iter_mut().enumerate() {
+            *x += head_bias[i % vsz];
+        }
+        ic.recycle(hf);
+        ic.recycle(emb_t);
+        Tensor::new([bsz, vsz], logits)
+    }
+
+    /// Encoder stack without a tape. Returns the pre-final-layer-norm hidden
+    /// rows: all `B·s_max` suffix rows, or one row per example when
+    /// `mask_pos` enables last-layer query pruning. With `capture`, each
+    /// layer's per-head `(Kᵀ, V)` over the (single, unpadded) input is
+    /// recorded — the cache-building mode.
+    fn encode_infer(
+        &self,
+        ic: &InferCtx,
+        seqs: &[Vec<LmToken>],
+        soft_table: Option<&Tensor>,
+        cache: Option<&PrefixCache>,
+        mask_pos: Option<&[usize]>,
+        mut capture: Option<&mut Vec<Vec<HeadKv>>>,
+    ) -> Vec<f32> {
+        let cfg = &self.cfg;
+        let bsz = seqs.len();
+        assert!(bsz > 0, "empty batch");
+        let d = cfg.d_model;
+        let heads = cfg.num_heads;
+        let dh = d / heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let p = cache.map_or(0, |c| c.p);
+        let mut s_max = 0usize;
+        for tokens in seqs {
+            assert!(
+                tokens.len() <= cfg.max_len,
+                "input length {} exceeds max_len {}",
+                tokens.len(),
+                cfg.max_len
+            );
+            assert!(
+                tokens.len() > p,
+                "sequence no longer than the cached prefix"
+            );
+            s_max = s_max.max(tokens.len() - p);
+        }
+        let rows = bsz * s_max;
+        let kmax = p + s_max;
+        let has_soft = seqs
+            .iter()
+            .any(|s| s.iter().any(|t| matches!(t, LmToken::Soft(_))));
+        if let Some(c) = cache {
+            debug_assert!(
+                seqs.iter().all(|s| s[..p] == c.tokens[..]),
+                "prefix cache does not match the sequences"
+            );
+            // A prefix-only soft batch vs. suffix-only soft batch would
+            // differ in the tape's scatter-add of exact +0.0 terms; DELRec's
+            // templates put soft tokens in the prefix, so flag divergence.
+            debug_assert_eq!(c.has_soft, has_soft, "soft-token layout changed");
+        }
+        debug_assert!(capture.is_none() || (bsz == 1 && cache.is_none() && mask_pos.is_none()));
+        // Suffix-local row index of each mask position (last-layer pruning).
+        let mask_rows: Option<Vec<usize>> = mask_pos.map(|mp| {
+            assert_eq!(mp.len(), bsz, "one mask position per sequence");
+            mp.iter()
+                .zip(seqs)
+                .enumerate()
+                .map(|(b, (&q, tokens))| {
+                    assert!(q >= p && q < tokens.len(), "mask position out of range");
+                    b * s_max + (q - p)
+                })
+                .collect()
+        });
+
+        // Suffix embeddings; rows past a sequence's end stay exactly zero,
+        // like the tape's scatter.
+        let emb = EmbedTables {
+            tok: self.store.get(self.tok_emb).data(),
+            pos: self.store.get(self.pos_emb).data(),
+            soft: soft_table,
+            has_soft,
+            d,
+        };
+        let mut h = ic.alloc(rows * d);
+        for (b, tokens) in seqs.iter().enumerate() {
+            for (s, &tok) in tokens[p..].iter().enumerate() {
+                let row = b * s_max + s;
+                emb.write_row(tok, p + s, &mut h[row * d..(row + 1) * d]);
+            }
+        }
+
+        let blocks = self.eff_blocks();
+        let nblocks = blocks.len();
+        let capturing = capture.is_some();
+        for (l, blk) in blocks.iter().enumerate() {
+            let last = l + 1 == nblocks;
+            // Queries at the final block: only mask rows feed the output.
+            let pruned: Option<&[usize]> = if last { mask_rows.as_deref() } else { None };
+            let nq = pruned.map_or(rows, <[usize]>::len);
+            let qrows = pruned.map_or(s_max, |_| 1); // query rows per example
+
+            let mut xin = ic.alloc(rows * d);
+            layer_norm_rows(&h, blk.ln1_g, blk.ln1_b, &mut xin);
+            let q_in_buf: Option<Vec<f32>> = pruned.map(|rows_idx| {
+                let mut g = ic.alloc(rows_idx.len() * d);
+                for (i, &r) in rows_idx.iter().enumerate() {
+                    g[i * d..(i + 1) * d].copy_from_slice(&xin[r * d..(r + 1) * d]);
+                }
+                g
+            });
+            let q_in: &[f32] = q_in_buf.as_deref().unwrap_or(&xin);
+
+            let mut attn_cat = ic.alloc(nq * d);
+            let mut kt_b = ic.alloc(dh * kmax);
+            let mut v_b = ic.alloc(kmax * dh);
+            let mut scores = ic.alloc(qrows * kmax);
+            let mut out_b = ic.alloc(qrows * dh);
+            let mut captured_heads: Vec<HeadKv> = Vec::new();
+            for hd in 0..heads {
+                let mut q = ic.alloc(nq * dh);
+                matmul_raw(q_in, &blk.wq[hd], &mut q, nq, d, dh);
+                let mut k = ic.alloc(rows * dh);
+                matmul_raw(&xin, &blk.wk[hd], &mut k, rows, d, dh);
+                let mut v = ic.alloc(rows * dh);
+                matmul_raw(&xin, &blk.wv[hd], &mut v, rows, d, dh);
+                if capturing {
+                    // Capture runs on a single unpadded sequence, so k/v are
+                    // exactly [P, dh].
+                    let mut kt = vec![0.0f32; dh * rows];
+                    transpose_into(&k, rows, dh, &mut kt);
+                    captured_heads.push((kt, v.clone()));
+                }
+                for b in 0..bsz {
+                    let len = seqs[b].len();
+                    // Assemble Kᵀ [dh, kmax]: cached prefix columns, then
+                    // the example's suffix keys; V [kmax, dh] likewise.
+                    if let Some(c) = cache {
+                        let (ckt, cv) = &c.layers[l][hd];
+                        for r in 0..dh {
+                            kt_b[r * kmax..r * kmax + p].copy_from_slice(&ckt[r * p..(r + 1) * p]);
+                        }
+                        v_b[..p * dh].copy_from_slice(cv);
+                    }
+                    for s in 0..s_max {
+                        let krow = (b * s_max + s) * dh;
+                        for r in 0..dh {
+                            kt_b[r * kmax + p + s] = k[krow + r];
+                        }
+                    }
+                    v_b[p * dh..].copy_from_slice(&v[b * s_max * dh..(b + 1) * s_max * dh]);
+                    let qb = match pruned {
+                        Some(_) => &q[b * dh..(b + 1) * dh],
+                        None => &q[b * s_max * dh..(b + 1) * s_max * dh],
+                    };
+                    scores.fill(0.0);
+                    matmul_raw(qb, &kt_b, &mut scores, qrows, dh, kmax);
+                    for qi in 0..qrows {
+                        let t_global = match mask_pos {
+                            Some(mp) if last => mp[b],
+                            _ => p + qi,
+                        };
+                        let valid = if cfg.causal {
+                            (t_global + 1).min(len)
+                        } else {
+                            len
+                        };
+                        let row = &mut scores[qi * kmax..(qi + 1) * kmax];
+                        for x in &mut row[..valid] {
+                            *x *= scale;
+                        }
+                        ic.softmax_row(&mut row[..valid]);
+                        row[valid..].fill(0.0);
+                    }
+                    out_b.fill(0.0);
+                    matmul_raw(&scores, &v_b, &mut out_b, qrows, kmax, dh);
+                    for qi in 0..qrows {
+                        let dst = match pruned {
+                            Some(_) => b,
+                            None => b * s_max + qi,
+                        };
+                        attn_cat[dst * d + hd * dh..dst * d + (hd + 1) * dh]
+                            .copy_from_slice(&out_b[qi * dh..(qi + 1) * dh]);
+                    }
+                }
+                ic.recycle(q);
+                ic.recycle(k);
+                ic.recycle(v);
+            }
+            if let Some(cap) = capture.as_deref_mut() {
+                cap.push(captured_heads);
+            }
+
+            // attn_out = attn_cat · wo (raw weight — the tape path bypasses
+            // adapters on the output projection).
+            let mut attn_out = ic.alloc(nq * d);
+            matmul_raw(&attn_cat, blk.wo, &mut attn_out, nq, d, d);
+            // Residual; at the final block this compresses h to mask rows.
+            h = match pruned {
+                Some(rows_idx) => {
+                    let mut h2 = ic.alloc(nq * d);
+                    for (i, &r) in rows_idx.iter().enumerate() {
+                        for c in 0..d {
+                            h2[i * d + c] = h[r * d + c] + attn_out[i * d + c];
+                        }
+                    }
+                    ic.recycle(h);
+                    h2
+                }
+                None => {
+                    for (o, &a) in h.iter_mut().zip(attn_out.iter()) {
+                        *o += a;
+                    }
+                    h
+                }
+            };
+            // FFN over the rows that remain.
+            let ffn = cfg.ffn_dim;
+            let mut xin2 = ic.alloc(nq * d);
+            layer_norm_rows(&h, blk.ln2_g, blk.ln2_b, &mut xin2);
+            let mut f = ic.alloc(nq * ffn);
+            matmul_raw(&xin2, blk.w1, &mut f, nq, d, ffn);
+            for (i, x) in f.iter_mut().enumerate() {
+                *x += blk.b1[i % ffn];
+            }
+            ic.gelu(&mut f);
+            let mut f2 = ic.alloc(nq * d);
+            matmul_raw(&f, blk.w2, &mut f2, nq, ffn, d);
+            for (i, x) in f2.iter_mut().enumerate() {
+                *x += blk.b2[i % d];
+            }
+            for (o, &a) in h.iter_mut().zip(f2.iter()) {
+                *o += a;
+            }
+            ic.recycle(xin);
+            if let Some(b) = q_in_buf {
+                ic.recycle(b);
+            }
+            ic.recycle(attn_cat);
+            ic.recycle(attn_out);
+            ic.recycle(xin2);
+            ic.recycle(f);
+            ic.recycle(f2);
+            ic.recycle(kt_b);
+            ic.recycle(v_b);
+            ic.recycle(scores);
+            ic.recycle(out_b);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adalora::AdaLoraConfig;
+    use crate::config::MiniLmConfig;
+    use delrec_tensor::{Ctx, Tape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toks(ids: &[u32]) -> Vec<LmToken> {
+        ids.iter().map(|&i| LmToken::Vocab(i)).collect()
+    }
+
+    fn tape_logits(
+        lm: &MiniLm,
+        seqs: &[Vec<LmToken>],
+        soft: Option<&Tensor>,
+        mask_pos: &[usize],
+    ) -> Tensor {
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, lm.store(), false);
+        let soft_var = soft.map(|t| tape.constant(t.clone()));
+        let mut rng = StdRng::seed_from_u64(0);
+        tape.get(lm.mask_logits_batch(&ctx, seqs, soft_var, mask_pos, &mut rng))
+    }
+
+    #[test]
+    fn infer_matches_tape_bitwise_across_presets() {
+        for (name, base) in [
+            ("large", MiniLmConfig::large(60)),
+            ("xl", MiniLmConfig::xl(60)),
+            ("causal_xl", MiniLmConfig::causal_xl(60)),
+        ] {
+            let mut cfg = base;
+            cfg.dropout = 0.0;
+            let cacheable = cfg.causal || cfg.num_layers == 1;
+            let lm = MiniLm::new(cfg, 7);
+            // Shared prefix [5, 6, 1]; ragged suffixes; mask at the end.
+            let seqs = vec![
+                toks(&[5, 6, 1, 7, 2, 9]),
+                toks(&[5, 6, 1, 3]),
+                toks(&[5, 6, 1, 8, 4]),
+            ];
+            let mask_pos = [5usize, 3, 4];
+            let want = tape_logits(&lm, &seqs, None, &mask_pos);
+            let ic = InferCtx::new(MathMode::Exact);
+            let got = lm.mask_logits_infer_batch(&ic, &seqs, None, &mask_pos, None);
+            assert_eq!(got.data(), want.data(), "{name}: engine without cache");
+            let cache = lm.build_prefix_cache(&ic, &seqs[0][..3], None);
+            assert_eq!(
+                cache.is_some(),
+                cacheable,
+                "{name}: cache gate must track exactness"
+            );
+            if let Some(c) = &cache {
+                let got = lm.mask_logits_infer_batch(&ic, &seqs, None, &mask_pos, Some(c));
+                assert_eq!(got.data(), want.data(), "{name}: engine with prefix cache");
+            }
+        }
+    }
+
+    #[test]
+    fn infer_matches_tape_with_soft_prompts_and_adapters() {
+        let mut cfg = MiniLmConfig::large(60);
+        cfg.dropout = 0.0;
+        let d = cfg.d_model;
+        let mut lm = MiniLm::new(cfg, 11);
+        lm.attach_adalora(AdaLoraConfig::default(), 5);
+        // Nudge singular values so adapter deltas are non-zero.
+        let mut i = 0;
+        while let Some(id) = lm.store().id_of(&format!("adalora.{i}.e")) {
+            for v in lm.store_mut().get_mut(id).data_mut() {
+                *v = 0.3;
+            }
+            i += 1;
+        }
+        assert!(i > 0, "adapters attached");
+        let soft = Tensor::new([2, d], (0..2 * d).map(|i| 0.01 * i as f32 - 0.1).collect());
+        let prefix = vec![
+            LmToken::Vocab(5),
+            LmToken::Soft(0),
+            LmToken::Soft(1),
+            LmToken::Vocab(6),
+        ];
+        let mut s1 = prefix.clone();
+        s1.extend(toks(&[7, 2, 9]));
+        let mut s2 = prefix.clone();
+        s2.extend(toks(&[3]));
+        let seqs = vec![s1, s2];
+        let mask_pos = [6usize, 4];
+        let want = tape_logits(&lm, &seqs, Some(&soft), &mask_pos);
+        let ic = InferCtx::new(MathMode::Exact);
+        let got = lm.mask_logits_infer_batch(&ic, &seqs, Some(&soft), &mask_pos, None);
+        assert_eq!(got.data(), want.data(), "engine without cache");
+        let cache = lm
+            .build_prefix_cache(&ic, &prefix, Some(&soft))
+            .expect("single-layer model must cache");
+        let got = lm.mask_logits_infer_batch(&ic, &seqs, Some(&soft), &mask_pos, Some(&cache));
+        assert_eq!(got.data(), want.data(), "engine with prefix cache");
+    }
+
+    #[test]
+    fn fast_math_stays_close_to_exact() {
+        let mut cfg = MiniLmConfig::large(60);
+        cfg.dropout = 0.0;
+        let lm = MiniLm::new(cfg, 3);
+        let seqs = vec![toks(&[5, 6, 1, 7, 2, 9]), toks(&[5, 6, 1, 3])];
+        let mask_pos = [5usize, 3];
+        let exact = InferCtx::new(MathMode::Exact);
+        let fast = InferCtx::new(MathMode::Fast);
+        let a = lm.mask_logits_infer_batch(&exact, &seqs, None, &mask_pos, None);
+        let b = lm.mask_logits_infer_batch(&fast, &seqs, None, &mask_pos, None);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn prefix_cache_invalidates_on_writes_mode_and_prefix() {
+        let mut cfg = MiniLmConfig::large(60);
+        cfg.dropout = 0.0;
+        let mut lm = MiniLm::new(cfg, 7);
+        let prefix = toks(&[5, 6, 1]);
+        let ic = InferCtx::new(MathMode::Exact);
+        let cache = lm.build_prefix_cache(&ic, &prefix, None).unwrap();
+        let v = lm.store().version();
+        assert!(cache.is_valid_for(v, MathMode::Exact, &prefix));
+        assert!(!cache.is_valid_for(v, MathMode::Fast, &prefix), "math mode");
+        assert!(
+            !cache.is_valid_for(v, MathMode::Exact, &toks(&[5, 6])),
+            "different prefix"
+        );
+        // Any parameter write bumps the store version.
+        let id = lm.store().id_of("lm.tok_emb").unwrap();
+        lm.store_mut().get_mut(id).data_mut()[0] += 1.0;
+        assert!(
+            !cache.is_valid_for(lm.store().version(), MathMode::Exact, &prefix),
+            "parameter write must invalidate"
+        );
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod adalora;
 pub mod config;
+pub mod infer;
 pub mod pca;
 pub mod pretrain;
 pub mod soft_prompt;
@@ -32,6 +33,8 @@ pub mod verbalizer;
 
 pub use adalora::{AdaLora, AdaLoraConfig};
 pub use config::MiniLmConfig;
+pub use infer::PrefixCache;
 pub use pretrain::{pretrain_mlm, PretrainConfig};
 pub use soft_prompt::SoftPrompt;
 pub use transformer::{LmToken, MiniLm};
+pub use verbalizer::TitleCache;

@@ -21,19 +21,19 @@ pub enum LmToken {
 }
 
 #[derive(Clone)]
-struct Block {
-    wq: Vec<ParamId>,
-    wk: Vec<ParamId>,
-    wv: Vec<ParamId>,
-    wo: ParamId,
-    ln1_g: ParamId,
-    ln1_b: ParamId,
-    w1: ParamId,
-    b1: ParamId,
-    w2: ParamId,
-    b2: ParamId,
-    ln2_g: ParamId,
-    ln2_b: ParamId,
+pub(crate) struct Block {
+    pub(crate) wq: Vec<ParamId>,
+    pub(crate) wk: Vec<ParamId>,
+    pub(crate) wv: Vec<ParamId>,
+    pub(crate) wo: ParamId,
+    pub(crate) ln1_g: ParamId,
+    pub(crate) ln1_b: ParamId,
+    pub(crate) w1: ParamId,
+    pub(crate) b1: ParamId,
+    pub(crate) w2: ParamId,
+    pub(crate) b2: ParamId,
+    pub(crate) ln2_g: ParamId,
+    pub(crate) ln2_b: ParamId,
 }
 
 /// A from-scratch masked language model. Cloning copies all parameters —
@@ -45,16 +45,16 @@ struct Block {
 pub struct MiniLm {
     /// Architecture.
     pub cfg: MiniLmConfig,
-    store: ParamStore,
-    tok_emb: ParamId,
-    pos_emb: ParamId,
-    blocks: Vec<Block>,
-    ln_f_g: ParamId,
-    ln_f_b: ParamId,
-    head_bias: ParamId,
-    adapters: Option<AdaLora>,
+    pub(crate) store: ParamStore,
+    pub(crate) tok_emb: ParamId,
+    pub(crate) pos_emb: ParamId,
+    pub(crate) blocks: Vec<Block>,
+    pub(crate) ln_f_g: ParamId,
+    pub(crate) ln_f_b: ParamId,
+    pub(crate) head_bias: ParamId,
+    pub(crate) adapters: Option<AdaLora>,
     /// Adapted projection lookup: base param id → adapter index.
-    adapter_of: HashMap<ParamId, usize>,
+    pub(crate) adapter_of: HashMap<ParamId, usize>,
 }
 
 impl MiniLm {

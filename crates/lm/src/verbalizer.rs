@@ -6,7 +6,65 @@
 //! A candidate item's score is the mean log-probability its title tokens get
 //! at the mask. This keeps multi-word titles comparable regardless of length.
 
-use delrec_tensor::{Tape, Tensor, Var};
+use delrec_tensor::infer::log_sum_exp_mode;
+use delrec_tensor::{MathMode, Tape, Tensor, Var};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Memoized candidate-title token lookups, keyed by a caller-computed hash
+/// of the candidate item ids.
+///
+/// Evaluation resolves every candidate's title tokens per example, but
+/// candidate sets recur heavily within a run (the leave-one-out sampler
+/// draws from a fixed catalog with a fixed seed), so the resolved
+/// `Vec<Vec<u32>>` is built once per distinct set and shared via [`Rc`].
+/// Interior mutability keeps the cache usable from `&self` scoring paths.
+///
+/// The key is a 64-bit hash of the full candidate id list; the caller is
+/// responsible for hashing every id (not a truncation), which makes
+/// collisions vanishingly unlikely at eval-run scale but not impossible —
+/// use only where a collision costs a wrong score, never for training.
+#[derive(Default)]
+pub struct TitleCache {
+    map: RefCell<HashMap<u64, Rc<Vec<Vec<u32>>>>>,
+}
+
+impl TitleCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The titles stored under `key`, building them on first sight.
+    pub fn get_or_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Vec<Vec<u32>>,
+    ) -> Rc<Vec<Vec<u32>>> {
+        if let Some(hit) = self.map.borrow().get(&key) {
+            return Rc::clone(hit);
+        }
+        let built = Rc::new(build());
+        self.map.borrow_mut().insert(key, Rc::clone(&built));
+        built
+    }
+
+    /// Number of distinct candidate sets cached.
+    pub fn len(&self) -> usize {
+        self.map.borrow().len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.borrow().is_empty()
+    }
+
+    /// Drop all cached sets (e.g. when the item catalog changes).
+    pub fn clear(&self) {
+        self.map.borrow_mut().clear();
+    }
+}
 
 /// Differentiable candidate scores `[m]` from mask logits `[vocab]`.
 ///
@@ -85,7 +143,7 @@ pub fn candidate_scores_batch(tape: &Tape, logits: Var, candidate_sets: &[&[Vec<
 
 /// Non-autograd ranking: mean log-probability per candidate.
 pub fn rank_candidates(logits: &Tensor, candidates: &[Vec<u32>]) -> Vec<f32> {
-    rank_row(logits.data(), candidates)
+    rank_row(logits.data(), candidates, MathMode::Exact)
 }
 
 /// Non-autograd ranking over a batch: `logits` is `[B, vocab]` (one row per
@@ -93,6 +151,17 @@ pub fn rank_candidates(logits: &Tensor, candidates: &[Vec<u32>]) -> Vec<f32> {
 /// holds example `b`'s candidate titles. Row `b` of the result is exactly
 /// [`rank_candidates`] of row `b` — candidate sets may differ in size.
 pub fn rank_candidates_batch(logits: &Tensor, candidate_sets: &[&[Vec<u32>]]) -> Vec<Vec<f32>> {
+    rank_candidates_batch_mode(logits, candidate_sets, MathMode::Exact)
+}
+
+/// [`rank_candidates_batch`] with an explicit [`MathMode`]: the inference
+/// engine's scoring path, where `Fast` swaps the normalizer's `exp` for the
+/// polynomial kernel. `Exact` is bitwise identical to the default ranker.
+pub fn rank_candidates_batch_mode(
+    logits: &Tensor,
+    candidate_sets: &[&[Vec<u32>]],
+    math: MathMode,
+) -> Vec<Vec<f32>> {
     assert_eq!(logits.shape().rank(), 2, "expected [B, vocab] logits");
     assert_eq!(
         logits.shape().dim(0),
@@ -102,12 +171,12 @@ pub fn rank_candidates_batch(logits: &Tensor, candidate_sets: &[&[Vec<u32>]]) ->
     candidate_sets
         .iter()
         .enumerate()
-        .map(|(b, cands)| rank_row(logits.row(b), cands))
+        .map(|(b, cands)| rank_row(logits.row(b), cands, math))
         .collect()
 }
 
-fn rank_row(data: &[f32], candidates: &[Vec<u32>]) -> Vec<f32> {
-    let lse = log_sum_exp(data);
+fn rank_row(data: &[f32], candidates: &[Vec<u32>], math: MathMode) -> Vec<f32> {
+    let lse = log_sum_exp_mode(data, math);
     candidates
         .iter()
         .map(|cand| cand.iter().map(|&t| data[t as usize] - lse).sum::<f32>() / cand.len() as f32)
@@ -121,13 +190,8 @@ fn rank_row(data: &[f32], candidates: &[Vec<u32>]) -> Vec<f32> {
 /// believed in.
 pub fn explain_candidate(logits: &Tensor, title: &[u32]) -> Vec<(u32, f32)> {
     let data = logits.data();
-    let lse = log_sum_exp(data);
+    let lse = log_sum_exp_mode(data, MathMode::Exact);
     title.iter().map(|&t| (t, data[t as usize] - lse)).collect()
-}
-
-fn log_sum_exp(data: &[f32]) -> f32 {
-    let max = data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    max + data.iter().map(|&x| (x - max).exp()).sum::<f32>().ln()
 }
 
 #[cfg(test)]
@@ -227,6 +291,42 @@ mod tests {
         assert!((mean - score).abs() < 1e-6);
         // Scores are log-probabilities: all negative for a multi-token vocab.
         assert!(parts.iter().all(|&(_, s)| s < 0.0));
+    }
+
+    #[test]
+    fn mode_ranker_is_exact_by_default_and_close_in_fast() {
+        let logits = Tensor::new([1, 6], vec![0.3, -1.0, 2.0, 0.7, -0.2, 1.4]);
+        let sets: Vec<Vec<Vec<u32>>> = vec![vec![vec![0, 2], vec![1], vec![3, 4, 5]]];
+        let set_refs: Vec<&[Vec<u32>]> = sets.iter().map(|s| s.as_slice()).collect();
+        let exact = rank_candidates_batch(&logits, &set_refs);
+        let exact_mode = rank_candidates_batch_mode(&logits, &set_refs, MathMode::Exact);
+        assert_eq!(exact, exact_mode, "Exact mode must be bitwise identical");
+        let fast = rank_candidates_batch_mode(&logits, &set_refs, MathMode::Fast);
+        for (a, b) in exact[0].iter().zip(&fast[0]) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn title_cache_builds_once_per_key() {
+        let cache = TitleCache::new();
+        let mut builds = 0;
+        for _ in 0..3 {
+            let titles = cache.get_or_build(42, || {
+                builds += 1;
+                vec![vec![1, 2], vec![3]]
+            });
+            assert_eq!(titles.len(), 2);
+        }
+        let other = cache.get_or_build(7, || {
+            builds += 1;
+            vec![vec![9]]
+        });
+        assert_eq!(other.len(), 1);
+        assert_eq!(builds, 2, "one build per distinct key");
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod grad_check;
+pub mod infer;
 pub mod init;
 pub mod optim;
 pub mod params;
@@ -31,7 +32,8 @@ pub mod tensor;
 
 mod ops;
 
-pub use ops::{matmul_raw, matmul_raw_sparse};
+pub use infer::{fast_exp, fast_gelu, fast_sigmoid, fast_tanh, InferCtx, MathMode};
+pub use ops::{matmul_raw, matmul_raw_sparse, transpose_into};
 pub use params::{Ctx, ParamId, ParamStore};
 pub use shape::Shape;
 pub use tape::{BufferPool, BwdCtx, Gradients, Tape, Var};

@@ -3,10 +3,10 @@
 use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;
 
-const SQRT_2_OVER_PI: f32 = 0.797_884_6;
-const GELU_COEF: f32 = 0.044_715;
+pub(crate) const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+pub(crate) const GELU_COEF: f32 = 0.044_715;
 
-fn gelu_fwd(x: f32) -> f32 {
+pub(crate) fn gelu_fwd(x: f32) -> f32 {
     0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_COEF * x * x * x)).tanh())
 }
 

@@ -63,7 +63,11 @@ pub fn matmul_raw_sparse(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usi
     }
 }
 
-fn transpose_into(x: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
+/// `out[c, r] = x[r, c]` for a row-major `[rows, cols]` buffer — the kernel
+/// behind [`crate::Tape::transpose`], exported so the grad-free inference
+/// path builds its `Kᵀ` and tied-embedding-head operands with the exact
+/// same element placement.
+pub fn transpose_into(x: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
     debug_assert_eq!(x.len(), rows * cols);
     debug_assert_eq!(out.len(), rows * cols);
     for r in 0..rows {

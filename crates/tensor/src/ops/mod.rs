@@ -13,4 +13,9 @@ mod reduce;
 mod slice;
 mod softmax;
 
-pub use matmul::{matmul_raw, matmul_raw_sparse};
+pub use matmul::{matmul_raw, matmul_raw_sparse, transpose_into};
+
+// Forward-only kernels shared with the grad-free inference path
+// (`crate::infer`), which must mirror the tape's arithmetic bitwise.
+pub(crate) use activation::{gelu_fwd, GELU_COEF, SQRT_2_OVER_PI};
+pub(crate) use norm::EPS as LN_EPS;

@@ -3,7 +3,7 @@
 use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;
 
-const EPS: f32 = 1e-5;
+pub(crate) const EPS: f32 = 1e-5;
 
 impl Tape {
     /// Layer normalization over the last axis with learned scale `gamma` and

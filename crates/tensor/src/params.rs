@@ -19,6 +19,8 @@ pub struct ParamStore {
     tensors: Vec<Tensor>,
     trainable: Vec<bool>,
     index: HashMap<String, usize>,
+    /// Monotone write counter; see [`ParamStore::version`].
+    version: u64,
 }
 
 impl ParamStore {
@@ -42,6 +44,7 @@ impl ParamStore {
         self.names.push(name);
         self.tensors.push(value);
         self.trainable.push(true);
+        self.version += 1;
         ParamId(id)
     }
 
@@ -52,7 +55,17 @@ impl ParamStore {
 
     /// Mutable value (used by optimizers and serialization).
     pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        self.version += 1;
         &mut self.tensors[id.0]
+    }
+
+    /// Monotone write counter: bumped by every [`ParamStore::add`] and every
+    /// [`ParamStore::get_mut`] (conservatively — the borrow may not write).
+    /// Inference-side caches derived from parameter values (e.g. the LM's
+    /// prefix K/V cache) snapshot this to detect updates without hashing
+    /// tensors.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Look up a parameter by name.

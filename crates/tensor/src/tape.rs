@@ -59,23 +59,43 @@ impl BufferPool {
     }
 
     /// A zeroed buffer of length `n`, recycled when possible.
+    ///
+    /// Normalization is the pool's job, never the call site's: whatever was
+    /// `put` in, the returned buffer has `len() == n` exactly, every element
+    /// `0.0`, and capacity at most one size class above the slack-bin search
+    /// ceiling — a recycled buffer that once served a much larger request is
+    /// trimmed here rather than handed back over-long.
     pub fn take(&self, n: usize) -> Vec<f32> {
         if let Some(mut buf) = self.take_raw(n) {
-            buf.clear();
+            Self::normalize(&mut buf, n);
             buf.resize(n, 0.0);
             return buf;
         }
         vec![0.0; n]
     }
 
-    /// A buffer holding a copy of `src`, recycled when possible.
+    /// A buffer holding a copy of `src`, recycled when possible. Same
+    /// normalization guarantees as [`BufferPool::take`], with
+    /// `len() == src.len()`.
     pub fn take_copy(&self, src: &[f32]) -> Vec<f32> {
         if let Some(mut buf) = self.take_raw(src.len()) {
-            buf.clear();
+            Self::normalize(&mut buf, src.len());
             buf.extend_from_slice(src);
             return buf;
         }
         src.to_vec()
+    }
+
+    /// Empty a recycled buffer and bound its capacity for a request of `n`
+    /// elements. `take_raw` already limits the served size class, so the
+    /// shrink is defense in depth: the guarantee belongs to the pool, not to
+    /// the bin search.
+    fn normalize(buf: &mut Vec<f32>, n: usize) {
+        buf.clear();
+        let cls = size_class(n) + POOL_SLACK_BINS + 1;
+        if cls < usize::BITS as usize && buf.capacity() > (1 << cls) {
+            buf.shrink_to(1 << cls);
+        }
     }
 
     fn take_raw(&self, n: usize) -> Option<Vec<f32>> {
@@ -458,6 +478,31 @@ mod tests {
         let big = pool.take(100_000);
         assert_eq!(big.len(), 100_000);
         assert_eq!(pool.len(), 1, "small buffer not handed to huge request");
+    }
+
+    #[test]
+    fn take_normalizes_oversized_recycled_buffers() {
+        let pool = BufferPool::new();
+        pool.put(Vec::with_capacity(256));
+        // Class 8 is within the slack window of a class-6 request, so the
+        // 256-capacity buffer is reused — normalized to the requested length.
+        let buf = pool.take(65);
+        assert_eq!(pool.len(), 0, "recycled, not freshly allocated");
+        assert_eq!(buf.len(), 65, "length normalized in the pool");
+        assert!(buf.iter().all(|&v| v == 0.0));
+        assert!(buf.capacity() <= 512, "capacity bounded near the request");
+    }
+
+    #[test]
+    fn take_copy_normalizes_length_to_source() {
+        let pool = BufferPool::new();
+        let mut big = pool.take(100);
+        big.iter_mut().for_each(|v| *v = 3.0);
+        pool.put(big);
+        let src: Vec<f32> = (0..30).map(|i| i as f32).collect();
+        let copied = pool.take_copy(&src);
+        assert_eq!(pool.len(), 0, "recycled, not freshly allocated");
+        assert_eq!(copied, src, "exactly the source, no stale tail");
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Property-based verification of the fast transcendental kernels against
+//! the libm reference: error bounds over their useful domains, and
+//! monotonicity of `fast_exp` (rank-based consumers — softmax, candidate
+//! scoring — tolerate small absolute error but not order inversions).
+
+use delrec_tensor::{fast_exp, fast_gelu, fast_sigmoid, fast_tanh};
+use proptest::prelude::*;
+
+fn rel_err(approx: f32, exact: f32) -> f32 {
+    if exact == 0.0 {
+        approx.abs()
+    } else {
+        ((approx - exact) / exact).abs()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn fast_exp_relative_error_bound(x in -20.0f32..20.0) {
+        let e = rel_err(fast_exp(x), x.exp());
+        prop_assert!(e <= 2e-5, "fast_exp({x}) rel err {e}");
+    }
+
+    #[test]
+    fn fast_tanh_absolute_error_bound(x in -20.0f32..20.0) {
+        let e = (fast_tanh(x) - x.tanh()).abs();
+        prop_assert!(e <= 1e-4, "fast_tanh({x}) abs err {e}");
+    }
+
+    #[test]
+    fn fast_gelu_absolute_error_bound(x in -20.0f32..20.0) {
+        // Reference: the exact tanh-approximation GELU the tape computes.
+        let t = 0.797_884_6 * (x + 0.044_715 * x * x * x);
+        let want = 0.5 * x * (1.0 + t.tanh());
+        let e = (fast_gelu(x) - want).abs();
+        prop_assert!(e <= 1e-4, "fast_gelu({x}) abs err {e}");
+    }
+
+    #[test]
+    fn fast_sigmoid_absolute_error_bound(x in -20.0f32..20.0) {
+        let want = 1.0 / (1.0 + (-x).exp());
+        let e = (fast_sigmoid(x) - want).abs();
+        prop_assert!(e <= 1e-4, "fast_sigmoid({x}) abs err {e}");
+    }
+
+    #[test]
+    fn fast_exp_is_monotone_on_random_pairs(a in -88.0f32..88.0, b in -88.0f32..88.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            fast_exp(lo) <= fast_exp(hi),
+            "fast_exp inverted: f({lo}) = {} > f({hi}) = {}",
+            fast_exp(lo),
+            fast_exp(hi)
+        );
+    }
+}
+
+/// Dense deterministic sweep: adjacent samples 1e-2 apart across the softmax
+/// working range must never invert. (A full per-ulp sweep of [-88, 89] was
+/// run offline during development: zero inversions.)
+#[test]
+fn fast_exp_is_monotone_on_dense_grid() {
+    let mut prev = fast_exp(-20.0);
+    let mut x = -20.0f32;
+    while x < 20.0 {
+        x += 1e-2;
+        let cur = fast_exp(x);
+        assert!(cur >= prev, "inversion at x = {x}: {cur} < {prev}");
+        prev = cur;
+    }
+}
+
+/// The clamp edges: overflow to +inf, underflow to zero, never NaN.
+#[test]
+fn fast_exp_saturates_cleanly() {
+    assert_eq!(fast_exp(f32::INFINITY), f32::INFINITY);
+    assert_eq!(fast_exp(1000.0), f32::INFINITY);
+    assert_eq!(fast_exp(-1000.0), 0.0);
+    assert_eq!(fast_exp(f32::NEG_INFINITY), 0.0);
+    assert_eq!(fast_exp(0.0), 1.0);
+}

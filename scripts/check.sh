@@ -6,3 +6,7 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
 cargo test -q
+
+# Smoke-run the inference-engine benchmark: asserts the grad-free engine's
+# exact-mode scores are bitwise identical to the tape before timing anything.
+cargo run --release -q -p delrec-bench --bin infer -- --scale smoke --out "$(mktemp -d)"

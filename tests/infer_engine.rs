@@ -1,0 +1,93 @@
+//! The grad-free inference engine as an evaluation drop-in: with
+//! `MathMode::Exact` it must reproduce the autograd tape's metrics *exactly*
+//! (same `RankingReport`, rank for rank) at every batch size, and with
+//! `MathMode::Fast` the metrics may drift only within the documented 1e-3
+//! budget.
+
+use delrec::core::{
+    build_teacher, pretrained_lm, DelRec, DelRecConfig, LmPreset, Pipeline, TeacherKind,
+};
+use delrec::data::synthetic::{DatasetProfile, SyntheticConfig};
+use delrec::data::{Dataset, Split};
+use delrec::eval::{evaluate, EvalConfig, RankingReport};
+use delrec::tensor::MathMode;
+
+fn fitted_model() -> (Dataset, DelRec) {
+    let ds = SyntheticConfig::profile(DatasetProfile::MovieLens100K)
+        .scaled(0.08)
+        .generate(9);
+    let pipeline = Pipeline::build(&ds);
+    let lm = pretrained_lm(
+        &ds,
+        &pipeline,
+        LmPreset::Large,
+        &delrec::lm::PretrainConfig {
+            epochs: 1,
+            max_sentences: Some(120),
+            ..Default::default()
+        },
+        2,
+    );
+    let teacher = build_teacher(&ds, TeacherKind::SASRec, 1, Some(60), 5);
+    let mut cfg = DelRecConfig::smoke(TeacherKind::SASRec);
+    cfg.lm = LmPreset::Large;
+    let model = DelRec::fit(&ds, &pipeline, teacher.as_ref(), lm, &cfg);
+    (ds, model)
+}
+
+fn eval_with(model: &DelRec, ds: &Dataset, batch_size: usize) -> RankingReport {
+    evaluate(
+        model,
+        ds,
+        Split::Test,
+        &EvalConfig {
+            max_examples: Some(24),
+            batch_size,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn exact_engine_reproduces_tape_metrics_at_every_batch_size() {
+    let (ds, mut model) = fitted_model();
+    assert!(model.inference_engine_enabled(), "engine is the default");
+    assert_eq!(model.math_mode(), MathMode::Exact, "exact is the default");
+
+    for bs in [1usize, 7, 32] {
+        model.set_inference_engine(true);
+        let engine = eval_with(&model, &ds, bs);
+        model.set_inference_engine(false);
+        let tape = eval_with(&model, &ds, bs);
+        assert_eq!(
+            engine, tape,
+            "batch_size={bs}: exact engine must match the tape rank for rank"
+        );
+    }
+}
+
+#[test]
+fn fast_math_drift_stays_within_metric_budget() {
+    let (ds, mut model) = fitted_model();
+    let exact = eval_with(&model, &ds, 16);
+    model.set_math_mode(MathMode::Fast);
+    let fast = eval_with(&model, &ds, 16);
+    for k in [1, 5, 10, 15] {
+        assert!(
+            (exact.hr(k) - fast.hr(k)).abs() < 1e-3,
+            "HR@{k}: {} vs {}",
+            exact.hr(k),
+            fast.hr(k)
+        );
+        assert!(
+            (exact.ndcg(k) - fast.ndcg(k)).abs() < 1e-3,
+            "NDCG@{k}: {} vs {}",
+            exact.ndcg(k),
+            fast.ndcg(k)
+        );
+    }
+    // Back to exact: identical to the original run again (the cache was
+    // correctly invalidated both ways).
+    model.set_math_mode(MathMode::Exact);
+    assert_eq!(eval_with(&model, &ds, 16), exact);
+}
