@@ -1,0 +1,362 @@
+//! `serve` — load test of the online serving runtime over a fitted DelRec.
+//!
+//! Three phases, all against the same warm model:
+//!
+//! 1. **Correctness gate** — every response of a coalescing server is
+//!    compared bitwise against direct `score_candidates` calls on the same
+//!    session history; one mismatch aborts the benchmark.
+//! 2. **Saturation** — closed-loop floods of the `B = 1` naive-loop server
+//!    (every request its own forward) vs. the micro-batching server; the
+//!    headline number is the throughput ratio. Batching wins by sharing the
+//!    per-forward fixed costs — effective-weight materialization (AdaLoRA
+//!    deltas are composed per call), prompt-builder setup, engine checkout,
+//!    scheduler wakeups — across every request in the batch.
+//! 3. **Sweep** — open-loop arrivals over {batch window} × {offered load},
+//!    with a per-request deadline; reports throughput, p50/p95/p99 latency,
+//!    mean batch occupancy, and how much the deadline machinery shed.
+//!
+//! Writes `BENCH_serve.json`.
+
+use delrec_bench::{banner, write_json, CliArgs, ExperimentContext};
+use delrec_core::{DelRec, LmPreset, TeacherKind};
+use delrec_data::synthetic::DatasetProfile;
+use delrec_data::{CandidateSampler, ItemId, Split};
+use delrec_eval::json::Json;
+use delrec_eval::report::Table;
+use delrec_eval::Ranker;
+use delrec_serve::{RecRequest, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One prepared request: the (pre-truncated) history a fresh session will
+/// hold after the delta lands, plus the candidate set.
+struct Workload {
+    prefix: Vec<ItemId>,
+    candidates: Vec<ItemId>,
+}
+
+fn build_workload(ctx: &ExperimentContext, seed: u64, n: usize) -> Vec<Workload> {
+    let examples = ctx.dataset.examples(Split::Test);
+    assert!(!examples.is_empty(), "no test examples");
+    let sampler = CandidateSampler::new(ctx.dataset.num_items(), 15);
+    (0..n)
+        .map(|i| {
+            let ex = &examples[i % examples.len()];
+            Workload {
+                prefix: ex.prefix.clone(),
+                candidates: sampler.candidates(ex.target, seed, i),
+            }
+        })
+        .collect()
+}
+
+/// Closed-loop flood: submit everything as fast as admission allows, wait for
+/// all responses, return (requests/sec, snapshot, responses).
+fn flood(
+    model: &Arc<DelRec>,
+    cfg: ServeConfig,
+    work: &[Workload],
+) -> (f64, delrec_serve::MetricsSnapshot, Vec<Vec<f32>>) {
+    let server = Server::start(Arc::clone(model), cfg);
+    let client = server.client();
+    let start = Instant::now();
+    let handles: Vec<_> = work
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            client
+                .submit(RecRequest {
+                    user_id: i as u64, // unique user: session == this prefix
+                    recent_items: w.prefix.clone(),
+                    candidates: w.candidates.clone(),
+                    deadline: None,
+                })
+                .expect("deep queue, no deadline: always admitted")
+        })
+        .collect();
+    let responses: Vec<Vec<f32>> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("deadline-free requests complete").scores)
+        .collect();
+    let rps = work.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    (rps, server.shutdown(), responses)
+}
+
+/// One sweep cell's results.
+struct SweepCell {
+    window_ms: f64,
+    offered_rps: f64,
+    requests: usize,
+    completed: u64,
+    rejected_at_admission: u64,
+    shed_or_timed_out: u64,
+    throughput_rps: f64,
+    mean_batch_size: f64,
+    latency_p50_ms: f64,
+    latency_p95_ms: f64,
+    latency_p99_ms: f64,
+    queue_wait_p50_ms: f64,
+}
+
+impl SweepCell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("window_ms", Json::from(self.window_ms)),
+            ("offered_rps", Json::from(self.offered_rps)),
+            ("requests", Json::from(self.requests)),
+            ("completed", Json::from(self.completed as usize)),
+            (
+                "rejected_at_admission",
+                Json::from(self.rejected_at_admission as usize),
+            ),
+            (
+                "shed_or_timed_out",
+                Json::from(self.shed_or_timed_out as usize),
+            ),
+            ("throughput_rps", Json::from(self.throughput_rps)),
+            ("mean_batch_size", Json::from(self.mean_batch_size)),
+            ("latency_p50_ms", Json::from(self.latency_p50_ms)),
+            ("latency_p95_ms", Json::from(self.latency_p95_ms)),
+            ("latency_p99_ms", Json::from(self.latency_p99_ms)),
+            ("queue_wait_p50_ms", Json::from(self.queue_wait_p50_ms)),
+        ])
+    }
+}
+
+/// Open-loop run at a target arrival rate with a latency deadline.
+fn open_loop(
+    model: &Arc<DelRec>,
+    window: Duration,
+    offered_rps: f64,
+    budget: Duration,
+    work: &[Workload],
+) -> SweepCell {
+    let server = Server::start(
+        Arc::clone(model),
+        ServeConfig {
+            max_batch: 32,
+            batch_window: window,
+            max_queue: 256,
+            ..ServeConfig::default()
+        },
+    );
+    let client = server.client();
+    let interarrival = Duration::from_secs_f64(1.0 / offered_rps);
+    let start = Instant::now();
+    let mut rejected = 0u64;
+    let mut handles = Vec::with_capacity(work.len());
+    for (i, w) in work.iter().enumerate() {
+        let due = start + interarrival * i as u32;
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        match client.submit(RecRequest {
+            user_id: i as u64,
+            recent_items: w.prefix.clone(),
+            candidates: w.candidates.clone(),
+            deadline: Some(Instant::now() + budget),
+        }) {
+            Ok(h) => handles.push(h),
+            Err(_) => rejected += 1, // queue-full or unmeetable deadline
+        }
+    }
+    let mut ok = 0u64;
+    let mut late = 0u64;
+    for h in handles {
+        match h.wait() {
+            Ok(_) => ok += 1,
+            Err(_) => late += 1,
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let snap = server.shutdown();
+    assert_eq!(snap.completed, ok, "ledger mismatch");
+    SweepCell {
+        window_ms: window.as_secs_f64() * 1e3,
+        offered_rps,
+        requests: work.len(),
+        completed: ok,
+        rejected_at_admission: rejected,
+        shed_or_timed_out: late,
+        throughput_rps: ok as f64 / wall.max(1e-9),
+        mean_batch_size: snap.mean_batch_size,
+        latency_p50_ms: snap.latency_p50.as_secs_f64() * 1e3,
+        latency_p95_ms: snap.latency_p95.as_secs_f64() * 1e3,
+        latency_p99_ms: snap.latency_p99.as_secs_f64() * 1e3,
+        queue_wait_p50_ms: snap.queue_wait_p50.as_secs_f64() * 1e3,
+    }
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    banner(&format!(
+        "Serving runtime — micro-batched vs naive-loop DelRec serving (scale: {})",
+        args.scale
+    ));
+    let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, args.scale, args.seed);
+    let teacher = ctx.teacher(TeacherKind::SASRec);
+    eprintln!("[{}] fitting DELRec …", ctx.dataset.name);
+    let model = Arc::new(DelRec::fit(
+        &ctx.dataset,
+        &ctx.pipeline,
+        teacher.as_ref(),
+        ctx.lm(LmPreset::Large),
+        &ctx.delrec_config(TeacherKind::SASRec),
+    ));
+
+    let n = match args.scale.to_string().as_str() {
+        "smoke" => 96,
+        _ => 384,
+    };
+    let work = build_workload(&ctx, args.seed, n);
+
+    // Phase 1 — correctness gate: serve under aggressive coalescing, then
+    // rescore every request directly. Bitwise equality or bust.
+    eprintln!("[gate] bitwise correctness under coalescing …");
+    let (_, gate_snap, served) = flood(
+        &model,
+        ServeConfig {
+            max_batch: 32,
+            batch_window: Duration::from_millis(10),
+            max_queue: 4096,
+            ..ServeConfig::default()
+        },
+        &work,
+    );
+    let mut mismatches = 0usize;
+    for (w, scores) in work.iter().zip(&served) {
+        // The server truncates sessions to its max_history; mirror that.
+        let keep = w.prefix.len().min(ServeConfig::default().max_history);
+        let hist = &w.prefix[w.prefix.len() - keep..];
+        if model.score_candidates(hist, &w.candidates) != *scores {
+            mismatches += 1;
+        }
+    }
+    assert_eq!(
+        mismatches, 0,
+        "served scores must be bitwise identical to direct scoring"
+    );
+    assert!(gate_snap.completed as usize == n && gate_snap.mean_batch_size > 1.0);
+    eprintln!(
+        "[gate] {n} requests, 0 mismatches, mean batch {:.1}",
+        gate_snap.mean_batch_size
+    );
+
+    // Phase 2 — saturation: naive loop vs micro-batching, best of three.
+    // Also measure the model-layer ceiling (direct batch calls vs a direct
+    // B=1 loop, no server in the path): the served speedup can't beat what
+    // `score_candidates_batch` itself buys on this model.
+    let mut naive_rps = 0.0f64;
+    let mut batched_rps = 0.0f64;
+    let mut direct_loop_rps = 0.0f64;
+    let mut direct_batch_rps = 0.0f64;
+    for _ in 0..3 {
+        naive_rps = naive_rps.max(flood(&model, ServeConfig::naive_loop(), &work).0);
+        batched_rps = batched_rps.max(
+            flood(
+                &model,
+                ServeConfig {
+                    max_batch: 32,
+                    batch_window: Duration::from_millis(2),
+                    max_queue: 4096,
+                    ..ServeConfig::default()
+                },
+                &work,
+            )
+            .0,
+        );
+        let t = Instant::now();
+        for w in &work {
+            std::hint::black_box(model.score_candidates(&w.prefix, &w.candidates));
+        }
+        direct_loop_rps = direct_loop_rps.max(n as f64 / t.elapsed().as_secs_f64().max(1e-9));
+        let t = Instant::now();
+        for chunk in work.chunks(32) {
+            let reqs: Vec<_> = chunk
+                .iter()
+                .map(|w| (w.prefix.as_slice(), w.candidates.as_slice()))
+                .collect();
+            std::hint::black_box(model.score_candidates_batch(&reqs));
+        }
+        direct_batch_rps = direct_batch_rps.max(n as f64 / t.elapsed().as_secs_f64().max(1e-9));
+    }
+    let speedup = batched_rps / naive_rps;
+    let ceiling = direct_batch_rps / direct_loop_rps;
+    let mut table = Table::new(["path", "req/s", "vs naive"]);
+    table.row(vec![
+        "served naive B=1".into(),
+        format!("{naive_rps:.1}"),
+        "1.00x".into(),
+    ]);
+    table.row(vec![
+        "served micro-batch B=32/2ms".into(),
+        format!("{batched_rps:.1}"),
+        format!("{speedup:.2}x"),
+    ]);
+    table.row(vec![
+        "direct B=1 loop (no server)".into(),
+        format!("{direct_loop_rps:.1}"),
+        format!("{:.2}x", direct_loop_rps / naive_rps),
+    ]);
+    table.row(vec![
+        "direct batch-32 calls (ceiling)".into(),
+        format!("{direct_batch_rps:.1}"),
+        format!("{:.2}x", direct_batch_rps / naive_rps),
+    ]);
+
+    // Phase 3 — {window} × {offered load} sweep, open loop with deadlines.
+    let windows = [
+        Duration::ZERO,
+        Duration::from_millis(1),
+        Duration::from_millis(4),
+    ];
+    let loads = [0.5, 0.9, 2.0].map(|f| f * naive_rps);
+    let budget = Duration::from_millis(250);
+    let mut sweep = Vec::new();
+    let mut sweep_table = Table::new(["window", "offered", "done", "req/s", "p50", "p99", "batch"]);
+    for &w in &windows {
+        for &load in &loads {
+            let cell = open_loop(&model, w, load, budget, &work);
+            sweep_table.row(vec![
+                format!("{:.0}ms", cell.window_ms),
+                format!("{load:.0}/s"),
+                format!("{}", cell.completed),
+                format!("{:.1}", cell.throughput_rps),
+                format!("{:.1}ms", cell.latency_p50_ms),
+                format!("{:.1}ms", cell.latency_p99_ms),
+                format!("{:.1}", cell.mean_batch_size),
+            ]);
+            sweep.push(cell.to_json());
+        }
+    }
+
+    println!("{}", table.to_markdown());
+    println!("{}", sweep_table.to_markdown());
+
+    let blob = Json::obj([
+        ("experiment", Json::from("serve")),
+        ("scale", Json::from(args.scale.to_string())),
+        ("dataset", Json::from(ctx.dataset.name.clone())),
+        ("requests", Json::from(n)),
+        (
+            "correctness",
+            Json::obj([
+                ("checked", Json::from(n)),
+                ("bitwise_mismatches", Json::from(mismatches)),
+            ]),
+        ),
+        (
+            "saturation",
+            Json::obj([
+                ("naive_rps", Json::from(naive_rps)),
+                ("batched_rps", Json::from(batched_rps)),
+                ("speedup", Json::from(speedup)),
+                ("direct_loop_rps", Json::from(direct_loop_rps)),
+                ("direct_batch_rps", Json::from(direct_batch_rps)),
+                ("model_batch_ceiling", Json::from(ceiling)),
+            ]),
+        ),
+        ("sweep", Json::arr(sweep)),
+    ]);
+    write_json(&args.out, "BENCH_serve", &blob).expect("write results");
+}

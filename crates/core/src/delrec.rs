@@ -13,10 +13,9 @@ use delrec_seqrec::SequentialRecommender;
 use delrec_tensor::{Ctx, InferCtx, MathMode, Tape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::Hasher;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Lazily-maintained state of the grad-free scoring engine: the tape-free
 /// forward context (buffer pool + math mode) and the current prefix K/V
@@ -25,6 +24,39 @@ use std::rc::Rc;
 struct EngineState {
     ctx: InferCtx,
     cache: Option<PrefixCache>,
+}
+
+/// Checkout pool of [`EngineState`]s.
+///
+/// Scoring checks one state out, runs the whole forward on it unlocked, and
+/// returns it — so concurrent scorers (serving workers sharing one model)
+/// never contend beyond the pop/push, and each effectively owns a per-worker
+/// inference context and prefix cache, while a single-threaded caller reuses
+/// one warm state forever. The pool is bounded by the number of concurrent
+/// scorers, which the server in turn bounds by its worker count.
+struct EnginePool {
+    states: Mutex<Vec<EngineState>>,
+    math: MathMode,
+}
+
+impl EnginePool {
+    fn new(math: MathMode) -> Self {
+        EnginePool {
+            states: Mutex::new(Vec::new()),
+            math,
+        }
+    }
+
+    fn checkout(&self) -> EngineState {
+        self.states.lock().unwrap().pop().unwrap_or(EngineState {
+            ctx: InferCtx::new(self.math),
+            cache: None,
+        })
+    }
+
+    fn checkin(&self, state: EngineState) {
+        self.states.lock().unwrap().push(state);
+    }
 }
 
 /// A fitted DELRec recommender.
@@ -46,8 +78,24 @@ pub struct DelRec {
     /// (default) or the reference autograd tape.
     infer_enabled: bool,
     math: MathMode,
-    engine: RefCell<EngineState>,
+    engine: EnginePool,
     titles: TitleCache,
+}
+
+/// Compile-time guarantee that a fitted model can be shared across serving
+/// threads without `unsafe`: every interior-mutable piece on the scoring path
+/// (engine pool, title cache, buffer pools inside [`InferCtx`]) synchronizes
+/// properly. The autograd [`Tape`] is deliberately *not* `Sync` — scoring
+/// builds it per call on the stack, so it never crosses threads.
+#[allow(dead_code)]
+fn _assert_delrec_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DelRec>();
+    assert_send_sync::<MiniLm>();
+    assert_send_sync::<PrefixCache>();
+    assert_send_sync::<TitleCache>();
+    assert_send_sync::<InferCtx>();
+    assert_send_sync::<delrec_tensor::BufferPool>();
 }
 
 impl DelRec {
@@ -159,10 +207,7 @@ impl DelRec {
             stage2_losses,
             infer_enabled: true,
             math: MathMode::Exact,
-            engine: RefCell::new(EngineState {
-                ctx: InferCtx::new(MathMode::Exact),
-                cache: None,
-            }),
+            engine: EnginePool::new(MathMode::Exact),
             titles: TitleCache::new(),
         }
     }
@@ -222,10 +267,7 @@ impl DelRec {
             stage2_losses: Vec::new(),
             infer_enabled: true,
             math: MathMode::Exact,
-            engine: RefCell::new(EngineState {
-                ctx: InferCtx::new(MathMode::Exact),
-                cache: None,
-            }),
+            engine: EnginePool::new(MathMode::Exact),
             titles: TitleCache::new(),
         })
     }
@@ -245,13 +287,11 @@ impl DelRec {
 
     /// Numeric mode for engine scoring: [`MathMode::Exact`] mirrors the tape
     /// bit for bit, [`MathMode::Fast`] swaps `exp`/`tanh` for polynomial
-    /// kernels. Switching drops the prefix K/V cache (it is keyed on the
-    /// mode).
+    /// kernels. Switching drops every pooled engine state (contexts and
+    /// prefix K/V caches are keyed on the mode).
     pub fn set_math_mode(&mut self, math: MathMode) {
         self.math = math;
-        let mut eng = self.engine.borrow_mut();
-        eng.ctx.set_math(math);
-        eng.cache = None;
+        self.engine = EnginePool::new(math);
     }
 
     /// Current numeric mode of the engine.
@@ -260,7 +300,7 @@ impl DelRec {
     }
 
     /// Memoized candidate-title lookup, keyed on the full candidate id list.
-    fn candidate_titles(&self, candidates: &[ItemId]) -> Rc<Vec<Vec<u32>>> {
+    fn candidate_titles(&self, candidates: &[ItemId]) -> Arc<Vec<Vec<u32>>> {
         let mut h = DefaultHasher::new();
         h.write_usize(candidates.len());
         for &id in candidates {
@@ -291,7 +331,10 @@ impl DelRec {
             title_sets.push(self.candidate_titles(candidates));
         }
         let soft_values = self.sp.as_ref().map(|s| s.values(self.lm.store()));
-        let eng = &mut *self.engine.borrow_mut();
+        // Check an engine state out of the pool and run the whole forward on
+        // it without holding any lock — concurrent scorers each get their own
+        // context and prefix cache.
+        let mut eng = self.engine.checkout();
         let shared_prefix = &seqs[0][..prefix_len];
         let version = self.lm.store().version();
         let fresh = eng
@@ -313,7 +356,9 @@ impl DelRec {
             eng.cache.as_ref(),
         );
         let set_refs: Vec<&[Vec<u32>]> = title_sets.iter().map(|t| t.as_slice()).collect();
-        verbalizer::rank_candidates_batch_mode(&logits, &set_refs, eng.ctx.math())
+        let scores = verbalizer::rank_candidates_batch_mode(&logits, &set_refs, eng.ctx.math());
+        self.engine.checkin(eng);
+        scores
     }
 
     /// The underlying language model (for diagnostics: parameter counts,

@@ -396,6 +396,7 @@ impl MiniLm {
                     };
                     scores.fill(0.0);
                     matmul_raw(qb, &kt_b, &mut scores, qrows, dh, kmax);
+                    out_b.fill(0.0);
                     for qi in 0..qrows {
                         let t_global = match mask_pos {
                             Some(mp) if last => mp[b],
@@ -412,9 +413,23 @@ impl MiniLm {
                         }
                         ic.softmax_row(&mut row[..valid]);
                         row[valid..].fill(0.0);
+                        // attn · V truncated to this row's `valid` keys. The
+                        // summation association then depends only on `valid`
+                        // (example-local), never on the batch's `kmax`:
+                        // padded columns would otherwise shift the kernel's
+                        // four-wide accumulation grouping and perturb low
+                        // bits whenever the batch max length crosses a
+                        // four-column boundary — the one place batch
+                        // composition could leak into a request's scores.
+                        matmul_raw(
+                            &row[..valid],
+                            &v_b[..valid * dh],
+                            &mut out_b[qi * dh..(qi + 1) * dh],
+                            1,
+                            valid,
+                            dh,
+                        );
                     }
-                    out_b.fill(0.0);
-                    matmul_raw(&scores, &v_b, &mut out_b, qrows, kmax, dh);
                     for qi in 0..qrows {
                         let dst = match pruned {
                             Some(_) => b,

@@ -8,9 +8,8 @@
 
 use delrec_tensor::infer::log_sum_exp_mode;
 use delrec_tensor::{MathMode, Tape, Tensor, Var};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Memoized candidate-title token lookups, keyed by a caller-computed hash
 /// of the candidate item ids.
@@ -18,8 +17,10 @@ use std::rc::Rc;
 /// Evaluation resolves every candidate's title tokens per example, but
 /// candidate sets recur heavily within a run (the leave-one-out sampler
 /// draws from a fixed catalog with a fixed seed), so the resolved
-/// `Vec<Vec<u32>>` is built once per distinct set and shared via [`Rc`].
-/// Interior mutability keeps the cache usable from `&self` scoring paths.
+/// `Vec<Vec<u32>>` is built once per distinct set and shared via [`Arc`].
+/// The map sits behind a [`Mutex`] so `&self` scoring paths — including
+/// concurrent serving workers sharing one model — can all consult it; a
+/// build race costs one redundant title resolution, never a wrong entry.
 ///
 /// The key is a 64-bit hash of the full candidate id list; the caller is
 /// responsible for hashing every id (not a truncation), which makes
@@ -27,7 +28,7 @@ use std::rc::Rc;
 /// use only where a collision costs a wrong score, never for training.
 #[derive(Default)]
 pub struct TitleCache {
-    map: RefCell<HashMap<u64, Rc<Vec<Vec<u32>>>>>,
+    map: Mutex<HashMap<u64, Arc<Vec<Vec<u32>>>>>,
 }
 
 impl TitleCache {
@@ -36,33 +37,35 @@ impl TitleCache {
         Self::default()
     }
 
-    /// The titles stored under `key`, building them on first sight.
+    /// The titles stored under `key`, building them on first sight. The lock
+    /// is not held while `build` runs, so concurrent first sights of one key
+    /// may both build; whichever inserts last wins (the values are equal).
     pub fn get_or_build(
         &self,
         key: u64,
         build: impl FnOnce() -> Vec<Vec<u32>>,
-    ) -> Rc<Vec<Vec<u32>>> {
-        if let Some(hit) = self.map.borrow().get(&key) {
-            return Rc::clone(hit);
+    ) -> Arc<Vec<Vec<u32>>> {
+        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            return Arc::clone(hit);
         }
-        let built = Rc::new(build());
-        self.map.borrow_mut().insert(key, Rc::clone(&built));
+        let built = Arc::new(build());
+        self.map.lock().unwrap().insert(key, Arc::clone(&built));
         built
     }
 
     /// Number of distinct candidate sets cached.
     pub fn len(&self) -> usize {
-        self.map.borrow().len()
+        self.map.lock().unwrap().len()
     }
 
     /// True when nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.map.borrow().is_empty()
+        self.map.lock().unwrap().is_empty()
     }
 
     /// Drop all cached sets (e.g. when the item catalog changes).
     pub fn clear(&self) {
-        self.map.borrow_mut().clear();
+        self.map.lock().unwrap().clear();
     }
 }
 

@@ -1,0 +1,30 @@
+//! Online recommendation serving runtime.
+//!
+//! Turns a fitted [`delrec_eval::Ranker`] into a multi-threaded service:
+//! clients submit [`RecRequest`]s, a scheduler thread coalesces the queue into
+//! micro-batches (size- and age-triggered) feeding `score_candidates_batch`
+//! on warm workers, and ranked results come back through per-request response
+//! channels. Around that core:
+//!
+//! - [`SessionStore`] — sharded, lock-striped per-user histories so requests
+//!   send only interaction deltas;
+//! - deadline-aware admission control — requests whose deadline cannot be met
+//!   are rejected at submit or shed at flush, never silently answered late;
+//! - [`Metrics`] — lock-free counters plus log-bucketed latency histograms
+//!   (p50/p95/p99).
+//!
+//! The correctness bar, pinned by property tests: a served response's scores
+//! are bitwise identical to calling `score_candidates` directly, regardless
+//! of how requests were coalesced.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod request;
+pub mod server;
+pub mod session;
+
+pub use metrics::{LogHistogram, Metrics, MetricsSnapshot};
+pub use request::{ranking_of, RecRequest, RecResponse, ServeError};
+pub use server::{Client, ResponseHandle, ServeConfig, Server};
+pub use session::SessionStore;

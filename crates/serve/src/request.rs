@@ -1,0 +1,127 @@
+//! Request/response types and the serving error taxonomy.
+
+use delrec_data::ItemId;
+use std::time::{Duration, Instant};
+
+/// One recommendation request as a client submits it.
+///
+/// `recent_items` is a *delta*: the interactions this client observed since
+/// its last request. The server appends them to the user's stored session
+/// history (creating the session on first sight) and scores against the full,
+/// truncated history — so a thin client never has to resend its whole
+/// history, and two devices sharing a user id converge on one session.
+#[derive(Clone, Debug)]
+pub struct RecRequest {
+    /// Session key. Requests with the same id share one interaction history.
+    pub user_id: u64,
+    /// New interactions since the user's last request, oldest first. May be
+    /// empty (re-rank against the stored history alone).
+    pub recent_items: Vec<ItemId>,
+    /// Candidate items to score. Must be non-empty.
+    pub candidates: Vec<ItemId>,
+    /// Drop-dead time: the client no longer wants an answer past this
+    /// instant. `None` serves at any latency.
+    pub deadline: Option<Instant>,
+}
+
+impl RecRequest {
+    /// Convenience: a request with a deadline `budget` from now.
+    pub fn with_budget(
+        user_id: u64,
+        recent_items: Vec<ItemId>,
+        candidates: Vec<ItemId>,
+        budget: Duration,
+    ) -> Self {
+        RecRequest {
+            user_id,
+            recent_items,
+            candidates,
+            deadline: Some(Instant::now() + budget),
+        }
+    }
+}
+
+/// A served recommendation: per-candidate scores plus the derived ranking.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecResponse {
+    /// One score per candidate, in the request's candidate order — bitwise
+    /// identical to calling the model's `score_candidates` directly on the
+    /// session history, no matter how the scheduler coalesced the batch.
+    pub scores: Vec<f32>,
+    /// Candidate indices sorted best-first. Ties break toward the earlier
+    /// candidate, matching the evaluation protocol's rank rule.
+    pub ranking: Vec<usize>,
+    /// How many requests shared this response's forward pass (diagnostics).
+    pub batch_size: usize,
+    /// Time spent queued before the batch flushed.
+    pub queue_wait: Duration,
+    /// Total submit-to-response latency as the server measured it.
+    pub latency: Duration,
+}
+
+/// Why a request was not served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Backpressure: the queue was at its configured depth bound.
+    QueueFull {
+        /// Queue depth observed at rejection.
+        depth: usize,
+    },
+    /// Admission control: the deadline would expire before the batch the
+    /// request would join could possibly flush.
+    DeadlineUnmeetable,
+    /// The deadline passed while the request was queued or being scored; the
+    /// request was shed rather than silently answered late.
+    DeadlineExpired,
+    /// The request had no candidates to score.
+    EmptyCandidates,
+    /// The server is shutting down (or has shut down).
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { depth } => write!(f, "queue full at depth {depth}"),
+            ServeError::DeadlineUnmeetable => {
+                write!(f, "deadline would expire before the batch could flush")
+            }
+            ServeError::DeadlineExpired => write!(f, "deadline expired before a result was ready"),
+            ServeError::EmptyCandidates => write!(f, "request has no candidates"),
+            ServeError::Shutdown => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Rank candidate indices best-first from scores, ties toward the earlier
+/// index — the exact tie rule `delrec-eval`'s rank computation uses.
+pub fn ranking_of(scores: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_sorts_descending_with_stable_ties() {
+        assert_eq!(ranking_of(&[0.1, 0.9, 0.5]), vec![1, 2, 0]);
+        assert_eq!(ranking_of(&[0.5, 0.5, 0.9]), vec![2, 0, 1]);
+        assert_eq!(ranking_of(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn with_budget_sets_a_future_deadline() {
+        let r = RecRequest::with_budget(7, vec![], vec![ItemId(1)], Duration::from_secs(5));
+        assert!(r.deadline.unwrap() > Instant::now());
+    }
+}

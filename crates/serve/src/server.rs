@@ -1,0 +1,420 @@
+//! The serving runtime: admission control, the micro-batching scheduler, and
+//! the scoring workers.
+//!
+//! ```text
+//!  clients ──submit──▶ [admission] ──▶ queue (Mutex<VecDeque> + Condvar)
+//!                                        │
+//!                              scheduler thread: flush at
+//!                              B = max_batch  or  oldest age ≥ batch_window
+//!                                        │
+//!                          ┌─────────────┴─────────────┐
+//!                          ▼ (num_workers = 0)         ▼ (num_workers ≥ 1)
+//!                    score inline                 worker pool (mpsc)
+//!                          │                            │
+//!                          └───────────┬────────────────┘
+//!                                      ▼
+//!                     per-request response channels (mpsc)
+//! ```
+//!
+//! The contract that everything else leans on: a served response's scores are
+//! **bitwise identical** to calling the model's `score_candidates` directly
+//! on the same session history — micro-batching is a latency/throughput
+//! knob, never a numerics knob.
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::request::{ranking_of, RecRequest, RecResponse, ServeError};
+use crate::session::SessionStore;
+use delrec_eval::{Ranker, ScoreRequest};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving runtime knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Flush a batch as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// Flush when the oldest queued request has waited this long. `ZERO`
+    /// makes every flush immediate — the "naive loop" configuration when
+    /// combined with `max_batch = 1`.
+    pub batch_window: Duration,
+    /// Admission bound: reject when this many requests are already queued.
+    pub max_queue: usize,
+    /// Scoring threads. `0` scores on the scheduler thread itself (no
+    /// handoff — best on a single core); `n ≥ 1` fans batches out to a
+    /// worker pool so multiple batches score concurrently.
+    pub num_workers: usize,
+    /// Lock stripes in the session store.
+    pub session_shards: usize,
+    /// Most-recent interactions kept per session.
+    pub max_history: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            batch_window: Duration::from_millis(2),
+            max_queue: 1024,
+            num_workers: 0,
+            session_shards: 16,
+            max_history: 50,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The baseline the benchmark compares against: one request per forward,
+    /// zero coalescing.
+    pub fn naive_loop() -> Self {
+        ServeConfig {
+            max_batch: 1,
+            batch_window: Duration::ZERO,
+            ..Self::default()
+        }
+    }
+}
+
+/// One queued request: the resolved session snapshot plus the response path.
+struct Pending {
+    prefix: Vec<delrec_data::ItemId>,
+    candidates: Vec<delrec_data::ItemId>,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    tx: mpsc::Sender<Result<RecResponse, ServeError>>,
+}
+
+struct QueueState {
+    q: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// State shared by clients, the scheduler, and the workers.
+struct Shared<R> {
+    model: Arc<R>,
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    /// Signalled on submit and on shutdown; the scheduler waits on it.
+    notify: Condvar,
+    metrics: Metrics,
+    sessions: SessionStore,
+    /// Live-queue depth mirror so admission reads don't serialize with the
+    /// scheduler's drain (the queue lock is still the source of truth at
+    /// enqueue time).
+    depth: AtomicU64,
+}
+
+/// Handle for submitting requests. Cheap to clone; every clone talks to the
+/// same server.
+pub struct Client<R> {
+    shared: Arc<Shared<R>>,
+}
+
+impl<R> Clone for Client<R> {
+    fn clone(&self) -> Self {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// An in-flight request's receive side.
+pub struct ResponseHandle {
+    rx: mpsc::Receiver<Result<RecResponse, ServeError>>,
+}
+
+impl ResponseHandle {
+    /// Block until the server answers (with scores or a shedding error).
+    pub fn wait(self) -> Result<RecResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+
+    /// Block up to `timeout`; `None` when nothing arrived in time.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<RecResponse, ServeError>> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+impl<R: Ranker + Send + Sync + 'static> Client<R> {
+    /// Resolve the session, run admission control, and enqueue. Returns
+    /// immediately with a handle; the response arrives when the request's
+    /// batch flushes and scores.
+    pub fn submit(&self, req: RecRequest) -> Result<ResponseHandle, ServeError> {
+        let sh = &*self.shared;
+        let now = Instant::now();
+        if req.candidates.is_empty() {
+            return Err(ServeError::EmptyCandidates);
+        }
+        // Session update happens even if admission sheds the request: the
+        // interactions are real events, and losing them would corrupt the
+        // history for the user's *next* request.
+        let prefix = sh.sessions.append(req.user_id, &req.recent_items);
+
+        let mut st = sh.queue.lock().unwrap();
+        if st.closed {
+            return Err(ServeError::Shutdown);
+        }
+        if st.q.len() >= sh.cfg.max_queue {
+            sh.metrics
+                .rejected_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QueueFull { depth: st.q.len() });
+        }
+        if let Some(d) = req.deadline {
+            // The soonest this request's batch can flush: immediately, if it
+            // completes a batch; otherwise up to a full window from now. A
+            // deadline inside that window is unmeetable in the worst case —
+            // shed it now instead of letting it die in the queue.
+            let fills_batch = st.q.len() + 1 >= sh.cfg.max_batch;
+            let earliest_flush = if fills_batch {
+                now
+            } else {
+                now + sh.cfg.batch_window
+            };
+            if d <= earliest_flush {
+                sh.metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::DeadlineUnmeetable);
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        st.q.push_back(Pending {
+            prefix,
+            candidates: req.candidates,
+            deadline: req.deadline,
+            submitted: now,
+            tx,
+        });
+        sh.depth.store(st.q.len() as u64, Ordering::Relaxed);
+        sh.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        sh.notify.notify_all();
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Submit and block for the answer.
+    pub fn recommend(&self, req: RecRequest) -> Result<RecResponse, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Current queue depth (approximate between lock acquisitions).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.depth.load(Ordering::Relaxed) as usize
+    }
+}
+
+/// Score one flushed batch and deliver every response. Runs on the scheduler
+/// thread (`num_workers = 0`) or on a pool worker.
+fn score_batch<R: Ranker>(sh: &Shared<R>, batch: Vec<Pending>) {
+    let now = Instant::now();
+    // Shed queue-expired requests — they are answered with an error, never
+    // scored, never silently dropped.
+    let mut live = Vec::with_capacity(batch.len());
+    for p in batch {
+        if p.deadline.is_some_and(|d| d <= now) {
+            sh.metrics.shed_expired.fetch_add(1, Ordering::Relaxed);
+            let _ = p.tx.send(Err(ServeError::DeadlineExpired));
+        } else {
+            live.push(p);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let requests: Vec<ScoreRequest<'_>> = live
+        .iter()
+        .map(|p| (p.prefix.as_slice(), p.candidates.as_slice()))
+        .collect();
+    let rows = sh.model.score_candidates_batch(&requests);
+    debug_assert_eq!(rows.len(), live.len(), "one score row per live request");
+    let done = Instant::now();
+    let batch_size = live.len();
+    sh.metrics.batches.fetch_add(1, Ordering::Relaxed);
+    sh.metrics
+        .batched_requests
+        .fetch_add(batch_size as u64, Ordering::Relaxed);
+    for (p, scores) in live.into_iter().zip(rows) {
+        if p.deadline.is_some_and(|d| d <= done) {
+            // Expired mid-forward: the contract is "never silently answered
+            // late", so the scores are discarded and the client told why.
+            sh.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+            let _ = p.tx.send(Err(ServeError::DeadlineExpired));
+            continue;
+        }
+        let ranking = ranking_of(&scores);
+        sh.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        sh.metrics.latency.record(done - p.submitted);
+        sh.metrics.queue_wait.record(now - p.submitted);
+        let _ = p.tx.send(Ok(RecResponse {
+            scores,
+            ranking,
+            batch_size,
+            queue_wait: now - p.submitted,
+            latency: done - p.submitted,
+        }));
+    }
+}
+
+/// The scheduler loop: wait for work, coalesce, flush on size or age.
+fn scheduler_loop<R: Ranker>(sh: &Shared<R>, dispatch: &dyn Fn(&Shared<R>, Vec<Pending>)) {
+    loop {
+        let batch = {
+            let mut st = sh.queue.lock().unwrap();
+            loop {
+                if st.q.is_empty() {
+                    if st.closed {
+                        return;
+                    }
+                    st = sh.notify.wait(st).unwrap();
+                    continue;
+                }
+                if st.closed || st.q.len() >= sh.cfg.max_batch {
+                    break; // size-triggered (or final drain) flush
+                }
+                let oldest = st.q.front().expect("non-empty").submitted;
+                let age = oldest.elapsed();
+                if age >= sh.cfg.batch_window {
+                    break; // age-triggered flush
+                }
+                // Sleep until the window elapses or a submit fills the batch.
+                let (guard, _) = sh
+                    .notify
+                    .wait_timeout(st, sh.cfg.batch_window - age)
+                    .unwrap();
+                st = guard;
+            }
+            let take = st.q.len().min(sh.cfg.max_batch);
+            let batch: Vec<Pending> = st.q.drain(..take).collect();
+            sh.depth.store(st.q.len() as u64, Ordering::Relaxed);
+            batch
+        };
+        dispatch(sh, batch);
+    }
+}
+
+/// A running serving runtime over any [`Ranker`].
+///
+/// The model is shared, not copied: `R: Send + Sync` lets every worker score
+/// against the same fitted parameters (the `delrec-core` model pins this
+/// property with a compile-time assertion).
+pub struct Server<R: Ranker + Send + Sync + 'static> {
+    shared: Arc<Shared<R>>,
+    scheduler: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<R: Ranker + Send + Sync + 'static> Server<R> {
+    /// Spawn the scheduler (and worker pool, if configured) over `model`.
+    pub fn start(model: Arc<R>, cfg: ServeConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.max_queue >= 1, "max_queue must be at least 1");
+        let shared = Arc::new(Shared {
+            model,
+            sessions: SessionStore::new(cfg.session_shards, cfg.max_history),
+            cfg,
+            queue: Mutex::new(QueueState {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            notify: Condvar::new(),
+            metrics: Metrics::new(),
+            depth: AtomicU64::new(0),
+        });
+
+        let mut workers = Vec::new();
+        let scheduler = if shared.cfg.num_workers == 0 {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-scheduler".into())
+                .spawn(move || scheduler_loop(&sh, &|sh, batch| score_batch(sh, batch)))
+                .expect("spawn scheduler")
+        } else {
+            let (tx, rx) = mpsc::channel::<Vec<Pending>>();
+            let rx = Arc::new(Mutex::new(rx));
+            for i in 0..shared.cfg.num_workers {
+                let sh = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("serve-worker-{i}"))
+                        .spawn(move || loop {
+                            // Hold the receiver lock only for the dequeue.
+                            let batch = rx.lock().unwrap().recv();
+                            match batch {
+                                Ok(b) => score_batch(&sh, b),
+                                Err(_) => return, // scheduler gone: drain done
+                            }
+                        })
+                        .expect("spawn worker"),
+                );
+            }
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-scheduler".into())
+                .spawn(move || {
+                    scheduler_loop(&sh, &|_, batch| {
+                        tx.send(batch).expect("worker pool alive");
+                    });
+                    // `tx` drops here, closing the pool.
+                })
+                .expect("spawn scheduler")
+        };
+
+        Server {
+            shared,
+            scheduler: Some(scheduler),
+            workers,
+        }
+    }
+
+    /// A submission handle. Clone freely across client threads.
+    pub fn client(&self) -> Client<R> {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Live metrics (atomic reads; callable while serving).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// The session store (e.g. to pre-seed histories).
+    pub fn sessions(&self) -> &SessionStore {
+        &self.shared.sessions
+    }
+
+    /// The configuration the server runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// Stop accepting requests, drain and answer everything queued, join all
+    /// threads, and return the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.close_and_join();
+        self.shared.metrics.snapshot()
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut st = self.shared.queue.lock().unwrap();
+            st.closed = true;
+        }
+        self.shared.notify.notify_all();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<R: Ranker + Send + Sync + 'static> Drop for Server<R> {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}

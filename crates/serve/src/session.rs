@@ -1,0 +1,173 @@
+//! Sharded, lock-striped per-user session histories.
+//!
+//! Serving keeps interaction histories server-side so requests carry only the
+//! delta since the user's last visit. The store is a fixed array of shards,
+//! each an independently locked hash map — writers for different users hash
+//! to different stripes and never contend, and no lock is ever held across a
+//! model forward.
+
+use delrec_data::ItemId;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// One lock stripe: an independently locked `user_id → history` map.
+type Shard = Mutex<HashMap<u64, Vec<ItemId>>>;
+
+/// Sharded map of `user_id → interaction history` (oldest first).
+pub struct SessionStore {
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: usize,
+    max_len: usize,
+}
+
+impl SessionStore {
+    /// New store with `shards` lock stripes (rounded up to a power of two)
+    /// keeping at most `max_len` most-recent interactions per user.
+    pub fn new(shards: usize, max_len: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        assert!(max_len > 0, "sessions must keep at least one interaction");
+        SessionStore {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n - 1,
+            max_len,
+        }
+    }
+
+    fn shard(&self, user: u64) -> &Shard {
+        // Fibonacci hashing spreads sequential user ids across stripes.
+        let h = user.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h as usize) & self.mask]
+    }
+
+    /// Append `items` to `user`'s history (creating the session if new),
+    /// truncate to the most recent `max_len`, and return a snapshot of the
+    /// full post-append history. One lock acquisition, shard-local.
+    pub fn append(&self, user: u64, items: &[ItemId]) -> Vec<ItemId> {
+        let mut map = self.shard(user).lock().unwrap();
+        let hist = map.entry(user).or_default();
+        hist.extend_from_slice(items);
+        if hist.len() > self.max_len {
+            hist.drain(..hist.len() - self.max_len);
+        }
+        hist.clone()
+    }
+
+    /// Snapshot of a user's history, or `None` for an unknown user.
+    pub fn history(&self, user: u64) -> Option<Vec<ItemId>> {
+        self.shard(user).lock().unwrap().get(&user).cloned()
+    }
+
+    /// Drop one user's session. Returns whether it existed.
+    pub fn remove(&self, user: u64) -> bool {
+        self.shard(user).lock().unwrap().remove(&user).is_some()
+    }
+
+    /// Number of active sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True when no sessions exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lock stripes (diagnostics).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-user history bound.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ids(xs: &[u32]) -> Vec<ItemId> {
+        xs.iter().map(|&x| ItemId(x)).collect()
+    }
+
+    #[test]
+    fn append_accumulates_and_truncates() {
+        let store = SessionStore::new(4, 5);
+        assert_eq!(store.append(1, &ids(&[10, 11])), ids(&[10, 11]));
+        assert_eq!(store.append(1, &ids(&[12])), ids(&[10, 11, 12]));
+        // Exceed max_len: only the 5 most recent survive.
+        let full = store.append(1, &ids(&[13, 14, 15]));
+        assert_eq!(full, ids(&[11, 12, 13, 14, 15]));
+        assert_eq!(store.history(1), Some(ids(&[11, 12, 13, 14, 15])));
+        assert_eq!(store.history(2), None);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(SessionStore::new(3, 10).num_shards(), 4);
+        assert_eq!(SessionStore::new(16, 10).num_shards(), 16);
+        assert_eq!(SessionStore::new(0, 10).num_shards(), 1);
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let store = SessionStore::new(8, 10);
+        for u in 0..20 {
+            store.append(u, &ids(&[u as u32]));
+        }
+        assert_eq!(store.len(), 20);
+        assert!(store.remove(7));
+        assert!(!store.remove(7));
+        assert_eq!(store.len(), 19);
+    }
+
+    #[test]
+    fn concurrent_appends_to_distinct_users_all_land() {
+        let store = Arc::new(SessionStore::new(8, 64));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let s = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        s.append(t, &[ItemId(i)]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4 {
+            let hist = store.history(t).unwrap();
+            assert_eq!(hist, ids(&(0..50).collect::<Vec<_>>()));
+        }
+    }
+
+    #[test]
+    fn concurrent_appends_to_one_user_interleave_without_loss() {
+        let store = Arc::new(SessionStore::new(2, 1000));
+        let handles: Vec<_> = (0..4u32)
+            .map(|t| {
+                let s = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..100u32 {
+                        s.append(42, &[ItemId(t * 1000 + i)]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let hist = store.history(42).unwrap();
+        assert_eq!(hist.len(), 400, "every append is atomic — none lost");
+        // Each thread's items appear in its own submission order.
+        for t in 0..4u32 {
+            let mine: Vec<u32> = hist.iter().map(|i| i.0).filter(|v| v / 1000 == t).collect();
+            assert_eq!(mine, (0..100).map(|i| t * 1000 + i).collect::<Vec<_>>());
+        }
+    }
+}

@@ -20,7 +20,7 @@
 
 use crate::ops::{gelu_fwd, GELU_COEF, LN_EPS, SQRT_2_OVER_PI};
 use crate::tape::BufferPool;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which transcendental kernels a grad-free forward uses.
 ///
@@ -181,7 +181,7 @@ pub fn log_sum_exp_mode(data: &[f32], math: MathMode) -> f32 {
 /// [`MathMode`] every kernel call should use. The inference analogue of
 /// [`crate::Ctx`], minus the tape.
 pub struct InferCtx {
-    pool: Rc<BufferPool>,
+    pool: Arc<BufferPool>,
     math: MathMode,
 }
 
@@ -189,14 +189,14 @@ impl InferCtx {
     /// New context with its own private buffer pool.
     pub fn new(math: MathMode) -> Self {
         InferCtx {
-            pool: Rc::new(BufferPool::new()),
+            pool: Arc::new(BufferPool::new()),
             math,
         }
     }
 
     /// New context over a shared pool (e.g. the pool a training loop's tapes
     /// already warmed up).
-    pub fn with_pool(pool: Rc<BufferPool>, math: MathMode) -> Self {
+    pub fn with_pool(pool: Arc<BufferPool>, math: MathMode) -> Self {
         InferCtx { pool, math }
     }
 
@@ -212,7 +212,7 @@ impl InferCtx {
     }
 
     /// The backing buffer pool.
-    pub fn pool(&self) -> &Rc<BufferPool> {
+    pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
     }
 

@@ -20,7 +20,7 @@
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use std::cell::{Ref, RefCell};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Handle to a value recorded on a [`Tape`]. Cheap to copy; only valid for
 /// the tape that created it.
@@ -34,11 +34,35 @@ pub struct Var {
 /// Buffers are binned by `floor(log2(capacity))`, so a request of `n`
 /// elements is served from the first non-empty bin of capacity ≥ `n` (at most
 /// two bins above the exact fit, to avoid handing huge buffers to tiny
-/// requests). Misses fall back to a fresh allocation; each bin is capped so a
-/// one-off giant pass cannot pin memory forever.
-#[derive(Default)]
+/// requests). Misses fall back to a fresh allocation; each bin is capped, and
+/// the pool as a whole holds at most [`BufferPool::total_float_cap`] floats,
+/// so a one-off giant pass (or a serving peak) cannot pin memory forever.
+///
+/// The free lists sit behind a [`Mutex`], making the pool `Send + Sync`: a
+/// pool may be shared across serving workers, and per-worker contexts built
+/// over separate pools need no synchronization at all. The lock is
+/// uncontended in every existing single-threaded path and its cost is noise
+/// next to the kernels the buffers feed.
 pub struct BufferPool {
-    bins: RefCell<Vec<Vec<Vec<f32>>>>,
+    inner: Mutex<PoolInner>,
+    /// Retention bound: total pooled floats never exceeds this.
+    total_float_cap: usize,
+}
+
+#[derive(Default)]
+struct PoolInner {
+    bins: Vec<Vec<Vec<f32>>>,
+    /// Sum of `capacity()` over every pooled buffer.
+    total_floats: usize,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool {
+            inner: Mutex::new(PoolInner::default()),
+            total_float_cap: POOL_TOTAL_FLOAT_CAP,
+        }
+    }
 }
 
 /// Per-bin retention cap. 64 buffers per size class comfortably covers the
@@ -46,6 +70,10 @@ pub struct BufferPool {
 const POOL_BIN_CAP: usize = 64;
 /// How many bins above the exact size class to search before allocating.
 const POOL_SLACK_BINS: usize = 2;
+/// Default total retention cap: 32 Mi floats (128 MiB). Large enough that a
+/// training step or a batched forward recycles everything it touches, small
+/// enough that a long-running server cannot accrete peak-load allocations.
+const POOL_TOTAL_FLOAT_CAP: usize = 32 << 20;
 
 fn size_class(n: usize) -> usize {
     // floor(log2(n)) for n ≥ 1; class 0 holds capacities 1..=1, etc.
@@ -53,9 +81,29 @@ fn size_class(n: usize) -> usize {
 }
 
 impl BufferPool {
-    /// Fresh, empty pool.
+    /// Fresh, empty pool with the default retention cap.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh pool retaining at most `total_floats` floats across all bins
+    /// (each ~4 bytes). Serving deployments size this to their memory budget;
+    /// tests shrink it to exercise eviction.
+    pub fn with_total_float_cap(total_floats: usize) -> Self {
+        BufferPool {
+            inner: Mutex::new(PoolInner::default()),
+            total_float_cap: total_floats,
+        }
+    }
+
+    /// The pool's retention cap, in floats.
+    pub fn total_float_cap(&self) -> usize {
+        self.total_float_cap
+    }
+
+    /// Total floats currently pooled (sum of buffer capacities).
+    pub fn total_floats(&self) -> usize {
+        self.inner.lock().unwrap().total_floats
     }
 
     /// A zeroed buffer of length `n`, recycled when possible.
@@ -102,46 +150,54 @@ impl BufferPool {
         if n == 0 {
             return None;
         }
-        let mut bins = self.bins.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         let lo = size_class(n);
-        if lo >= bins.len() {
+        if lo >= inner.bins.len() {
             return None;
         }
         // Capacities in n's own class straddle n — scan for one that fits.
-        if let Some(pos) = bins[lo].iter().rposition(|b| b.capacity() >= n) {
-            return Some(bins[lo].swap_remove(pos));
+        if let Some(pos) = inner.bins[lo].iter().rposition(|b| b.capacity() >= n) {
+            let buf = inner.bins[lo].swap_remove(pos);
+            inner.total_floats -= buf.capacity();
+            return Some(buf);
         }
         // Every buffer in a strictly higher class is guaranteed to fit.
-        let hi = (lo + POOL_SLACK_BINS).min(bins.len() - 1);
+        let hi = (lo + POOL_SLACK_BINS).min(inner.bins.len() - 1);
         for cls in lo + 1..=hi {
-            if let Some(buf) = bins[cls].pop() {
+            if let Some(buf) = inner.bins[cls].pop() {
                 debug_assert!(buf.capacity() >= n);
+                inner.total_floats -= buf.capacity();
                 return Some(buf);
             }
         }
         None
     }
 
-    /// Return a buffer to the pool. Buffers beyond the per-class cap (or with
-    /// no capacity) are simply dropped.
+    /// Return a buffer to the pool. Buffers beyond the per-class cap, beyond
+    /// the pool's total-float cap, or with no capacity are simply dropped —
+    /// retention is bounded no matter how hard a load peak churned.
     pub fn put(&self, buf: Vec<f32>) {
         let cap = buf.capacity();
         if cap == 0 {
             return;
         }
-        let cls = size_class(cap);
-        let mut bins = self.bins.borrow_mut();
-        if bins.len() <= cls {
-            bins.resize_with(cls + 1, Vec::new);
+        let mut inner = self.inner.lock().unwrap();
+        if inner.total_floats + cap > self.total_float_cap {
+            return; // over budget: let the allocator have it back
         }
-        if bins[cls].len() < POOL_BIN_CAP {
-            bins[cls].push(buf);
+        let cls = size_class(cap);
+        if inner.bins.len() <= cls {
+            inner.bins.resize_with(cls + 1, Vec::new);
+        }
+        if inner.bins[cls].len() < POOL_BIN_CAP {
+            inner.bins[cls].push(buf);
+            inner.total_floats += cap;
         }
     }
 
     /// Number of buffers currently pooled (diagnostics and tests).
     pub fn len(&self) -> usize {
-        self.bins.borrow().iter().map(Vec::len).sum()
+        self.inner.lock().unwrap().bins.iter().map(Vec::len).sum()
     }
 
     /// True when nothing is pooled.
@@ -220,7 +276,7 @@ pub(crate) struct Node {
 #[derive(Default)]
 pub struct Tape {
     pub(crate) nodes: RefCell<Vec<Node>>,
-    pool: Rc<BufferPool>,
+    pool: Arc<BufferPool>,
 }
 
 impl Tape {
@@ -232,7 +288,7 @@ impl Tape {
     /// Create an empty tape backed by a shared buffer pool. Training loops
     /// pass the same pool to every step's tape so buffers recycle across
     /// steps instead of hitting the allocator.
-    pub fn with_pool(pool: Rc<BufferPool>) -> Self {
+    pub fn with_pool(pool: Arc<BufferPool>) -> Self {
         Tape {
             nodes: RefCell::new(Vec::new()),
             pool,
@@ -240,7 +296,7 @@ impl Tape {
     }
 
     /// The buffer pool backing this tape.
-    pub fn pool(&self) -> &Rc<BufferPool> {
+    pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
     }
 
@@ -358,7 +414,7 @@ impl Tape {
         }
         Gradients {
             grads,
-            pool: Rc::clone(&self.pool),
+            pool: Arc::clone(&self.pool),
         }
     }
 }
@@ -378,7 +434,7 @@ impl Drop for Tape {
 /// return to the tape's buffer pool on drop.
 pub struct Gradients {
     grads: Vec<Option<Tensor>>,
-    pool: Rc<BufferPool>,
+    pool: Arc<BufferPool>,
 }
 
 impl Gradients {
@@ -516,10 +572,56 @@ mod tests {
     }
 
     #[test]
+    fn pool_total_float_cap_bounds_retention_under_churn() {
+        // Cap of 1000 floats: puts beyond the budget are dropped, so a burst
+        // of large buffers (a simulated load peak) cannot pin memory.
+        let pool = BufferPool::with_total_float_cap(1000);
+        for _ in 0..10 {
+            pool.put(vec![0.0; 256]);
+        }
+        assert!(
+            pool.total_floats() <= 1000,
+            "pooled {} floats, cap 1000",
+            pool.total_floats()
+        );
+        assert_eq!(pool.len(), 3, "exactly ⌊1000/256⌋ buffers retained");
+        // Taking releases budget; the pool accepts puts again.
+        let buf = pool.take(256);
+        assert_eq!(pool.len(), 2);
+        pool.put(buf);
+        assert_eq!(pool.len(), 3);
+        // A single buffer over the whole cap is never retained.
+        pool.put(vec![0.0; 2048]);
+        assert_eq!(pool.len(), 3, "over-cap buffer dropped");
+        assert!(pool.total_floats() <= 1000);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = Arc::new(BufferPool::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let b = p.take(64);
+                        assert_eq!(b.len(), 64);
+                        p.put(b);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pool.total_floats() <= pool.total_float_cap());
+    }
+
+    #[test]
     fn dropping_tape_and_grads_refills_shared_pool() {
-        let pool = Rc::new(BufferPool::new());
+        let pool = Arc::new(BufferPool::new());
         {
-            let tape = Tape::with_pool(Rc::clone(&pool));
+            let tape = Tape::with_pool(Arc::clone(&pool));
             let x = tape.leaf(Tensor::from_vec(vec![1., 2., 3.]));
             let y = tape.sqr(x);
             let loss = tape.sum_all(y);
@@ -533,7 +635,7 @@ mod tests {
         // A second identical pass should be served from the pool.
         let before = pool.len();
         {
-            let tape = Tape::with_pool(Rc::clone(&pool));
+            let tape = Tape::with_pool(Arc::clone(&pool));
             let x = tape.leaf(Tensor::from_vec(vec![1., 2., 3.]));
             let y = tape.sqr(x);
             let loss = tape.sum_all(y);
@@ -544,7 +646,7 @@ mod tests {
 
     #[test]
     fn results_identical_with_and_without_shared_pool() {
-        let run = |pool: Option<Rc<BufferPool>>| -> Vec<f32> {
+        let run = |pool: Option<Arc<BufferPool>>| -> Vec<f32> {
             let tape = match pool {
                 Some(p) => Tape::with_pool(p),
                 None => Tape::new(),
@@ -557,8 +659,8 @@ mod tests {
             grads.get(x).unwrap().data().to_vec()
         };
         let fresh = run(None);
-        let pool = Rc::new(BufferPool::new());
-        let first = run(Some(Rc::clone(&pool)));
+        let pool = Arc::new(BufferPool::new());
+        let first = run(Some(Arc::clone(&pool)));
         let second = run(Some(pool)); // runs entirely on recycled buffers
         assert_eq!(fresh, first);
         assert_eq!(fresh, second);

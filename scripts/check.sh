@@ -10,3 +10,8 @@ cargo test -q
 # Smoke-run the inference-engine benchmark: asserts the grad-free engine's
 # exact-mode scores are bitwise identical to the tape before timing anything.
 cargo run --release -q -p delrec-bench --bin infer -- --scale smoke --out "$(mktemp -d)"
+
+# Smoke-run the serving-runtime benchmark: its correctness gate asserts a
+# non-zero number of completed requests and zero bitwise mismatches between
+# served responses and direct scoring before any throughput is reported.
+cargo run --release -q -p delrec-bench --bin serve -- --scale smoke --out "$(mktemp -d)"
