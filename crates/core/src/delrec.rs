@@ -314,12 +314,14 @@ impl DelRec {
     /// refresh the shared-prefix K/V cache if stale, run the tape-free
     /// batched forward, and verbalize.
     fn score_infer(&self, requests: &[delrec_eval::ScoreRequest<'_>]) -> Vec<Vec<f32>> {
+        let _span = delrec_obs::span!("core.score");
         let pb = PromptBuilder::new(&self.vocab, &self.items, self.cfg.teacher.name());
         let soft_mode = self.soft_mode();
         let mut seqs = Vec::with_capacity(requests.len());
         let mut mask_pos = Vec::with_capacity(requests.len());
         let mut title_sets = Vec::with_capacity(requests.len());
         let mut prefix_len = 0;
+        let prompts_span = delrec_obs::span!("core.prompts");
         for &(prefix, candidates) in requests {
             let take = prefix.len().min(9);
             let history = &prefix[prefix.len() - take..];
@@ -330,6 +332,7 @@ impl DelRec {
             mask_pos.push(prompt.mask_pos);
             title_sets.push(self.candidate_titles(candidates));
         }
+        drop(prompts_span);
         let soft_values = self.sp.as_ref().map(|s| s.values(self.lm.store()));
         // Check an engine state out of the pool and run the whole forward on
         // it without holding any lock — concurrent scorers each get their own
@@ -342,11 +345,15 @@ impl DelRec {
             .as_ref()
             .is_some_and(|c| c.is_valid_for(version, eng.ctx.math(), shared_prefix));
         if !fresh {
+            delrec_obs::counter!("core.prefix_cache.rebuild").incr();
+            let _build = delrec_obs::span!("core.prefix_cache.build");
             // `None` here (unsupported config) simply disables prefix reuse;
             // the tape-free forward still runs.
             eng.cache = self
                 .lm
                 .build_prefix_cache(&eng.ctx, shared_prefix, soft_values);
+        } else {
+            delrec_obs::counter!("core.prefix_cache.hit").incr();
         }
         let logits = self.lm.mask_logits_infer_batch(
             &eng.ctx,

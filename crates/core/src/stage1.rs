@@ -229,9 +229,11 @@ pub fn distill(
     let half = (cfg.batch_size / 2).max(1);
 
     for epoch in 0..cfg.epochs {
+        let _epoch_span = delrec_obs::span!("core.stage1.epoch");
         // Dynamic λ: descent-rate weighting once two epochs of history exist.
         let lambda = dynamic_lambda(&stats.ta_losses, &stats.rps_losses, opts);
         stats.lambdas.push(lambda);
+        delrec_obs::gauge!("core.stage1.lambda").set(f64::from(lambda));
 
         let mut ta_order = shuffled_indices(ta_items.len(), &mut rng);
         let mut rps_order = shuffled_indices(rps_items.len(), &mut rng);
@@ -302,6 +304,9 @@ pub fn distill(
         } else {
             0.0
         });
+        delrec_obs::gauge!("core.stage1.ta_loss").set(f64::from(*stats.ta_losses.last().unwrap()));
+        delrec_obs::gauge!("core.stage1.rps_loss")
+            .set(f64::from(*stats.rps_losses.last().unwrap()));
         let _ = epoch;
     }
     // Restore the default freeze state.

@@ -97,6 +97,7 @@ pub fn finetune(
     let mut order: Vec<usize> = (0..items.len()).collect();
     let mut step_count = 0usize;
     for _epoch in 0..cfg.epochs {
+        let _epoch_span = delrec_obs::span!("core.stage2.epoch");
         for i in (1..order.len()).rev() {
             let j = rng.random_range(0..=i);
             order.swap(i, j);
@@ -127,6 +128,7 @@ pub fn finetune(
             }
         }
         losses.push(total / batches.max(1) as f32);
+        delrec_obs::gauge!("core.stage2.loss").set(f64::from(*losses.last().unwrap()));
     }
     losses
 }

@@ -125,6 +125,7 @@ pub fn evaluate_examples<R: Ranker + ?Sized>(
     num_items: usize,
     cfg: &EvalConfig,
 ) -> RankingReport {
+    let _span = delrec_obs::span!("eval.evaluate");
     assert!(cfg.batch_size > 0, "batch_size must be positive");
     let sampler = CandidateSampler::new(num_items, cfg.m);
     let take = cfg
@@ -133,6 +134,7 @@ pub fn evaluate_examples<R: Ranker + ?Sized>(
         .min(examples.len());
     let mut ranks = Vec::with_capacity(take);
     for (chunk_idx, chunk) in examples[..take].chunks(cfg.batch_size).enumerate() {
+        let _chunk_span = delrec_obs::span!("eval.chunk");
         let base = chunk_idx * cfg.batch_size;
         let candidate_sets: Vec<Vec<ItemId>> = chunk
             .iter()

@@ -220,6 +220,7 @@ impl MiniLm {
         mask_pos: &[usize],
         cache: Option<&PrefixCache>,
     ) -> Tensor {
+        let _span = delrec_obs::span!("lm.mask_logits");
         let bsz = seqs.len();
         assert_eq!(bsz, mask_pos.len(), "one mask position per sequence");
         let d = self.cfg.d_model;
@@ -227,6 +228,7 @@ impl MiniLm {
         let h = self.encode_infer(ic, seqs, soft_table, cache, Some(mask_pos), None);
         // Final layer norm over the mask rows only — row-local, so identical
         // to the tape's normalize-everything-then-gather.
+        let _head = delrec_obs::span!("lm.head");
         let mut hf = ic.alloc(bsz * d);
         layer_norm_rows(
             &h,
@@ -263,6 +265,7 @@ impl MiniLm {
         mask_pos: Option<&[usize]>,
         mut capture: Option<&mut Vec<Vec<HeadKv>>>,
     ) -> Vec<f32> {
+        let _span = delrec_obs::span!("lm.encode");
         let cfg = &self.cfg;
         let bsz = seqs.len();
         assert!(bsz > 0, "empty batch");
@@ -324,10 +327,13 @@ impl MiniLm {
             d,
         };
         let mut h = ic.alloc(rows * d);
-        for (b, tokens) in seqs.iter().enumerate() {
-            for (s, &tok) in tokens[p..].iter().enumerate() {
-                let row = b * s_max + s;
-                emb.write_row(tok, p + s, &mut h[row * d..(row + 1) * d]);
+        {
+            let _embed = delrec_obs::span!("lm.embed");
+            for (b, tokens) in seqs.iter().enumerate() {
+                for (s, &tok) in tokens[p..].iter().enumerate() {
+                    let row = b * s_max + s;
+                    emb.write_row(tok, p + s, &mut h[row * d..(row + 1) * d]);
+                }
             }
         }
 
@@ -359,12 +365,14 @@ impl MiniLm {
             let mut out_b = ic.alloc(qrows * dh);
             let mut captured_heads: Vec<HeadKv> = Vec::new();
             for hd in 0..heads {
+                let qkv_span = delrec_obs::span!("lm.qkv");
                 let mut q = ic.alloc(nq * dh);
                 matmul_raw(q_in, &blk.wq[hd], &mut q, nq, d, dh);
                 let mut k = ic.alloc(rows * dh);
                 matmul_raw(&xin, &blk.wk[hd], &mut k, rows, d, dh);
                 let mut v = ic.alloc(rows * dh);
                 matmul_raw(&xin, &blk.wv[hd], &mut v, rows, d, dh);
+                drop(qkv_span);
                 if capturing {
                     // Capture runs on a single unpadded sequence, so k/v are
                     // exactly [P, dh].
@@ -374,6 +382,7 @@ impl MiniLm {
                 }
                 for b in 0..bsz {
                     let len = seqs[b].len();
+                    let scores_span = delrec_obs::span!("lm.attn_scores");
                     // Assemble Kᵀ [dh, kmax]: cached prefix columns, then
                     // the example's suffix keys; V [kmax, dh] likewise.
                     if let Some(c) = cache {
@@ -396,6 +405,8 @@ impl MiniLm {
                     };
                     scores.fill(0.0);
                     matmul_raw(qb, &kt_b, &mut scores, qrows, dh, kmax);
+                    drop(scores_span);
+                    let mix_span = delrec_obs::span!("lm.attn_mix");
                     out_b.fill(0.0);
                     for qi in 0..qrows {
                         let t_global = match mask_pos {
@@ -430,6 +441,7 @@ impl MiniLm {
                             dh,
                         );
                     }
+                    drop(mix_span);
                     for qi in 0..qrows {
                         let dst = match pruned {
                             Some(_) => b,
@@ -449,6 +461,7 @@ impl MiniLm {
 
             // attn_out = attn_cat · wo (raw weight — the tape path bypasses
             // adapters on the output projection).
+            let wo_span = delrec_obs::span!("lm.wo");
             let mut attn_out = ic.alloc(nq * d);
             matmul_raw(&attn_cat, blk.wo, &mut attn_out, nq, d, d);
             // Residual; at the final block this compresses h to mask rows.
@@ -470,7 +483,9 @@ impl MiniLm {
                     h
                 }
             };
+            drop(wo_span);
             // FFN over the rows that remain.
+            let _ffn_span = delrec_obs::span!("lm.ffn");
             let ffn = cfg.ffn_dim;
             let mut xin2 = ic.alloc(nq * d);
             layer_norm_rows(&h, blk.ln2_g, blk.ln2_b, &mut xin2);

@@ -262,6 +262,7 @@ impl MiniLm {
         soft_table: Option<Var>,
         rng: &mut StdRng,
     ) -> (Var, usize) {
+        let _span = delrec_obs::span!("lm.encode_tape");
         let tape = ctx.tape;
         let bsz = seqs.len();
         assert!(bsz > 0, "empty batch");

@@ -46,8 +46,10 @@ impl TitleCache {
         build: impl FnOnce() -> Vec<Vec<u32>>,
     ) -> Arc<Vec<Vec<u32>>> {
         if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            delrec_obs::counter!("lm.title_cache.hit").incr();
             return Arc::clone(hit);
         }
+        delrec_obs::counter!("lm.title_cache.miss").incr();
         let built = Arc::new(build());
         self.map.lock().unwrap().insert(key, Arc::clone(&built));
         built
@@ -165,6 +167,7 @@ pub fn rank_candidates_batch_mode(
     candidate_sets: &[&[Vec<u32>]],
     math: MathMode,
 ) -> Vec<Vec<f32>> {
+    let _span = delrec_obs::span!("lm.verbalize");
     assert_eq!(logits.shape().rank(), 2, "expected [B, vocab] logits");
     assert_eq!(
         logits.shape().dim(0),

@@ -1,0 +1,120 @@
+//! Observability for the DELRec serving stack: a hierarchical span profiler
+//! and a process-wide metrics registry, with near-zero cost when disabled.
+//!
+//! The stack spans six layers (tensor kernels → LM forward → teacher models →
+//! DELRec scoring → eval → serving), and a single scoring call crosses all of
+//! them. Two primitives make that stack legible:
+//!
+//! * **Spans** ([`span!`]) — RAII wall-clock timers that nest. Each thread
+//!   accumulates a call tree keyed by span name; [`profile`] merges every
+//!   thread's tree into one report with per-path count, total/self time, and
+//!   min/max, rendered as a text tree or JSON. Profiling is off by default:
+//!   [`span!`] checks one global atomic **before any clock read**, so an
+//!   instrumented hot path costs a single relaxed load when disabled.
+//! * **Metrics** ([`Registry`]) — named [`Counter`]s, [`Gauge`]s, and
+//!   log-bucketed [`Histogram`]s behind one process-wide registry
+//!   ([`global`]), each update a single relaxed atomic op. Unlike spans,
+//!   metrics are *always on* (cache hit ratios and serving ledgers must be
+//!   trustworthy whether or not anyone is profiling); they never read a
+//!   clock on their own.
+//!
+//! ```
+//! delrec_obs::set_enabled(true);
+//! {
+//!     let _outer = delrec_obs::span!("request");
+//!     let _inner = delrec_obs::span!("model.forward");
+//! } // guards record on drop
+//! let report = delrec_obs::profile();
+//! assert_eq!(report.roots()[0].name, "request");
+//! delrec_obs::counter!("cache.hits").incr();
+//! assert_eq!(delrec_obs::global().counter("cache.hits").get(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+mod span;
+
+pub use histogram::Histogram;
+pub use registry::{global, Counter, Gauge, MetricValue, Registry};
+pub use span::{profile, reset, FlatSpanStats, ProfileReport, SpanGuard, SpanStats};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether span profiling is globally enabled. A single relaxed atomic load —
+/// this is the *entire* cost an instrumented hot path pays when profiling is
+/// off, and it is checked before any `Instant::now()`.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn span profiling on or off process-wide. Spans already open keep their
+/// start time and record normally on drop; spans opened while disabled never
+/// read the clock at all.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Open a profiling span named by a `&'static str`, returning a guard that
+/// records the elapsed wall time into the current thread's call tree when
+/// dropped. Spans nest by scope: a span opened while another is live becomes
+/// its child in the profile.
+///
+/// Expands to an `Option<SpanGuard>` that is `None` (no clock read, no
+/// allocation, no lock) when [`enabled`] is false. Bind it to keep the span
+/// open for the scope:
+///
+/// ```
+/// let _span = delrec_obs::span!("lm.forward");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        if $crate::enabled() {
+            Some($crate::SpanGuard::enter($name))
+        } else {
+            None
+        }
+    };
+}
+
+/// A cached handle to the global registry's counter `$name`: the lookup runs
+/// once per call site (a `OnceLock`), after which each use is one atomic load
+/// plus the counter update itself.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// A cached handle to the global registry's gauge `$name` (see [`counter!`]).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::global().gauge($name))
+    }};
+}
+
+/// Minimal JSON string escaping for metric and span names.
+pub(crate) fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Process-wide metrics registry: named counters, gauges, and histograms.
+//!
+//! One [`global`] registry serves the whole stack so a single
+//! [`Registry::snapshot`] shows cache hit ratios (core), pool churn (tensor),
+//! and serving ledgers (serve) side by side. Handles are `Arc`s: look a
+//! metric up once (the [`counter!`](crate::counter) / [`gauge!`](crate::gauge)
+//! macros cache the lookup per call site), then every update is a single
+//! relaxed atomic op with no lock and no map access.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::histogram::Histogram;
+use crate::json_escape;
+
+/// Monotonic event counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Add one with `Release` ordering. A reader that observes this
+    /// increment via [`Counter::get_acquire`] also observes every write the
+    /// incrementing thread made before it — the primitive that lets a
+    /// multi-counter snapshot guarantee cross-counter invariants (e.g.
+    /// "completed ≤ submitted") instead of tearing between independent
+    /// relaxed loads.
+    #[inline]
+    pub fn incr_release(&self) {
+        self.0.fetch_add(1, Ordering::Release);
+    }
+
+    /// Add `n` with `Release` ordering (see [`Counter::incr_release`]).
+    #[inline]
+    pub fn add_release(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Release);
+    }
+
+    /// Current value with `Acquire` ordering, pairing with
+    /// [`Counter::incr_release`].
+    pub fn get_acquire(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Last-write-wins instantaneous value (loss, λ, queue depth), stored as
+/// `f64` bits in an atomic word.
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A point-in-time value of one registered metric, as returned by
+/// [`Registry::snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram summary: `(count, sum, p50, p99)`.
+    Histogram {
+        /// Number of recorded samples.
+        count: u64,
+        /// Sum of recorded samples.
+        sum: u64,
+        /// Median estimate (bucket midpoint).
+        p50: u64,
+        /// 99th-percentile estimate (bucket midpoint).
+        p99: u64,
+    },
+}
+
+/// A named collection of metrics. The map is behind a `Mutex`, but the lock
+/// is only taken on registration and snapshot — updates go straight to the
+/// `Arc`'d atomics.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type — two call
+    /// sites disagreeing about a metric's type is a bug worth failing loudly
+    /// on.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Get or create the gauge `name` (panics on type mismatch, see
+    /// [`Registry::counter`]).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Get or create the histogram `name` (panics on type mismatch, see
+    /// [`Registry::counter`]).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Point-in-time values of every registered metric, in name order.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let m = self.metrics.lock().unwrap();
+        m.iter()
+            .map(|(name, metric)| {
+                let v = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        p50: h.quantile(0.50),
+                        p99: h.quantile(0.99),
+                    },
+                };
+                (name.clone(), v)
+            })
+            .collect()
+    }
+
+    /// [`Registry::snapshot`] as a JSON object keyed by metric name.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, v)) in self.snapshot().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(&name, &mut out);
+            out.push_str("\":");
+            match v {
+                MetricValue::Counter(c) => out.push_str(&c.to_string()),
+                MetricValue::Gauge(g) => {
+                    if g.is_finite() {
+                        out.push_str(&format!("{g}"));
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    p50,
+                    p99,
+                } => out.push_str(&format!(
+                    "{{\"count\":{count},\"sum\":{sum},\"p50\":{p50},\"p99\":{p99}}}"
+                )),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The process-wide registry every `counter!` / `gauge!` call site and the
+/// serving metrics feed into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("hits");
+        c.incr();
+        c.add(4);
+        assert_eq!(r.counter("hits").get(), 5);
+        let g = r.gauge("loss");
+        g.set(0.25);
+        assert_eq!(r.gauge("loss").get(), 0.25);
+        let h = r.histogram("lat");
+        h.record(100);
+        assert_eq!(r.histogram("lat").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_and_typed() {
+        let r = Registry::new();
+        r.counter("b.count").incr();
+        r.gauge("a.gauge").set(1.5);
+        r.histogram("c.hist").record(7);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.gauge", "b.count", "c.hist"]);
+        assert_eq!(snap[0].1, MetricValue::Gauge(1.5));
+        assert_eq!(snap[1].1, MetricValue::Counter(1));
+        match snap[2].1 {
+            MetricValue::Histogram { count, sum, .. } => {
+                assert_eq!((count, sum), (1, 7));
+            }
+            ref other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_json_is_wellformed() {
+        let r = Registry::new();
+        r.counter("n").add(3);
+        r.gauge("x").set(2.0);
+        assert_eq!(r.snapshot_json(), "{\"n\":3,\"x\":2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("m").incr();
+        r.gauge("m");
+    }
+
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        let r = std::sync::Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let c = r.counter("shared");
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(r.counter("shared").get(), 4000);
+    }
+}

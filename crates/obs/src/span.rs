@@ -1,0 +1,481 @@
+//! The hierarchical span profiler: per-thread call trees, merged on demand.
+//!
+//! Each thread owns a tree of nodes keyed by span name; a [`SpanGuard`]
+//! pushes down one level on enter and records `(count, total, min, max)` on
+//! drop. Trees live behind an `Arc<Mutex<…>>` registered in a global list so
+//! [`profile`] can merge the trees of *every* thread that ever recorded a
+//! span — including threads that are still running (the serve scheduler) and
+//! threads that have exited. The per-thread mutex is uncontended on the hot
+//! path (only its own thread locks it, except during a `profile`/`reset`
+//! merge), so an enabled span costs two `Instant::now()` calls, two
+//! uncontended lock acquisitions, and a child-list scan.
+//!
+//! Node identity is the *path* of names from the root, so the same name under
+//! different parents stays distinct in the tree ([`ProfileReport::flat`]
+//! re-aggregates by bare name for "where does the time go" summaries).
+
+use crate::json_escape;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Sentinel: index of the synthetic root node of every thread tree.
+const ROOT: usize = 0;
+
+struct Node {
+    name: &'static str,
+    children: Vec<usize>,
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Node {
+    fn new(name: &'static str) -> Node {
+        Node {
+            name,
+            children: Vec::new(),
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+struct ProfTree {
+    nodes: Vec<Node>,
+    /// Index of the innermost live span (ROOT when none is open).
+    current: usize,
+}
+
+impl ProfTree {
+    fn new() -> ProfTree {
+        ProfTree {
+            nodes: vec![Node::new("<root>")],
+            current: ROOT,
+        }
+    }
+
+    /// Find or create `name` among `parent`'s children.
+    fn child_of(&mut self, parent: usize, name: &'static str) -> usize {
+        if let Some(&c) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c].name == name)
+        {
+            return c;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node::new(name));
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+
+    /// Zero the statistics but keep the tree shape and cursor — safe to call
+    /// while spans are live (their node indices stay valid).
+    fn reset_stats(&mut self) {
+        for n in &mut self.nodes {
+            n.count = 0;
+            n.total_ns = 0;
+            n.min_ns = u64::MAX;
+            n.max_ns = 0;
+        }
+    }
+}
+
+/// Every thread's tree, strongly held so trees of exited threads still merge.
+/// Bounded by thread count, not span count.
+fn all_trees() -> &'static Mutex<Vec<Arc<Mutex<ProfTree>>>> {
+    static TREES: OnceLock<Mutex<Vec<Arc<Mutex<ProfTree>>>>> = OnceLock::new();
+    TREES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: Arc<Mutex<ProfTree>> = {
+        let tree = Arc::new(Mutex::new(ProfTree::new()));
+        all_trees().lock().unwrap().push(Arc::clone(&tree));
+        tree
+    };
+}
+
+/// RAII span: created by [`crate::span!`] when profiling is enabled, records
+/// elapsed wall time into the thread's call tree on drop.
+pub struct SpanGuard {
+    tree: Arc<Mutex<ProfTree>>,
+    node: usize,
+    prev: usize,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Open a span under the thread's current span. Prefer [`crate::span!`],
+    /// which performs the enabled-flag check before calling this.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        let tree = LOCAL.with(Arc::clone);
+        let (node, prev) = {
+            let mut t = tree.lock().unwrap();
+            let prev = t.current;
+            let node = t.child_of(prev, name);
+            t.current = node;
+            (node, prev)
+        };
+        // Clock starts after the bookkeeping so enter-cost is attributed to
+        // the *parent*, keeping leaf self-times honest.
+        SpanGuard {
+            tree,
+            node,
+            prev,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let mut t = self.tree.lock().unwrap();
+        let n = &mut t.nodes[self.node];
+        n.count += 1;
+        n.total_ns += ns;
+        n.min_ns = n.min_ns.min(ns);
+        n.max_ns = n.max_ns.max(ns);
+        t.current = self.prev;
+    }
+}
+
+/// Aggregated statistics of one span path in the merged profile.
+#[derive(Clone, Debug)]
+pub struct SpanStats {
+    /// Span name (one path segment; the position in the tree is the path).
+    pub name: &'static str,
+    /// Completed enters of this span along this path.
+    pub count: u64,
+    /// Total wall time across all enters, in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest single enter, in nanoseconds.
+    pub min_ns: u64,
+    /// Longest single enter, in nanoseconds.
+    pub max_ns: u64,
+    /// Nested spans, in first-seen order.
+    pub children: Vec<SpanStats>,
+}
+
+impl SpanStats {
+    /// Wall time not accounted for by child spans (saturating: overlapping
+    /// clock jitter can make children sum past the parent by nanoseconds).
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns
+            .saturating_sub(self.children.iter().map(|c| c.total_ns).sum())
+    }
+
+    fn merge_from(&mut self, other: &SpanStats) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for oc in &other.children {
+            match self.children.iter_mut().find(|c| c.name == oc.name) {
+                Some(c) => c.merge_from(oc),
+                None => self.children.push(oc.clone()),
+            }
+        }
+    }
+
+    fn from_tree(t: &ProfTree, idx: usize) -> Option<SpanStats> {
+        let n = &t.nodes[idx];
+        let children: Vec<SpanStats> = n
+            .children
+            .iter()
+            .filter_map(|&c| SpanStats::from_tree(t, c))
+            .collect();
+        // A node with no completed enters and no recorded descendants is
+        // structure left over from a reset — drop it from the report.
+        if n.count == 0 && children.is_empty() {
+            return None;
+        }
+        Some(SpanStats {
+            name: n.name,
+            count: n.count,
+            total_ns: n.total_ns,
+            min_ns: if n.min_ns == u64::MAX { 0 } else { n.min_ns },
+            max_ns: n.max_ns,
+            children,
+        })
+    }
+}
+
+/// Flat per-name rollup of the merged profile (same name aggregated across
+/// every path it appears on).
+#[derive(Clone, Debug)]
+pub struct FlatSpanStats {
+    /// Span name.
+    pub name: &'static str,
+    /// Completed enters across all paths.
+    pub count: u64,
+    /// Total wall time across all paths, in nanoseconds.
+    pub total_ns: u64,
+    /// Self wall time (total minus child spans) across all paths.
+    pub self_ns: u64,
+}
+
+/// The merged profile of every thread's span tree at one instant.
+#[derive(Clone, Debug)]
+pub struct ProfileReport {
+    roots: Vec<SpanStats>,
+}
+
+impl ProfileReport {
+    /// Top-level spans (spans entered with no span open), merged across
+    /// threads by name.
+    pub fn roots(&self) -> &[SpanStats] {
+        &self.roots
+    }
+
+    /// Total completed span enters in the report (all paths, all threads).
+    pub fn total_count(&self) -> u64 {
+        fn walk(s: &SpanStats) -> u64 {
+            s.count + s.children.iter().map(walk).sum::<u64>()
+        }
+        self.roots.iter().map(walk).sum()
+    }
+
+    /// Per-name rollup, sorted by self time descending — the "where does the
+    /// time actually go" view.
+    pub fn flat(&self) -> Vec<FlatSpanStats> {
+        let mut acc: Vec<FlatSpanStats> = Vec::new();
+        fn walk(s: &SpanStats, acc: &mut Vec<FlatSpanStats>) {
+            match acc.iter_mut().find(|f| f.name == s.name) {
+                Some(f) => {
+                    f.count += s.count;
+                    f.total_ns += s.total_ns;
+                    f.self_ns += s.self_ns();
+                }
+                None => acc.push(FlatSpanStats {
+                    name: s.name,
+                    count: s.count,
+                    total_ns: s.total_ns,
+                    self_ns: s.self_ns(),
+                }),
+            }
+            for c in &s.children {
+                walk(c, acc);
+            }
+        }
+        for r in &self.roots {
+            walk(r, &mut acc);
+        }
+        acc.sort_by_key(|f| std::cmp::Reverse(f.self_ns));
+        acc
+    }
+
+    /// Render the tree as aligned text, one span per line, indented by depth.
+    pub fn render_text(&self) -> String {
+        fn fmt_ns(ns: u64) -> String {
+            if ns >= 1_000_000_000 {
+                format!("{:.2}s", ns as f64 / 1e9)
+            } else if ns >= 1_000_000 {
+                format!("{:.2}ms", ns as f64 / 1e6)
+            } else if ns >= 1_000 {
+                format!("{:.2}us", ns as f64 / 1e3)
+            } else {
+                format!("{ns}ns")
+            }
+        }
+        fn walk(s: &SpanStats, depth: usize, out: &mut String) {
+            let label = format!("{}{}", "  ".repeat(depth), s.name);
+            out.push_str(&format!(
+                "{label:<42} count={:<8} total={:<10} self={:<10} min={:<10} max={}\n",
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.self_ns()),
+                fmt_ns(s.min_ns),
+                fmt_ns(s.max_ns),
+            ));
+            for c in &s.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        for r in &self.roots {
+            walk(r, 0, &mut out);
+        }
+        out
+    }
+
+    /// Render the tree as JSON: an array of nested span objects with `name`,
+    /// `count`, `total_ns`, `self_ns`, `min_ns`, `max_ns`, and `children`.
+    pub fn to_json(&self) -> String {
+        fn walk(s: &SpanStats, out: &mut String) {
+            out.push_str("{\"name\":\"");
+            json_escape(s.name, out);
+            out.push_str(&format!(
+                "\",\"count\":{},\"total_ns\":{},\"self_ns\":{},\"min_ns\":{},\"max_ns\":{},\"children\":[",
+                s.count,
+                s.total_ns,
+                s.self_ns(),
+                s.min_ns,
+                s.max_ns,
+            ));
+            for (i, c) in s.children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                walk(c, out);
+            }
+            out.push_str("]}");
+        }
+        let mut out = String::from("[");
+        for (i, r) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            walk(r, &mut out);
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Merge every thread's call tree into one [`ProfileReport`]. Live spans
+/// contribute nothing until they drop; threads whose spans all predate the
+/// last [`reset`] contribute nothing.
+pub fn profile() -> ProfileReport {
+    let trees = all_trees().lock().unwrap();
+    let mut roots: Vec<SpanStats> = Vec::new();
+    for tree in trees.iter() {
+        let t = tree.lock().unwrap();
+        for &r in &t.nodes[ROOT].children {
+            if let Some(stats) = SpanStats::from_tree(&t, r) {
+                match roots.iter_mut().find(|x| x.name == stats.name) {
+                    Some(x) => x.merge_from(&stats),
+                    None => roots.push(stats),
+                }
+            }
+        }
+    }
+    ProfileReport { roots }
+}
+
+/// Zero every thread's span statistics (tree shapes survive, so live guards
+/// stay valid and the next [`profile`] reflects only spans completed after
+/// this call).
+pub fn reset() {
+    let trees = all_trees().lock().unwrap();
+    for tree in trees.iter() {
+        tree.lock().unwrap().reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global enable flag and tree registry are process-wide; tests in
+    // this module serialize on a lock to avoid cross-talk.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let _s = serial();
+        crate::set_enabled(true);
+        reset();
+        for _ in 0..3 {
+            let _a = crate::span!("outer");
+            let _b = crate::span!("inner");
+        }
+        {
+            let _c = crate::span!("outer");
+        }
+        crate::set_enabled(false);
+        let report = profile();
+        let outer = report
+            .roots()
+            .iter()
+            .find(|r| r.name == "outer")
+            .expect("outer recorded");
+        assert_eq!(outer.count, 4);
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.children[0].name, "inner");
+        assert_eq!(outer.children[0].count, 3);
+        assert!(outer.total_ns >= outer.children[0].total_ns);
+        assert!(outer.min_ns <= outer.max_ns);
+        let flat = report.flat();
+        assert!(flat.iter().any(|f| f.name == "inner" && f.count == 3));
+        let text = report.render_text();
+        assert!(text.contains("outer") && text.contains("  inner"));
+        let json = report.to_json();
+        assert!(json.contains("\"name\":\"outer\"") && json.contains("\"children\":[{"));
+    }
+
+    #[test]
+    fn same_name_under_different_parents_stays_distinct() {
+        let _s = serial();
+        crate::set_enabled(true);
+        reset();
+        {
+            let _a = crate::span!("p1");
+            let _k = crate::span!("kernel");
+        }
+        {
+            let _b = crate::span!("p2");
+            let _k = crate::span!("kernel");
+            let _k2 = crate::span!("leaf");
+        }
+        crate::set_enabled(false);
+        let report = profile();
+        let p1 = report.roots().iter().find(|r| r.name == "p1").unwrap();
+        let p2 = report.roots().iter().find(|r| r.name == "p2").unwrap();
+        assert_eq!(p1.children.len(), 1);
+        assert_eq!(p2.children.len(), 1);
+        assert_eq!(p2.children[0].children[0].name, "leaf");
+        // The flat rollup re-merges the two kernel paths.
+        let kernel = report
+            .flat()
+            .into_iter()
+            .find(|f| f.name == "kernel")
+            .unwrap();
+        assert_eq!(kernel.count, 2);
+    }
+
+    #[test]
+    fn threads_merge_into_one_report() {
+        let _s = serial();
+        crate::set_enabled(true);
+        reset();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _a = crate::span!("worker");
+                    let _b = crate::span!("step");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        crate::set_enabled(false);
+        let report = profile();
+        let w = report.roots().iter().find(|r| r.name == "worker").unwrap();
+        assert_eq!(w.count, 4, "four threads' trees merge by path");
+        assert_eq!(w.children[0].count, 4);
+    }
+
+    #[test]
+    fn reset_clears_counts_but_keeps_live_guards_valid() {
+        let _s = serial();
+        crate::set_enabled(true);
+        reset();
+        let g = crate::span!("live");
+        reset(); // must not invalidate `g`
+        drop(g);
+        crate::set_enabled(false);
+        let report = profile();
+        let live = report.roots().iter().find(|r| r.name == "live").unwrap();
+        assert_eq!(live.count, 1, "the live span records after the reset");
+    }
+}

@@ -64,6 +64,7 @@ pub trait NeuralSeqModel: SequentialRecommender {
     /// Default [`SequentialRecommender::scores`] implementation for neural
     /// models: one eval-mode forward pass.
     fn scores_via_forward(&self, prefix: &[ItemId]) -> Vec<f32> {
+        let _span = delrec_obs::span!("seqrec.scores");
         let tape = Tape::new();
         let ctx = Ctx::new(&tape, self.store(), false);
         let mut rng = rand::SeedableRng::seed_from_u64(0);
@@ -75,6 +76,7 @@ pub trait NeuralSeqModel: SequentialRecommender {
     /// neural models: one eval-mode [`Self::logits_batch`] pass shared by
     /// every prefix.
     fn scores_batch_via_forward(&self, prefixes: &[&[ItemId]]) -> Vec<Vec<f32>> {
+        let _span = delrec_obs::span!("seqrec.scores_batch");
         let tape = Tape::new();
         let ctx = Ctx::new(&tape, self.store(), false);
         let mut rng = rand::SeedableRng::seed_from_u64(0);

@@ -1,24 +1,50 @@
-//! Lock-free serving metrics: monotonic counters and log-bucketed latency
-//! histograms.
+//! Serving metrics on the shared observability registry: monotonic counters
+//! and log-bucketed latency histograms, with an internally consistent
+//! snapshot.
 //!
-//! Every hot-path update is a single relaxed atomic add — no locks, no
-//! allocation — so metrics cost nanoseconds next to a model forward.
-//! Histograms bucket by latency magnitude: four sub-buckets per power of two
-//! of nanoseconds, so any quantile estimate is within ~12% of the true value
-//! across the full `Duration` range, with 256 fixed buckets.
+//! Every hot-path update is a single atomic add — no locks, no allocation —
+//! so metrics cost nanoseconds next to a model forward. The storage lives in
+//! [`delrec_obs::global`]'s registry under `serve.<instance>.*` names, so one
+//! registry dump shows the serving ledger next to the tensor-pool and
+//! prefix-cache counters from the layers below.
+//!
+//! # Snapshot consistency
+//!
+//! [`Metrics::snapshot`] is not a point-in-time freeze (that would need a
+//! lock on the hot path), but it is *internally consistent*: the invariants
+//! that hold in any quiescent state also hold in every snapshot taken under
+//! concurrent load —
+//!
+//! * `completed + shed_expired + timed_out ≤ submitted`
+//! * `completed + timed_out ≤ batched_requests`
+//! * `batched_requests ≥ batches` (so `mean_batch_size ≥ 1` once a batch
+//!   flushed)
+//!
+//! The guarantee comes from a write/read ordering discipline rather than a
+//! lock. Writers publish with `Release` increments in dependency order: a
+//! request's `submitted` increment happens-before its sink increment (the
+//! queue mutex sequences them), and a batch's `batched_requests` increment
+//! precedes its `batches` increment, which precedes its per-request sinks.
+//! The snapshot then reads in the *reverse* order with `Acquire` loads —
+//! sinks (`completed`, `timed_out`, `shed_expired`) first, then `batches`,
+//! then `batched_requests`, then `submitted` — so for every sink event the
+//! snapshot observes, the upstream events it implies are already visible.
+//! Reordering those loads (or demoting them to `Relaxed`) breaks the
+//! invariants; the concurrent test in `tests/metrics_consistency.rs` pins
+//! them.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Sub-buckets per octave (power of two). Four gives ~±12% bucket width.
-const SUBS_PER_OCTAVE: usize = 4;
-/// Total buckets: covers 1 ns … 2⁶⁴ ns (≈ 584 years).
-const NBUCKETS: usize = 64 * SUBS_PER_OCTAVE;
+use delrec_obs::{Counter, Histogram};
 
-/// Concurrent log-bucketed histogram of durations.
+/// Concurrent log-bucketed histogram of durations: a [`Duration`]-typed view
+/// over a nanosecond [`delrec_obs::Histogram`] (four sub-buckets per power
+/// of two, 256 buckets, quantiles at bucket midpoints — within ~12% of the
+/// true value across the full `Duration` range).
 pub struct LogHistogram {
-    counts: Box<[AtomicU64; NBUCKETS]>,
-    sum_ns: AtomicU64,
+    inner: Arc<Histogram>,
 }
 
 impl Default for LogHistogram {
@@ -28,136 +54,181 @@ impl Default for LogHistogram {
 }
 
 impl LogHistogram {
-    /// Empty histogram.
+    /// Empty, unregistered histogram.
     pub fn new() -> Self {
-        let counts: Vec<AtomicU64> = (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect();
         LogHistogram {
-            counts: counts.try_into().map_err(|_| ()).unwrap(),
-            sum_ns: AtomicU64::new(0),
+            inner: Arc::new(Histogram::new()),
         }
     }
 
-    /// Bucket index of a nanosecond value: octave (floor log₂) plus the next
-    /// two mantissa bits.
-    fn bucket(ns: u64) -> usize {
-        if ns == 0 {
-            return 0;
+    /// A histogram backed by the global registry entry `name` — the serving
+    /// runtime's own view and a registry dump read the same buckets.
+    pub fn registered(name: &str) -> Self {
+        LogHistogram {
+            inner: delrec_obs::global().histogram(name),
         }
-        let exp = 63 - ns.leading_zeros() as usize;
-        let frac = if exp >= 2 {
-            ((ns >> (exp - 2)) & 0b11) as usize
-        } else {
-            0
-        };
-        (exp * SUBS_PER_OCTAVE + frac).min(NBUCKETS - 1)
-    }
-
-    /// Lower edge of a bucket in nanoseconds.
-    fn bucket_floor(idx: usize) -> u64 {
-        let exp = idx / SUBS_PER_OCTAVE;
-        let frac = (idx % SUBS_PER_OCTAVE) as u64;
-        if exp >= 64 {
-            return u64::MAX;
-        }
-        let base = 1u64 << exp;
-        base + (base / SUBS_PER_OCTAVE as u64) * frac
     }
 
     /// Record one duration.
     pub fn record(&self, d: Duration) {
-        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
-        self.counts[Self::bucket(ns)].fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.inner
+            .record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
     }
 
     /// Number of recorded durations.
     pub fn count(&self) -> u64 {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.inner.count()
     }
 
-    /// Mean of recorded durations (zero when empty).
+    /// Mean of recorded durations (zero when empty; integer nanoseconds).
     pub fn mean(&self) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / n)
+        Duration::from_nanos(self.inner.mean())
     }
 
     /// The `q`-quantile (`0.0 ..= 1.0`), estimated as the midpoint of the
     /// bucket holding the `⌈q·n⌉`-th smallest sample. Zero when empty.
     pub fn quantile(&self, q: f64) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, c) in self.counts.iter().enumerate() {
-            seen += c.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Midpoint of [floor, next floor) — the bucket's own span.
-                let lo = Self::bucket_floor(i);
-                let hi = Self::bucket_floor(i + 1).max(lo + 1);
-                return Duration::from_nanos(lo + (hi - lo) / 2);
-            }
-        }
-        Duration::ZERO // unreachable: rank ≤ n
+        Duration::from_nanos(self.inner.quantile(q))
     }
 }
 
+/// Serving-runtime instances registered so far; gives each [`Metrics`] a
+/// distinct `serve.<n>.*` namespace in the global registry so two runtimes
+/// in one process (common in tests) never share ledgers.
+static INSTANCES: AtomicU64 = AtomicU64::new(0);
+
 /// All counters of a serving runtime. Shared by reference between the
-/// admission path, the scheduler, and the workers.
-#[derive(Default)]
+/// admission path, the scheduler, and the workers; updated through the
+/// `record_*` methods, whose orderings carry the snapshot guarantee
+/// documented at the module level.
 pub struct Metrics {
-    /// Requests accepted into the queue.
-    pub submitted: AtomicU64,
-    /// Requests answered with scores.
-    pub completed: AtomicU64,
-    /// Rejections at admission: queue at its depth bound.
-    pub rejected_queue_full: AtomicU64,
-    /// Rejections at admission: deadline unmeetable under the batch window.
-    pub rejected_deadline: AtomicU64,
-    /// Requests shed at flush: deadline expired while queued.
-    pub shed_expired: AtomicU64,
-    /// Requests whose deadline expired during scoring (answered with an
-    /// error, never with late scores).
-    pub timed_out: AtomicU64,
-    /// Batches flushed.
-    pub batches: AtomicU64,
-    /// Requests summed over flushed batches (occupancy numerator).
-    pub batched_requests: AtomicU64,
-    /// Submit-to-response latency of completed requests.
-    pub latency: LogHistogram,
-    /// Time completed requests spent queued before their batch flushed.
-    pub queue_wait: LogHistogram,
+    namespace: String,
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    rejected_queue_full: Arc<Counter>,
+    rejected_deadline: Arc<Counter>,
+    shed_expired: Arc<Counter>,
+    timed_out: Arc<Counter>,
+    batches: Arc<Counter>,
+    batched_requests: Arc<Counter>,
+    latency: LogHistogram,
+    queue_wait: LogHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Metrics {
-    /// Fresh, zeroed metrics.
+    /// Fresh, zeroed metrics under a new `serve.<n>.*` registry namespace.
     pub fn new() -> Self {
-        Self::default()
+        let id = INSTANCES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let reg = delrec_obs::global();
+        let namespace = format!("serve.{id}");
+        let name = |field: &str| format!("{namespace}.{field}");
+        Metrics {
+            submitted: reg.counter(&name("submitted")),
+            completed: reg.counter(&name("completed")),
+            rejected_queue_full: reg.counter(&name("rejected_queue_full")),
+            rejected_deadline: reg.counter(&name("rejected_deadline")),
+            shed_expired: reg.counter(&name("shed_expired")),
+            timed_out: reg.counter(&name("timed_out")),
+            batches: reg.counter(&name("batches")),
+            batched_requests: reg.counter(&name("batched_requests")),
+            latency: LogHistogram::registered(&name("latency_ns")),
+            queue_wait: LogHistogram::registered(&name("queue_wait_ns")),
+            namespace,
+        }
     }
 
-    fn get(c: &AtomicU64) -> u64 {
-        c.load(Ordering::Relaxed)
+    /// The `serve.<n>` prefix this instance's metrics live under in the
+    /// global registry.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// A request was accepted into the queue. Relaxed is enough: the queue
+    /// mutex already sequences this before any downstream event for the same
+    /// request, and the downstream `Release` increments publish it.
+    pub fn record_submitted(&self) {
+        self.submitted.incr();
+    }
+
+    /// Admission rejection: queue at its depth bound.
+    pub fn record_rejected_queue_full(&self) {
+        self.rejected_queue_full.incr();
+    }
+
+    /// Admission rejection: deadline unmeetable under the batch window.
+    pub fn record_rejected_deadline(&self) {
+        self.rejected_deadline.incr();
+    }
+
+    /// A request was shed at flush with an expired deadline. `Release`: a
+    /// snapshot that sees this shed also sees the request's submission.
+    pub fn record_shed_expired(&self) {
+        self.shed_expired.incr_release();
+    }
+
+    /// A request's deadline expired during scoring (answered with an error,
+    /// never with late scores). `Release`, as for
+    /// [`Metrics::record_shed_expired`].
+    pub fn record_timed_out(&self) {
+        self.timed_out.incr_release();
+    }
+
+    /// A request was answered with scores. `Release`: a snapshot that sees
+    /// this completion also sees the submission and the batch accounting
+    /// that preceded it.
+    pub fn record_completed(&self, latency: Duration, queue_wait: Duration) {
+        self.latency.record(latency);
+        self.queue_wait.record(queue_wait);
+        self.completed.incr_release();
+    }
+
+    /// A batch of `size` live requests flushed. The occupancy numerator is
+    /// published before the batch count (both `Release`), and the snapshot
+    /// reads them in the opposite order, so an observed batch always has its
+    /// requests counted — `mean_batch_size` can never dip below one.
+    pub fn record_batch(&self, size: u64) {
+        self.batched_requests.add_release(size);
+        self.batches.incr_release();
     }
 
     /// Point-in-time copy of every counter plus derived quantiles.
+    ///
+    /// One pass, in the documented order — sinks first, then batch counts,
+    /// then sources — each with an `Acquire` load pairing with the writers'
+    /// `Release` increments. See the module docs for why this order is
+    /// load-bearing.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let batches = Self::get(&self.batches);
+        // 1. Sinks: every event observed here implies an upstream event.
+        let completed = self.completed.get_acquire();
+        let timed_out = self.timed_out.get_acquire();
+        let shed_expired = self.shed_expired.get_acquire();
+        // 2. Batch count before its occupancy numerator.
+        let batches = self.batches.get_acquire();
+        let batched_requests = self.batched_requests.get_acquire();
+        // 3. Sources last: by now every implied upstream increment is
+        //    visible. Admission rejections have no cross-counter invariant
+        //    but ride in the same pass.
+        let submitted = self.submitted.get_acquire();
+        let rejected_queue_full = self.rejected_queue_full.get();
+        let rejected_deadline = self.rejected_deadline.get();
         MetricsSnapshot {
-            submitted: Self::get(&self.submitted),
-            completed: Self::get(&self.completed),
-            rejected_queue_full: Self::get(&self.rejected_queue_full),
-            rejected_deadline: Self::get(&self.rejected_deadline),
-            shed_expired: Self::get(&self.shed_expired),
-            timed_out: Self::get(&self.timed_out),
+            submitted,
+            completed,
+            rejected_queue_full,
+            rejected_deadline,
+            shed_expired,
+            timed_out,
             batches,
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
-                Self::get(&self.batched_requests) as f64 / batches as f64
+                batched_requests as f64 / batches as f64
             },
             latency_mean: self.latency.mean(),
             latency_p50: self.latency.quantile(0.50),
@@ -207,32 +278,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_edges_are_monotone_and_cover_the_range() {
-        let mut prev = 0;
-        for i in 0..NBUCKETS {
-            let lo = LogHistogram::bucket_floor(i);
-            assert!(lo >= prev, "bucket {i} floor regressed");
-            prev = lo;
-        }
-        // Every value lands in a bucket whose span contains it.
-        for ns in [1u64, 2, 3, 5, 100, 999, 1_000_000, u64::MAX / 2] {
-            let b = LogHistogram::bucket(ns);
-            let lo = LogHistogram::bucket_floor(b);
-            assert!(lo <= ns);
-            // Sub-bucket floors coincide in the lowest octaves (an integer
-            // octave [1,2) can't subdivide); bound by the next distinct floor.
-            let mut j = b + 1;
-            while j < NBUCKETS && LogHistogram::bucket_floor(j) <= lo {
-                j += 1;
-            }
-            if j < NBUCKETS {
-                assert!(ns < LogHistogram::bucket_floor(j), "ns={ns} bucket={b}");
-            }
-        }
-    }
-
-    #[test]
-    fn quantiles_are_within_bucket_resolution() {
+    fn duration_quantiles_are_within_bucket_resolution() {
         let h = LogHistogram::new();
         // 100 samples at 1 ms, 10 at 10 ms, 1 at 100 ms.
         for _ in 0..100 {
@@ -252,6 +298,18 @@ mod tests {
         assert!(h.mean() > Duration::from_millis(1));
     }
 
+    // The serve-facing pin of the documented boundary layout: 1 ms lands in
+    // bucket [917.504 µs, 1.048576 ms) and every quantile of a
+    // single-valued histogram is that bucket's midpoint, 983.04 µs.
+    #[test]
+    fn quantiles_land_on_documented_bucket_boundaries() {
+        let h = LogHistogram::new();
+        h.record(Duration::from_millis(1));
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Duration::from_nanos(983_040), "q={q}");
+        }
+    }
+
     #[test]
     fn empty_histogram_reports_zero() {
         let h = LogHistogram::new();
@@ -262,10 +320,35 @@ mod tests {
     #[test]
     fn snapshot_derives_mean_batch_size() {
         let m = Metrics::new();
-        m.batches.store(4, Ordering::Relaxed);
-        m.batched_requests.store(10, Ordering::Relaxed);
+        m.record_batch(3);
+        m.record_batch(7);
         let s = m.snapshot();
-        assert!((s.mean_batch_size - 2.5).abs() < 1e-9);
+        assert_eq!(s.batches, 2);
+        assert!((s.mean_batch_size - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_are_visible_in_the_global_registry() {
+        use delrec_obs::MetricValue;
+        let m = Metrics::new();
+        m.record_submitted();
+        m.record_batch(1);
+        m.record_completed(Duration::from_millis(2), Duration::from_millis(1));
+        let prefix = m.namespace().to_string();
+        let snap = delrec_obs::global().snapshot();
+        let get = |field: &str| {
+            snap.iter()
+                .find(|(n, _)| *n == format!("{prefix}.{field}"))
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("{prefix}.{field} not registered"))
+        };
+        assert_eq!(get("submitted"), MetricValue::Counter(1));
+        assert_eq!(get("completed"), MetricValue::Counter(1));
+        assert_eq!(get("batches"), MetricValue::Counter(1));
+        match get("latency_ns") {
+            MetricValue::Histogram { count, .. } => assert_eq!(count, 1),
+            other => panic!("latency_ns is {other:?}"),
+        }
     }
 
     #[test]

@@ -158,9 +158,7 @@ impl<R: Ranker + Send + Sync + 'static> Client<R> {
             return Err(ServeError::Shutdown);
         }
         if st.q.len() >= sh.cfg.max_queue {
-            sh.metrics
-                .rejected_queue_full
-                .fetch_add(1, Ordering::Relaxed);
+            sh.metrics.record_rejected_queue_full();
             return Err(ServeError::QueueFull { depth: st.q.len() });
         }
         if let Some(d) = req.deadline {
@@ -175,7 +173,7 @@ impl<R: Ranker + Send + Sync + 'static> Client<R> {
                 now + sh.cfg.batch_window
             };
             if d <= earliest_flush {
-                sh.metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                sh.metrics.record_rejected_deadline();
                 return Err(ServeError::DeadlineUnmeetable);
             }
         }
@@ -188,7 +186,7 @@ impl<R: Ranker + Send + Sync + 'static> Client<R> {
             tx,
         });
         sh.depth.store(st.q.len() as u64, Ordering::Relaxed);
-        sh.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        sh.metrics.record_submitted();
         drop(st);
         sh.notify.notify_all();
         Ok(ResponseHandle { rx })
@@ -208,13 +206,14 @@ impl<R: Ranker + Send + Sync + 'static> Client<R> {
 /// Score one flushed batch and deliver every response. Runs on the scheduler
 /// thread (`num_workers = 0`) or on a pool worker.
 fn score_batch<R: Ranker>(sh: &Shared<R>, batch: Vec<Pending>) {
+    let _span = delrec_obs::span!("serve.score_batch");
     let now = Instant::now();
     // Shed queue-expired requests — they are answered with an error, never
     // scored, never silently dropped.
     let mut live = Vec::with_capacity(batch.len());
     for p in batch {
         if p.deadline.is_some_and(|d| d <= now) {
-            sh.metrics.shed_expired.fetch_add(1, Ordering::Relaxed);
+            sh.metrics.record_shed_expired();
             let _ = p.tx.send(Err(ServeError::DeadlineExpired));
         } else {
             live.push(p);
@@ -231,22 +230,18 @@ fn score_batch<R: Ranker>(sh: &Shared<R>, batch: Vec<Pending>) {
     debug_assert_eq!(rows.len(), live.len(), "one score row per live request");
     let done = Instant::now();
     let batch_size = live.len();
-    sh.metrics.batches.fetch_add(1, Ordering::Relaxed);
-    sh.metrics
-        .batched_requests
-        .fetch_add(batch_size as u64, Ordering::Relaxed);
+    sh.metrics.record_batch(batch_size as u64);
     for (p, scores) in live.into_iter().zip(rows) {
         if p.deadline.is_some_and(|d| d <= done) {
             // Expired mid-forward: the contract is "never silently answered
             // late", so the scores are discarded and the client told why.
-            sh.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+            sh.metrics.record_timed_out();
             let _ = p.tx.send(Err(ServeError::DeadlineExpired));
             continue;
         }
         let ranking = ranking_of(&scores);
-        sh.metrics.completed.fetch_add(1, Ordering::Relaxed);
-        sh.metrics.latency.record(done - p.submitted);
-        sh.metrics.queue_wait.record(now - p.submitted);
+        sh.metrics
+            .record_completed(done - p.submitted, now - p.submitted);
         let _ = p.tx.send(Ok(RecResponse {
             scores,
             ranking,

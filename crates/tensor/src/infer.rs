@@ -135,6 +135,7 @@ pub fn softmax_row_mode(row: &mut [f32], math: MathMode) {
 /// variance, same epsilon, same `(x − μ)·istd·γ + β` evaluation order).
 /// Transcendental-free, so there is no fast variant.
 pub fn layer_norm_rows(x: &[f32], gamma: &[f32], beta: &[f32], out: &mut [f32]) {
+    let _span = delrec_obs::span!("tensor.layer_norm");
     let d = gamma.len();
     debug_assert_eq!(beta.len(), d);
     debug_assert_eq!(x.len(), out.len());
@@ -152,6 +153,7 @@ pub fn layer_norm_rows(x: &[f32], gamma: &[f32], beta: &[f32], out: &mut [f32]) 
 /// In-place GELU over a slice; [`MathMode::Exact`] is bitwise identical to
 /// the tape's `gelu` forward.
 pub fn gelu_slice_mode(xs: &mut [f32], math: MathMode) {
+    let _span = delrec_obs::span!("tensor.gelu");
     match math {
         MathMode::Exact => {
             for x in xs.iter_mut() {

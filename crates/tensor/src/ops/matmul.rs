@@ -107,6 +107,7 @@ impl Tape {
     }
 
     fn matmul_2d(&self, a: Var, b: Var) -> Var {
+        let _span = delrec_obs::span!("tensor.matmul");
         let (m, k, n, out) = {
             let (va, vb) = (self.value(a), self.value(b));
             let (m, k) = (va.shape().dim(0), va.shape().dim(1));
@@ -138,6 +139,7 @@ impl Tape {
     }
 
     fn matmul_batched(&self, a: Var, b: Var) -> Var {
+        let _span = delrec_obs::span!("tensor.matmul");
         let (bsz, m, k, n, out) = {
             let (va, vb) = (self.value(a), self.value(b));
             let (bsz, m, k) = (va.shape().dim(0), va.shape().dim(1), va.shape().dim(2));

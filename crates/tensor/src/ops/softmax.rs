@@ -21,6 +21,7 @@ fn softmax_row(row: &[f32], out: &mut [f32]) {
 impl Tape {
     /// Softmax over the last axis.
     pub fn softmax(&self, a: Var) -> Var {
+        let _span = delrec_obs::span!("tensor.softmax");
         let (rows, d, shape, out) = {
             let va = self.value(a);
             let d = va.shape().last();
@@ -65,6 +66,7 @@ impl Tape {
     /// Panics if `valid.len()` differs from the row count or any count is 0
     /// or exceeds the row width.
     pub fn softmax_masked(&self, a: Var, valid: &[usize]) -> Var {
+        let _span = delrec_obs::span!("tensor.softmax");
         let (rows, d, shape, out) = {
             let va = self.value(a);
             let d = va.shape().last();

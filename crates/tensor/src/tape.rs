@@ -114,11 +114,13 @@ impl BufferPool {
     /// ceiling — a recycled buffer that once served a much larger request is
     /// trimmed here rather than handed back over-long.
     pub fn take(&self, n: usize) -> Vec<f32> {
+        delrec_obs::counter!("tensor.pool.take").incr();
         if let Some(mut buf) = self.take_raw(n) {
             Self::normalize(&mut buf, n);
             buf.resize(n, 0.0);
             return buf;
         }
+        delrec_obs::counter!("tensor.pool.miss").incr();
         vec![0.0; n]
     }
 
@@ -126,11 +128,13 @@ impl BufferPool {
     /// normalization guarantees as [`BufferPool::take`], with
     /// `len() == src.len()`.
     pub fn take_copy(&self, src: &[f32]) -> Vec<f32> {
+        delrec_obs::counter!("tensor.pool.take").incr();
         if let Some(mut buf) = self.take_raw(src.len()) {
             Self::normalize(&mut buf, src.len());
             buf.extend_from_slice(src);
             return buf;
         }
+        delrec_obs::counter!("tensor.pool.miss").incr();
         src.to_vec()
     }
 

@@ -5,6 +5,9 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
+# The observability crate is a zero-dependency leaf everything else links
+# against; hold it (tests included) to the same warnings-are-errors bar.
+cargo clippy -p delrec-obs --all-targets -- -D warnings
 cargo test -q
 
 # Smoke-run the inference-engine benchmark: asserts the grad-free engine's
@@ -15,3 +18,8 @@ cargo run --release -q -p delrec-bench --bin infer -- --scale smoke --out "$(mkt
 # non-zero number of completed requests and zero bitwise mismatches between
 # served responses and direct scoring before any throughput is reported.
 cargo run --release -q -p delrec-bench --bin serve -- --scale smoke --out "$(mktemp -d)"
+
+# Smoke-run the observability benchmark: asserts disabled-mode span/counter
+# overhead stays under 2% of the hot scoring path and that the batch-32
+# attribution profile's spans cover at least 90% of measured wall time.
+cargo run --release -q -p delrec-bench --bin obs -- --scale smoke --out "$(mktemp -d)"

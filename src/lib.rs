@@ -23,6 +23,8 @@
 //!   LLM-based baselines from the paper's Table II.
 //! * [`eval`] — HR@k / NDCG@k metrics, the candidate-set evaluation protocol,
 //!   and paired t-tests.
+//! * [`obs`] — observability: a hierarchical span profiler (off by default)
+//!   and the process-wide metrics registry the other layers report into.
 //!
 //! ## Quickstart
 //!
@@ -56,5 +58,6 @@ pub use delrec_core as core;
 pub use delrec_data as data;
 pub use delrec_eval as eval;
 pub use delrec_lm as lm;
+pub use delrec_obs as obs;
 pub use delrec_seqrec as seqrec;
 pub use delrec_tensor as tensor;

@@ -1,0 +1,113 @@
+//! Golden-metrics regression test: the exact bits of HR@k / NDCG@k from a
+//! fixed-seed tiny DELRec fit.
+//!
+//! Every layer below evaluation — data generation, LM pretraining, teacher
+//! training, both DELRec stages, the grad-free scoring engine, and the
+//! verbalizer — is seeded and ordered, so the end-to-end metrics are a pure
+//! function of the seed. This test pins them as `f64` bit patterns (not
+//! approximate comparisons): any change to arithmetic order, RNG
+//! consumption, iteration order, or ranking tie-breaks anywhere in the
+//! stack shows up here, even when the metric value only moves in the last
+//! ulp.
+//!
+//! # Re-blessing
+//!
+//! When a change *intentionally* alters numerics (new op ordering, different
+//! RNG schedule, a model change), re-bless the constants:
+//!
+//! ```text
+//! cargo test --test golden_metrics -- --nocapture
+//! ```
+//!
+//! The failure output (and a `golden metrics:` line printed on every run)
+//! lists the observed `value (bits 0x…)` for each metric. Copy the new bit
+//! patterns into `GOLDEN` below, and say in the commit message *why* the
+//! numerics moved — this test failing is the only tripwire for silent
+//! numeric drift, so never re-bless to paper over an unexplained diff.
+
+use delrec::core::{
+    build_teacher, pretrained_lm, DelRec, DelRecConfig, LmPreset, Pipeline, TeacherKind,
+};
+use delrec::data::synthetic::{DatasetProfile, SyntheticConfig};
+use delrec::data::Split;
+use delrec::eval::{evaluate, EvalConfig};
+use delrec::lm::PretrainConfig;
+
+/// `(label, k, blessed bits)` — HR@k and NDCG@k from the fixed-seed fit
+/// below, plus MRR (k = 0 by convention).
+const GOLDEN: &[(&str, usize, u64)] = &[
+    ("hr", 1, 0x3FCAAAAAAAAAAAAB),
+    ("hr", 5, 0x3FE1555555555555),
+    ("hr", 10, 0x3FEAAAAAAAAAAAAB),
+    ("ndcg", 5, 0x3FD77E2A476E3C25),
+    ("ndcg", 10, 0x3FDD8BF5823D1514),
+    ("mrr", 0, 0x3FD721DCC877321D),
+];
+
+#[test]
+fn metrics_are_bit_stable_across_builds() {
+    let seed = 33;
+    let data = SyntheticConfig::profile(DatasetProfile::MovieLens100K)
+        .scaled(0.08)
+        .generate(seed);
+    let pipeline = Pipeline::build(&data);
+    let lm = pretrained_lm(
+        &data,
+        &pipeline,
+        LmPreset::Large,
+        &PretrainConfig {
+            epochs: 1,
+            max_sentences: Some(20),
+            ..Default::default()
+        },
+        seed,
+    );
+    let teacher = build_teacher(&data, TeacherKind::SASRec, 1, Some(40), seed);
+    let mut cfg = DelRecConfig::smoke(TeacherKind::SASRec);
+    cfg.lm = LmPreset::Large;
+    let model = DelRec::fit(&data, &pipeline, teacher.as_ref(), lm, &cfg);
+
+    let report = evaluate(
+        &model,
+        &data,
+        Split::Test,
+        &EvalConfig {
+            max_examples: Some(24),
+            ..Default::default()
+        },
+    );
+    assert_eq!(report.len(), 24, "evaluation example count changed");
+
+    let mut failures = Vec::new();
+    for &(label, k, want_bits) in GOLDEN {
+        let got = match label {
+            "hr" => report.hr(k),
+            "ndcg" => report.ndcg(k),
+            "mrr" => report.mrr(),
+            other => unreachable!("unknown metric label {other}"),
+        };
+        let name = if k > 0 {
+            format!("{label}@{k}")
+        } else {
+            label.to_string()
+        };
+        println!(
+            "golden metrics: {name} = {got:.17} (bits {:#018X})",
+            got.to_bits()
+        );
+        if got.to_bits() != want_bits {
+            failures.push(format!(
+                "{name}: got {got:.17} (bits {:#018X}), blessed bits {want_bits:#018X} \
+                 ({:.17})",
+                got.to_bits(),
+                f64::from_bits(want_bits)
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden metrics drifted — see the re-blessing procedure in this \
+         file's header before updating:\n{}",
+        failures.join("\n")
+    );
+}
