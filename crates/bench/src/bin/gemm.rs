@@ -1,0 +1,288 @@
+//! `gemm` — payoff of the packed register-blocked GEMM and fused QKV/FFN
+//! projections (see the "GEMM kernel" section of `DESIGN.md`), written to
+//! `BENCH_gemm.json`.
+//!
+//! Three measurements, all behind correctness gates that assert **bitwise**
+//! agreement before a single timing is reported:
+//!
+//! 1. **Kernel microbench.** `matmul_raw` vs the blocked kernel (packing per
+//!    call, and against a cached pack) on the LM's own shapes: the old
+//!    per-head projection, the fused per-layer panel, and the tied-embedding
+//!    head. Gate: the blocked kernel reproduces `matmul_raw` bit for bit on
+//!    every timed shape.
+//! 2. **End-to-end batch-32 scoring.** A fitted DELRec scored over the same
+//!    request stream as BENCH_obs, fused path vs the legacy per-head path
+//!    (`set_fused_projections(false)` — the pre-PR engine, kept in-tree as
+//!    the reference), best-of-3 wall each. Gate: fused, legacy, and the
+//!    autograd tape all produce identical score bits. Target (recorded, not
+//!    asserted — it is hardware-dependent): fused ≥ 1.3x legacy.
+//! 3. **Attribution re-run.** The BENCH_obs batch-32 profile repeated on the
+//!    fused path: the `lm.qkv` + `lm.pack` share of wall, against the 55.5%
+//!    `lm.qkv` share PR 4 measured on the per-head path.
+
+use delrec_bench::{banner, write_json, CliArgs, ExperimentContext};
+use delrec_core::{DelRec, LmPreset, TeacherKind};
+use delrec_data::synthetic::DatasetProfile;
+use delrec_data::{CandidateSampler, Split};
+use delrec_eval::json::Json;
+use delrec_eval::Ranker;
+use delrec_tensor::{gemm_auto, matmul_raw, pack_b, PackedB};
+use std::hint::black_box;
+use std::time::Instant;
+
+const BATCH: usize = 32;
+/// `lm.qkv` share of batch-32 wall on the per-head path (results/BENCH_obs.json).
+const PRE_PR_QKV_PCT: f64 = 55.5;
+
+/// Deterministic operand fill (same stream as the gemm property tests).
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Best-of-3 nanoseconds for `iters` calls of `f`.
+fn best_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+/// One timed kernel shape: gate bitwise equality, then time the three
+/// kernels (naive, pack-per-call, cached-pack).
+fn kernel_case(label: &str, m: usize, k: usize, n: usize, iters: u32) -> Json {
+    let a = fill(1, m * k);
+    let b = fill(2, k * n);
+    let mut want = vec![0.0f32; m * n];
+    matmul_raw(&a, &b, &mut want, m, k, n);
+    let mut got = vec![0.0f32; m * n];
+    gemm_auto(&a, &b, &mut got, m, k, n);
+    assert_eq!(
+        want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        "correctness gate: blocked kernel diverged from matmul_raw at {label}"
+    );
+
+    let mut out = vec![0.0f32; m * n];
+    let naive_ns = best_ns(iters, || {
+        out.fill(0.0);
+        matmul_raw(&a, &b, black_box(&mut out), m, k, n);
+    });
+    let pack_each_ns = best_ns(iters, || {
+        let bp = pack_b(&b, k, n);
+        delrec_tensor::gemm_packed(&a, k, &bp, black_box(&mut out), m, false);
+    });
+    let bp: PackedB = pack_b(&b, k, n);
+    let cached_ns = best_ns(iters, || {
+        delrec_tensor::gemm_packed(&a, k, &bp, black_box(&mut out), m, false);
+    });
+    println!(
+        "  {label:<28} [{m:>3}x{k:>2}x{n:>2}]  naive {naive_ns:8.0} ns   pack-each \
+         {pack_each_ns:8.0} ns   cached-pack {cached_ns:8.0} ns ({:.2}x)",
+        naive_ns / cached_ns
+    );
+    Json::obj([
+        ("label", Json::from(label)),
+        ("m", Json::from(m)),
+        ("k", Json::from(k)),
+        ("n", Json::from(n)),
+        ("naive_ns", Json::from(naive_ns)),
+        ("pack_each_ns", Json::from(pack_each_ns)),
+        ("cached_pack_ns", Json::from(cached_ns)),
+        ("speedup_cached_vs_naive", Json::from(naive_ns / cached_ns)),
+    ])
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    banner(&format!(
+        "GEMM v2 — blocked kernel + fused projections vs the per-head path (scale: {})",
+        args.scale
+    ));
+
+    // ---- Part 1: kernel microbench on the LM's shapes --------------------
+    // d = 16, dh = 8, ffn = 32, vocab ≈ 60 (the Large preset the serving
+    // benches use); 96 rows ≈ batch-32 × 3 suffix positions.
+    println!("kernel (gate: bitwise vs matmul_raw):");
+    let kernels = Json::arr(vec![
+        kernel_case("per-head projection", 96, 16, 8, 20_000),
+        kernel_case("fused qkv panel", 96, 16, 48, 8_000),
+        kernel_case("ffn w1", 96, 16, 32, 10_000),
+        kernel_case("tied-embedding head", 32, 16, 60, 10_000),
+    ]);
+
+    // ---- Part 2: end-to-end batch-32 scoring, fused vs legacy ------------
+    let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, args.scale, args.seed);
+    let examples = ctx.dataset.examples(Split::Test);
+    let n = examples.len().min(64);
+    assert!(n > 0, "no test examples");
+    let teacher = ctx.teacher(TeacherKind::SASRec);
+    eprintln!("[{}] fitting DELRec …", ctx.dataset.name);
+    let mut model = DelRec::fit(
+        &ctx.dataset,
+        &ctx.pipeline,
+        teacher.as_ref(),
+        ctx.lm(LmPreset::Large),
+        &ctx.delrec_config(TeacherKind::SASRec),
+    );
+    let sampler = CandidateSampler::new(ctx.dataset.num_items(), 15);
+    let cand_sets: Vec<Vec<delrec_data::ItemId>> = examples[..n]
+        .iter()
+        .enumerate()
+        .map(|(i, ex)| sampler.candidates(ex.target, args.seed, i))
+        .collect();
+    let requests: Vec<delrec_eval::ScoreRequest<'_>> = examples[..n]
+        .iter()
+        .zip(&cand_sets)
+        .map(|(ex, c)| (ex.prefix.as_slice(), c.as_slice()))
+        .collect();
+    let score_pass = |model: &DelRec| -> Vec<Vec<f32>> {
+        let mut out = Vec::with_capacity(n);
+        let mut i = 0;
+        while i < n {
+            let end = (i + BATCH).min(n);
+            out.extend(model.score_candidates_batch(&requests[i..end]));
+            i = end;
+        }
+        out
+    };
+
+    // Correctness gate: fused, legacy, and the tape agree bitwise.
+    let bits = |scores: &[Vec<f32>]| -> Vec<Vec<u32>> {
+        scores
+            .iter()
+            .map(|r| r.iter().map(|x| x.to_bits()).collect())
+            .collect()
+    };
+    let fused_scores = score_pass(&model);
+    model.set_fused_projections(false);
+    let legacy_scores = score_pass(&model);
+    assert_eq!(
+        bits(&fused_scores),
+        bits(&legacy_scores),
+        "correctness gate: fused path diverged from the per-head path"
+    );
+    model.set_inference_engine(false);
+    let tape_scores = score_pass(&model);
+    assert_eq!(
+        bits(&fused_scores),
+        bits(&tape_scores),
+        "correctness gate: engine diverged from the tape"
+    );
+    model.set_inference_engine(true);
+    println!("e2e gate: fused == legacy == tape over {n} requests (bitwise)");
+
+    // Timed passes: each mode gets a warm-up (prefix cache, engine pool,
+    // weight pack, title cache), then best-of-3 walls.
+    let wall = |model: &DelRec| -> f64 {
+        score_pass(model); // warm-up
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            black_box(score_pass(model));
+            best = best.min(t.elapsed().as_nanos() as f64);
+        }
+        best
+    };
+    let legacy_ns = wall(&model); // still in legacy mode
+    model.set_fused_projections(true);
+    let fused_ns = wall(&model);
+    let speedup = legacy_ns / fused_ns;
+    let target = 1.3;
+    println!(
+        "batch-{BATCH} score_candidates_batch: legacy {:.2} ms → fused {:.2} ms = {speedup:.2}x \
+         (target ≥ {target}x{})",
+        legacy_ns / 1e6,
+        fused_ns / 1e6,
+        if speedup >= target { "" } else { " — MISSED" },
+    );
+
+    // ---- Part 3: attribution re-run on the fused path --------------------
+    const PASSES: usize = 5;
+    delrec_obs::set_enabled(true);
+    delrec_obs::reset();
+    let t0 = Instant::now();
+    for _ in 0..PASSES {
+        black_box(score_pass(&model));
+    }
+    let wall_ns = t0.elapsed().as_nanos() as f64;
+    delrec_obs::set_enabled(false);
+    let report = delrec_obs::profile();
+    let flat = report.flat();
+    let self_pct = |name: &str| -> f64 {
+        let ns: u64 = flat
+            .iter()
+            .filter(|f| f.name == name)
+            .map(|f| f.self_ns)
+            .sum();
+        100.0 * ns as f64 / wall_ns
+    };
+    let qkv_pct = self_pct("lm.qkv");
+    let pack_pct = self_pct("lm.pack");
+    let covered_ns: u64 = report.roots().iter().map(|r| r.total_ns).sum();
+    let coverage_pct = 100.0 * covered_ns as f64 / wall_ns;
+    let dominant = &flat[0];
+    println!(
+        "attribution: lm.qkv {qkv_pct:.1}% + lm.pack {pack_pct:.1}% of wall (was \
+         {PRE_PR_QKV_PCT}% pre-PR); dominant span now {} ({:.1}%); coverage {coverage_pct:.1}%",
+        dominant.name,
+        100.0 * dominant.self_ns as f64 / wall_ns
+    );
+    assert!(
+        qkv_pct + pack_pct < PRE_PR_QKV_PCT,
+        "correctness of the attribution claim: projection share must drop"
+    );
+
+    let blob = Json::obj([
+        ("experiment", Json::from("gemm")),
+        ("scale", Json::from(args.scale.to_string())),
+        ("dataset", Json::from(ctx.dataset.name.clone())),
+        ("kernels", kernels),
+        (
+            "e2e",
+            Json::obj([
+                ("batch", Json::from(BATCH)),
+                ("requests_per_pass", Json::from(n)),
+                ("legacy_wall_ns", Json::from(legacy_ns)),
+                ("fused_wall_ns", Json::from(fused_ns)),
+                ("speedup", Json::from(speedup)),
+                ("target", Json::from(target)),
+                ("target_met", Json::Bool(speedup >= target)),
+            ]),
+        ),
+        (
+            "attribution",
+            Json::obj([
+                ("passes", Json::from(PASSES)),
+                ("wall_ns", Json::from(wall_ns)),
+                ("coverage_pct", Json::from(coverage_pct)),
+                ("qkv_pct_of_wall", Json::from(qkv_pct)),
+                ("pack_pct_of_wall", Json::from(pack_pct)),
+                ("pre_pr_qkv_pct_of_wall", Json::from(PRE_PR_QKV_PCT)),
+                (
+                    "dominant",
+                    Json::obj([
+                        ("name", Json::from(dominant.name)),
+                        (
+                            "pct_of_wall",
+                            Json::from(100.0 * dominant.self_ns as f64 / wall_ns),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
+    ]);
+    write_json(&args.out, "BENCH_gemm", &blob).expect("write results");
+}

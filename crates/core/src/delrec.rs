@@ -299,6 +299,14 @@ impl DelRec {
         self.math
     }
 
+    /// Toggle the LM's fused packed-GEMM projection path (`true`, the
+    /// default). `false` restores the per-head projection kernels — kept as
+    /// the bitwise-identical reference for equivalence tests and
+    /// before/after benchmarks (see `MiniLm::set_fused_projections`).
+    pub fn set_fused_projections(&mut self, fused: bool) {
+        self.lm.set_fused_projections(fused);
+    }
+
     /// Memoized candidate-title lookup, keyed on the full candidate id list.
     fn candidate_titles(&self, candidates: &[ItemId]) -> Arc<Vec<Vec<u32>>> {
         let mut h = DefaultHasher::new();

@@ -34,8 +34,12 @@
 
 use crate::transformer::{LmToken, MiniLm};
 use delrec_tensor::infer::{layer_norm_rows, InferCtx, MathMode};
-use delrec_tensor::{matmul_raw, transpose_into, ParamId, Tensor};
+use delrec_tensor::{
+    gemm_packed, matmul_raw, matmul_raw_strided, pack_b, pack_b_transposed, transpose_into,
+    PackedB, ParamId, Tensor,
+};
 use std::borrow::Cow;
+use std::sync::{Arc, Mutex};
 
 /// Per-head cached attention tensors: `Kᵀ` (`[d_head, P]`) and `V`
 /// (`[P, d_head]`).
@@ -80,6 +84,58 @@ impl PrefixCache {
     /// update, optimizer step) bumps the store version and invalidates.
     pub fn is_valid_for(&self, store_version: u64, math: MathMode, prefix: &[LmToken]) -> bool {
         self.version == store_version && self.math == math && self.tokens == prefix
+    }
+}
+
+/// Packed weight panels of one block, ready for [`gemm_packed`].
+///
+/// `qkv` is the fused `[d, 3·d]` panel — columns `0..d` are the per-head
+/// `wq` side by side (head `h` at columns `h·dh..(h+1)·dh`), `d..2d` the
+/// `wk`, `2d..3d` the `wv` — so one GEMM per layer replaces the `3 × heads`
+/// separate projection calls, and each head's slice of the output is reached
+/// by a column offset into the same row. The last block additionally carries
+/// a `q`-only `[d, d]` and a `kv` `[d, 2·d]` panel: under last-layer query
+/// pruning, queries run over the gathered mask rows while keys/values still
+/// cover every row, so the three cannot share one call there.
+pub(crate) struct LayerPack {
+    qkv: PackedB,
+    q: Option<PackedB>,
+    kv: Option<PackedB>,
+    wo: PackedB,
+    w1: PackedB,
+    w2: PackedB,
+}
+
+/// Every packed weight panel of a [`MiniLm`], built once per parameter-store
+/// version: the attention/FFN panels per block plus the transposed
+/// tied-embedding head. Attention projections are packed with their AdaLoRA
+/// delta folded in (`W + ΔW`), so the per-forward `eff_proj` materialization
+/// disappears from the hot path along with the packing itself.
+pub(crate) struct LmPack {
+    version: u64,
+    layers: Vec<LayerPack>,
+    head: PackedB,
+}
+
+/// Lazily built, version-checked cache slot for the model's [`LmPack`] —
+/// the same invalidation discipline as [`PrefixCache`]: any parameter write
+/// bumps the store version and the next forward repacks.
+///
+/// `Clone` deliberately resets to empty: [`MiniLm`] is `Clone`, and two
+/// clones have independent stores whose version counters advance
+/// independently from identical starting values, so a shared pack could
+/// validate against the wrong clone's weights.
+pub(crate) struct PackCache(Mutex<Option<Arc<LmPack>>>);
+
+impl Default for PackCache {
+    fn default() -> Self {
+        PackCache(Mutex::new(None))
+    }
+}
+
+impl Clone for PackCache {
+    fn clone(&self) -> Self {
+        Self::default()
     }
 }
 
@@ -151,13 +207,24 @@ impl MiniLm {
         }
     }
 
-    fn eff_blocks(&self) -> Vec<EffBlock<'_>> {
+    /// Per-block weight views. With `with_head_projections` the per-head
+    /// q/k/v effective weights are materialized (the legacy per-head path);
+    /// the fused path reads them from the [`LmPack`] instead and skips the
+    /// per-forward `eff_proj` work.
+    fn eff_blocks(&self, with_head_projections: bool) -> Vec<EffBlock<'_>> {
+        let head_proj = |ids: &[ParamId]| -> Vec<Cow<'_, [f32]>> {
+            if with_head_projections {
+                ids.iter().map(|&id| self.eff_proj(id)).collect()
+            } else {
+                Vec::new()
+            }
+        };
         self.blocks
             .iter()
             .map(|b| EffBlock {
-                wq: b.wq.iter().map(|&id| self.eff_proj(id)).collect(),
-                wk: b.wk.iter().map(|&id| self.eff_proj(id)).collect(),
-                wv: b.wv.iter().map(|&id| self.eff_proj(id)).collect(),
+                wq: head_proj(&b.wq),
+                wk: head_proj(&b.wk),
+                wv: head_proj(&b.wv),
                 wo: self.store.get(b.wo).data(),
                 ln1_g: self.store.get(b.ln1_g).data(),
                 ln1_b: self.store.get(b.ln1_b).data(),
@@ -169,6 +236,86 @@ impl MiniLm {
                 ln2_b: self.store.get(b.ln2_b).data(),
             })
             .collect()
+    }
+
+    /// Build every packed weight panel from the current store contents.
+    fn build_pack(&self) -> LmPack {
+        let _span = delrec_obs::span!("lm.pack");
+        delrec_obs::counter!("lm.weight_pack.build").incr();
+        let cfg = &self.cfg;
+        let d = cfg.d_model;
+        let heads = cfg.num_heads;
+        let dh = d / heads;
+        let ffn = cfg.ffn_dim;
+        let nblocks = self.blocks.len();
+        let layers = self
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(l, b)| {
+                let wq: Vec<_> = b.wq.iter().map(|&id| self.eff_proj(id)).collect();
+                let wk: Vec<_> = b.wk.iter().map(|&id| self.eff_proj(id)).collect();
+                let wv: Vec<_> = b.wv.iter().map(|&id| self.eff_proj(id)).collect();
+                let mut qkv = vec![0.0f32; d * 3 * d];
+                for hd in 0..heads {
+                    for r in 0..d {
+                        let src = &wq[hd][r * dh..(r + 1) * dh];
+                        qkv[r * 3 * d + hd * dh..r * 3 * d + hd * dh + dh].copy_from_slice(src);
+                        let src = &wk[hd][r * dh..(r + 1) * dh];
+                        qkv[r * 3 * d + d + hd * dh..r * 3 * d + d + hd * dh + dh]
+                            .copy_from_slice(src);
+                        let src = &wv[hd][r * dh..(r + 1) * dh];
+                        qkv[r * 3 * d + 2 * d + hd * dh..r * 3 * d + 2 * d + hd * dh + dh]
+                            .copy_from_slice(src);
+                    }
+                }
+                // Split q / kv panels exist only where query pruning can
+                // decouple the query rows from the key/value rows.
+                let (q, kv) = if l + 1 == nblocks {
+                    let mut qb = vec![0.0f32; d * d];
+                    let mut kvb = vec![0.0f32; d * 2 * d];
+                    for r in 0..d {
+                        qb[r * d..(r + 1) * d].copy_from_slice(&qkv[r * 3 * d..r * 3 * d + d]);
+                        kvb[r * 2 * d..(r + 1) * 2 * d]
+                            .copy_from_slice(&qkv[r * 3 * d + d..(r + 1) * 3 * d]);
+                    }
+                    (Some(pack_b(&qb, d, d)), Some(pack_b(&kvb, d, 2 * d)))
+                } else {
+                    (None, None)
+                };
+                LayerPack {
+                    qkv: pack_b(&qkv, d, 3 * d),
+                    q,
+                    kv,
+                    wo: pack_b(self.store.get(b.wo).data(), d, d),
+                    w1: pack_b(self.store.get(b.w1).data(), d, ffn),
+                    w2: pack_b(self.store.get(b.w2).data(), ffn, d),
+                }
+            })
+            .collect();
+        LmPack {
+            version: self.store.version(),
+            layers,
+            // The tied embedding is stored [vocab, d] but multiplies as
+            // [d, vocab]; packing the transpose directly retires the
+            // per-call `transpose_into` the head used to pay.
+            head: pack_b_transposed(self.store.get(self.tok_emb).data(), d, cfg.vocab_size),
+        }
+    }
+
+    /// The model's packed weight panels, rebuilt iff the parameter-store
+    /// version moved since the cached pack was built.
+    fn lm_pack(&self) -> Arc<LmPack> {
+        let mut slot = self.pack_cache.0.lock().expect("pack cache poisoned");
+        if let Some(pack) = slot.as_ref() {
+            if pack.version == self.store.version() {
+                delrec_obs::counter!("lm.weight_pack.hit").incr();
+                return Arc::clone(pack);
+            }
+        }
+        let pack = Arc::new(self.build_pack());
+        *slot = Some(Arc::clone(&pack));
+        pack
     }
 
     /// Build a K/V cache for `prefix`, or `None` when caching cannot be
@@ -195,7 +342,20 @@ impl MiniLm {
         );
         let mut layers = Vec::with_capacity(self.cfg.num_layers);
         let seqs = [prefix.to_vec()];
-        let h = self.encode_infer(ic, &seqs, soft_table, None, None, Some(&mut layers));
+        let pack = if self.use_fused {
+            Some(self.lm_pack())
+        } else {
+            None
+        };
+        let h = self.encode_infer(
+            ic,
+            &seqs,
+            soft_table,
+            None,
+            None,
+            Some(&mut layers),
+            pack.as_deref(),
+        );
         ic.recycle(h);
         Some(PrefixCache {
             tokens: prefix.to_vec(),
@@ -225,7 +385,20 @@ impl MiniLm {
         assert_eq!(bsz, mask_pos.len(), "one mask position per sequence");
         let d = self.cfg.d_model;
         let vsz = self.cfg.vocab_size;
-        let h = self.encode_infer(ic, seqs, soft_table, cache, Some(mask_pos), None);
+        let pack = if self.use_fused {
+            Some(self.lm_pack())
+        } else {
+            None
+        };
+        let h = self.encode_infer(
+            ic,
+            seqs,
+            soft_table,
+            cache,
+            Some(mask_pos),
+            None,
+            pack.as_deref(),
+        );
         // Final layer norm over the mask rows only — row-local, so identical
         // to the tape's normalize-everything-then-gather.
         let _head = delrec_obs::span!("lm.head");
@@ -237,17 +410,23 @@ impl MiniLm {
             &mut hf,
         );
         ic.recycle(h);
-        let tok_emb = self.store.get(self.tok_emb).data();
-        let mut emb_t = ic.alloc(d * vsz);
-        transpose_into(tok_emb, vsz, d, &mut emb_t);
         let mut logits = ic.alloc(bsz * vsz);
-        matmul_raw(&hf, &emb_t, &mut logits, bsz, d, vsz);
+        match pack.as_deref() {
+            // The pre-transposed panel: no per-call [vocab, d] transpose.
+            Some(pk) => gemm_packed(&hf, d, &pk.head, &mut logits, bsz, false),
+            None => {
+                let tok_emb = self.store.get(self.tok_emb).data();
+                let mut emb_t = ic.alloc(d * vsz);
+                transpose_into(tok_emb, vsz, d, &mut emb_t);
+                matmul_raw(&hf, &emb_t, &mut logits, bsz, d, vsz);
+                ic.recycle(emb_t);
+            }
+        }
         let head_bias = self.store.get(self.head_bias).data();
         for (i, x) in logits.iter_mut().enumerate() {
             *x += head_bias[i % vsz];
         }
         ic.recycle(hf);
-        ic.recycle(emb_t);
         Tensor::new([bsz, vsz], logits)
     }
 
@@ -255,7 +434,12 @@ impl MiniLm {
     /// rows: all `B·s_max` suffix rows, or one row per example when
     /// `mask_pos` enables last-layer query pruning. With `capture`, each
     /// layer's per-head `(Kᵀ, V)` over the (single, unpadded) input is
-    /// recorded — the cache-building mode.
+    /// recorded — the cache-building mode. With `pack`, projections, `wo`,
+    /// and the FFN run through the packed blocked GEMM (q/k/v fused into one
+    /// call per layer); without it, the legacy per-head `matmul_raw` path
+    /// runs. Both are bitwise-identical — the kernels preserve
+    /// `matmul_raw`'s per-element accumulation order exactly.
+    #[allow(clippy::too_many_arguments)]
     fn encode_infer(
         &self,
         ic: &InferCtx,
@@ -264,6 +448,7 @@ impl MiniLm {
         cache: Option<&PrefixCache>,
         mask_pos: Option<&[usize]>,
         mut capture: Option<&mut Vec<Vec<HeadKv>>>,
+        pack: Option<&LmPack>,
     ) -> Vec<f32> {
         let _span = delrec_obs::span!("lm.encode");
         let cfg = &self.cfg;
@@ -337,7 +522,7 @@ impl MiniLm {
             }
         }
 
-        let blocks = self.eff_blocks();
+        let blocks = self.eff_blocks(pack.is_none());
         let nblocks = blocks.len();
         let capturing = capture.is_some();
         for (l, blk) in blocks.iter().enumerate() {
@@ -364,22 +549,76 @@ impl MiniLm {
             let mut scores = ic.alloc(qrows * kmax);
             let mut out_b = ic.alloc(qrows * dh);
             let mut captured_heads: Vec<HeadKv> = Vec::new();
-            for hd in 0..heads {
-                let qkv_span = delrec_obs::span!("lm.qkv");
-                let mut q = ic.alloc(nq * dh);
-                matmul_raw(q_in, &blk.wq[hd], &mut q, nq, d, dh);
-                let mut k = ic.alloc(rows * dh);
-                matmul_raw(&xin, &blk.wk[hd], &mut k, rows, d, dh);
-                let mut v = ic.alloc(rows * dh);
-                matmul_raw(&xin, &blk.wv[hd], &mut v, rows, d, dh);
-                drop(qkv_span);
-                if capturing {
-                    // Capture runs on a single unpadded sequence, so k/v are
-                    // exactly [P, dh].
-                    let mut kt = vec![0.0f32; dh * rows];
-                    transpose_into(&k, rows, dh, &mut kt);
-                    captured_heads.push((kt, v.clone()));
+
+            // Projections. Fused path: one packed GEMM over the concatenated
+            // panel per layer (two under query pruning, where q rows differ
+            // from k/v rows), leaving q/k/v as column bands of one wide
+            // buffer. Legacy path: the original 3 × heads `matmul_raw` calls
+            // into contiguous per-head buffers. Either way each head is
+            // addressed below as (buffer, row stride, column offset).
+            let mut qkvf: Vec<f32> = Vec::new();
+            let mut qf: Vec<f32> = Vec::new();
+            let mut kvf: Vec<f32> = Vec::new();
+            let mut legacy: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = Vec::new();
+            {
+                let _qkv_span = delrec_obs::span!("lm.qkv");
+                match pack {
+                    Some(pk) => {
+                        let lp = &pk.layers[l];
+                        if pruned.is_some() {
+                            qf = ic.alloc(nq * d);
+                            gemm_packed(
+                                q_in,
+                                d,
+                                lp.q.as_ref().expect("last-layer q pack"),
+                                &mut qf,
+                                nq,
+                                false,
+                            );
+                            kvf = ic.alloc(rows * 2 * d);
+                            gemm_packed(
+                                &xin,
+                                d,
+                                lp.kv.as_ref().expect("last-layer kv pack"),
+                                &mut kvf,
+                                rows,
+                                false,
+                            );
+                        } else {
+                            qkvf = ic.alloc(rows * 3 * d);
+                            gemm_packed(&xin, d, &lp.qkv, &mut qkvf, rows, false);
+                        }
+                    }
+                    None => {
+                        for hd in 0..heads {
+                            let mut q = ic.alloc(nq * dh);
+                            matmul_raw(q_in, &blk.wq[hd], &mut q, nq, d, dh);
+                            let mut k = ic.alloc(rows * dh);
+                            matmul_raw(&xin, &blk.wk[hd], &mut k, rows, d, dh);
+                            let mut v = ic.alloc(rows * dh);
+                            matmul_raw(&xin, &blk.wv[hd], &mut v, rows, d, dh);
+                            legacy.push((q, k, v));
+                        }
+                    }
                 }
+            }
+
+            for hd in 0..heads {
+                let (qb, q_lda, q_off) = match pack {
+                    Some(_) if pruned.is_some() => (&qf[..], d, hd * dh),
+                    Some(_) => (&qkvf[..], 3 * d, hd * dh),
+                    None => (&legacy[hd].0[..], dh, 0),
+                };
+                let (kb, k_lda, k_off) = match pack {
+                    Some(_) if pruned.is_some() => (&kvf[..], 2 * d, hd * dh),
+                    Some(_) => (&qkvf[..], 3 * d, d + hd * dh),
+                    None => (&legacy[hd].1[..], dh, 0),
+                };
+                let (vb, v_lda, v_off) = match pack {
+                    Some(_) if pruned.is_some() => (&kvf[..], 2 * d, d + hd * dh),
+                    Some(_) => (&qkvf[..], 3 * d, 2 * d + hd * dh),
+                    None => (&legacy[hd].2[..], dh, 0),
+                };
                 for b in 0..bsz {
                     let len = seqs[b].len();
                     let scores_span = delrec_obs::span!("lm.attn_scores");
@@ -393,21 +632,33 @@ impl MiniLm {
                         v_b[..p * dh].copy_from_slice(cv);
                     }
                     for s in 0..s_max {
-                        let krow = (b * s_max + s) * dh;
+                        let krow = (b * s_max + s) * k_lda + k_off;
                         for r in 0..dh {
-                            kt_b[r * kmax + p + s] = k[krow + r];
+                            kt_b[r * kmax + p + s] = kb[krow + r];
                         }
                     }
-                    v_b[p * dh..].copy_from_slice(&v[b * s_max * dh..(b + 1) * s_max * dh]);
-                    let qb = match pruned {
-                        Some(_) => &q[b * dh..(b + 1) * dh],
-                        None => &q[b * s_max * dh..(b + 1) * s_max * dh],
+                    for s in 0..s_max {
+                        let vrow = (b * s_max + s) * v_lda + v_off;
+                        v_b[(p + s) * dh..(p + s + 1) * dh].copy_from_slice(&vb[vrow..vrow + dh]);
+                    }
+                    let q_start = match pruned {
+                        Some(_) => b * q_lda + q_off,
+                        None => b * s_max * q_lda + q_off,
                     };
-                    scores.fill(0.0);
-                    matmul_raw(qb, &kt_b, &mut scores, qrows, dh, kmax);
+                    // Overwrite mode fills exactly the qrows × kmax region it
+                    // writes — no caller-side clear of the scores buffer.
+                    matmul_raw_strided(
+                        &qb[q_start..],
+                        q_lda,
+                        &kt_b,
+                        &mut scores,
+                        qrows,
+                        dh,
+                        kmax,
+                        false,
+                    );
                     drop(scores_span);
                     let mix_span = delrec_obs::span!("lm.attn_mix");
-                    out_b.fill(0.0);
                     for qi in 0..qrows {
                         let t_global = match mask_pos {
                             Some(mp) if last => mp[b],
@@ -423,7 +674,10 @@ impl MiniLm {
                             *x *= scale;
                         }
                         ic.softmax_row(&mut row[..valid]);
-                        row[valid..].fill(0.0);
+                        // Columns past `valid` are never read again: the
+                        // attn·V below truncates to `valid`, and the next
+                        // example's score matmul overwrites the full row.
+                        //
                         // attn · V truncated to this row's `valid` keys. The
                         // summation association then depends only on `valid`
                         // (example-local), never on the batch's `kmax`:
@@ -432,13 +686,15 @@ impl MiniLm {
                         // bits whenever the batch max length crosses a
                         // four-column boundary — the one place batch
                         // composition could leak into a request's scores.
-                        matmul_raw(
+                        matmul_raw_strided(
                             &row[..valid],
+                            valid,
                             &v_b[..valid * dh],
                             &mut out_b[qi * dh..(qi + 1) * dh],
                             1,
                             valid,
                             dh,
+                            false,
                         );
                     }
                     drop(mix_span);
@@ -451,19 +707,62 @@ impl MiniLm {
                             .copy_from_slice(&out_b[qi * dh..(qi + 1) * dh]);
                     }
                 }
+                if capturing {
+                    // Capture runs on a single unpadded sequence (rows = P).
+                    let mut kt = vec![0.0f32; dh * rows];
+                    match pack {
+                        Some(_) => {
+                            // Strided bands: write Kᵀ and a contiguous V
+                            // straight from the fused buffer (one copy).
+                            for row in 0..rows {
+                                let base = row * 3 * d + d + hd * dh;
+                                for r in 0..dh {
+                                    kt[r * rows + row] = qkvf[base + r];
+                                }
+                            }
+                            let mut vc = vec![0.0f32; rows * dh];
+                            for row in 0..rows {
+                                let base = row * 3 * d + 2 * d + hd * dh;
+                                vc[row * dh..(row + 1) * dh]
+                                    .copy_from_slice(&qkvf[base..base + dh]);
+                            }
+                            captured_heads.push((kt, vc));
+                        }
+                        None => {
+                            // The head's V buffer is not needed past this
+                            // point — move it into the cache, no clone.
+                            let (_, k, v) = &mut legacy[hd];
+                            transpose_into(k, rows, dh, &mut kt);
+                            captured_heads.push((kt, std::mem::take(v)));
+                        }
+                    }
+                }
+            }
+            if let Some(cap) = capture.as_deref_mut() {
+                cap.push(captured_heads);
+            }
+            for (q, k, v) in legacy.drain(..) {
                 ic.recycle(q);
                 ic.recycle(k);
                 ic.recycle(v);
             }
-            if let Some(cap) = capture.as_deref_mut() {
-                cap.push(captured_heads);
+            if pack.is_some() {
+                if pruned.is_some() {
+                    ic.recycle(qf);
+                    ic.recycle(kvf);
+                } else {
+                    ic.recycle(qkvf);
+                }
             }
 
             // attn_out = attn_cat · wo (raw weight — the tape path bypasses
             // adapters on the output projection).
             let wo_span = delrec_obs::span!("lm.wo");
             let mut attn_out = ic.alloc(nq * d);
-            matmul_raw(&attn_cat, blk.wo, &mut attn_out, nq, d, d);
+            match pack {
+                Some(pk) => gemm_packed(&attn_cat, d, &pk.layers[l].wo, &mut attn_out, nq, false),
+                None => matmul_raw(&attn_cat, blk.wo, &mut attn_out, nq, d, d),
+            }
             // Residual; at the final block this compresses h to mask rows.
             h = match pruned {
                 Some(rows_idx) => {
@@ -490,13 +789,19 @@ impl MiniLm {
             let mut xin2 = ic.alloc(nq * d);
             layer_norm_rows(&h, blk.ln2_g, blk.ln2_b, &mut xin2);
             let mut f = ic.alloc(nq * ffn);
-            matmul_raw(&xin2, blk.w1, &mut f, nq, d, ffn);
+            match pack {
+                Some(pk) => gemm_packed(&xin2, d, &pk.layers[l].w1, &mut f, nq, false),
+                None => matmul_raw(&xin2, blk.w1, &mut f, nq, d, ffn),
+            }
             for (i, x) in f.iter_mut().enumerate() {
                 *x += blk.b1[i % ffn];
             }
             ic.gelu(&mut f);
             let mut f2 = ic.alloc(nq * d);
-            matmul_raw(&f, blk.w2, &mut f2, nq, ffn, d);
+            match pack {
+                Some(pk) => gemm_packed(&f, ffn, &pk.layers[l].w2, &mut f2, nq, false),
+                None => matmul_raw(&f, blk.w2, &mut f2, nq, ffn, d),
+            }
             for (i, x) in f2.iter_mut().enumerate() {
                 *x += blk.b2[i % d];
             }

@@ -33,7 +33,10 @@ pub mod tensor;
 mod ops;
 
 pub use infer::{fast_exp, fast_gelu, fast_sigmoid, fast_tanh, InferCtx, MathMode};
-pub use ops::{matmul_raw, matmul_raw_sparse, transpose_into};
+pub use ops::{
+    gemm, gemm_auto, gemm_packed, matmul_raw, matmul_raw_sparse, matmul_raw_strided, pack_b,
+    pack_b_transposed, transpose_into, PackedB, MR, NR,
+};
 pub use params::{Ctx, ParamId, ParamStore};
 pub use shape::Shape;
 pub use tape::{BufferPool, BwdCtx, Gradients, Tape, Var};

@@ -1,0 +1,429 @@
+//! Second-generation GEMM: a register-blocked micro-kernel over a packed
+//! right-hand operand, bitwise-identical to [`matmul_raw`].
+//!
+//! [`matmul_raw`] streams each output row across the full width `n` once per
+//! 4-wide k-group: every group re-loads and re-stores `n` output floats and
+//! re-slices four rows of `B` straight out of the row-major buffer. That is
+//! `m·n·⌈k/4⌉` output-buffer round trips, and for the narrow per-head
+//! projections of the LM (`n = d_head = 8`) the per-group slicing overhead
+//! rivals the arithmetic. This module restructures the same arithmetic:
+//!
+//! * **B is packed once** ([`pack_b`]) into `NR`-wide column panels, laid out
+//!   k-major so the kernel's inner loop reads one contiguous, cache-resident
+//!   strip per k-group. Packing is pure data movement — no arithmetic — and
+//!   for the LM's frozen inference weights it amortizes to zero across calls
+//!   (see `delrec-lm`'s `WeightPack`).
+//! * **The micro-kernel holds an `MR`×`NR` output tile in registers** for the
+//!   whole k loop: each output float is loaded and stored once instead of
+//!   `⌈k/4⌉` times, and each packed `B` strip is reused across `MR` rows of
+//!   `A`, which is streamed row-major exactly as before.
+//!
+//! **Bitwise identity.** Blocking reorders *which outputs* are computed when,
+//! never the k-order *within* an output: every `out[i,j]` accumulates its
+//! products in [`matmul_raw`]'s exact order — full 4-groups in ascending k,
+//! each group evaluated as the same left-associated
+//! `acc + (a0·b0 + a1·b1 + a2·b2 + a3·b3)` expression, then the `k % 4`
+//! remainder one product at a time. Padded panel lanes (`n % NR`) compute on
+//! zeros into dead accumulators that are never written back. The property
+//! tests in `tests/gemm_properties.rs` pin `gemm == matmul_raw` to the bit
+//! across randomized shapes including every remainder class.
+
+use super::matmul::matmul_raw;
+
+/// Rows of the register-blocked output tile.
+pub const MR: usize = 4;
+/// Columns of the register-blocked output tile (panel width of [`PackedB`]).
+pub const NR: usize = 8;
+
+/// A right-hand GEMM operand repacked into `NR`-wide column panels.
+///
+/// Panel `p` covers columns `p·NR .. min((p+1)·NR, n)` and stores `k`
+/// contiguous rows of `NR` floats each (k-major); columns past `n` in the
+/// last panel are zero-padded so the micro-kernel never branches on width.
+/// Total size `⌈n/NR⌉·k·NR` floats.
+#[derive(Clone, Debug)]
+pub struct PackedB {
+    data: Vec<f32>,
+    k: usize,
+    n: usize,
+}
+
+impl PackedB {
+    /// Inner (shared) dimension `k` this pack was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width `n` this pack was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Packed size in floats (includes zero padding of the last panel).
+    pub fn packed_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Pack a row-major `[k, n]` matrix into `NR`-wide panels for [`gemm_packed`].
+pub fn pack_b(b: &[f32], k: usize, n: usize) -> PackedB {
+    debug_assert_eq!(b.len(), k * n);
+    let panels = n.div_ceil(NR);
+    let mut data = vec![0.0f32; panels * k * NR];
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        let dst = &mut data[p * k * NR..(p + 1) * k * NR];
+        for kk in 0..k {
+            dst[kk * NR..kk * NR + w].copy_from_slice(&b[kk * n + j0..kk * n + j0 + w]);
+        }
+    }
+    PackedB { data, k, n }
+}
+
+/// Pack the *transpose* of a row-major `[n, k]` matrix — the packed
+/// equivalent of [`super::matmul::transpose_into`] followed by [`pack_b`],
+/// without materializing the `[k, n]` intermediate. Used for the tied
+/// embedding head, whose weight lives as `[vocab, d]` but multiplies as
+/// `[d, vocab]`.
+pub fn pack_b_transposed(src: &[f32], k: usize, n: usize) -> PackedB {
+    debug_assert_eq!(src.len(), n * k);
+    let panels = n.div_ceil(NR);
+    let mut data = vec![0.0f32; panels * k * NR];
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        let dst = &mut data[p * k * NR..(p + 1) * k * NR];
+        for (j, col) in src[j0 * k..(j0 + w) * k].chunks_exact(k).enumerate() {
+            for (kk, &v) in col.iter().enumerate() {
+                dst[kk * NR + j] = v;
+            }
+        }
+    }
+    PackedB { data, k, n }
+}
+
+/// `out[m, n] (+)= a[m, k] · B` for a packed `B`, with `A` rows `lda` floats
+/// apart (`lda ≥ k`; pass `lda = k` for a contiguous `A`).
+///
+/// With `accumulate` the result adds into `out` exactly like [`matmul_raw`];
+/// without it, `out` is overwritten — bitwise-identical to [`matmul_raw`]
+/// over a zero-filled `out`, since the register accumulators start at the
+/// same `0.0` the fill would have stored.
+#[inline]
+pub fn gemm_packed(
+    a: &[f32],
+    lda: usize,
+    bp: &PackedB,
+    out: &mut [f32],
+    m: usize,
+    accumulate: bool,
+) {
+    let (k, n) = (bp.k, bp.n);
+    debug_assert!(lda >= k, "row stride {lda} shorter than k {k}");
+    debug_assert!(m == 0 || a.len() >= (m - 1) * lda + k);
+    debug_assert_eq!(out.len(), m * n);
+    // `bp.data` is re-borrowed as a plain slice *parameter*: a `&[f32]`
+    // argument carries LLVM's noalias/readonly attributes on the data pointer
+    // itself, while a pointer loaded out of `&PackedB` inside the callee does
+    // not — and without provable no-aliasing against `out`, the whole micro-
+    // kernel compiles to scalar stack code (measured ~2.6x slower).
+    if accumulate {
+        gemm_panels::<true>(a, lda, &bp.data, bp.k, bp.n, out, m);
+    } else {
+        gemm_panels::<false>(a, lda, &bp.data, bp.k, bp.n, out, m);
+    }
+}
+
+/// Panel/tile driver for [`gemm_packed`], monomorphized on `ACC`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn gemm_panels<const ACC: bool>(
+    a: &[f32],
+    lda: usize,
+    data: &[f32],
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    m: usize,
+) {
+    let panels = n.div_ceil(NR);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        let panel = &data[p * k * NR..(p + 1) * k * NR];
+        let mut i0 = 0;
+        while i0 + MR <= m {
+            micro_tile::<MR, ACC>(a, lda, panel, out, i0, j0, w, k, n);
+            i0 += MR;
+        }
+        // Remainder rows dispatch to compile-time heights so the tile still
+        // lives in registers (MR is 4; 1..=3 are the only partial heights).
+        match m - i0 {
+            0 => {}
+            1 => micro_tile::<1, ACC>(a, lda, panel, out, i0, j0, w, k, n),
+            2 => micro_tile::<2, ACC>(a, lda, panel, out, i0, j0, w, k, n),
+            _ => micro_tile::<3, ACC>(a, lda, panel, out, i0, j0, w, k, n),
+        }
+    }
+}
+
+/// One `MRT`×`NR` output tile against one packed panel. `MRT` and `ACC` are
+/// compile-time so the accumulator array promotes to registers: with a
+/// runtime row count — or a runtime `accumulate` flag, whose dynamic-length
+/// tile load forces the array to be addressable — the tile spills to the
+/// stack, every k-step becomes a memory round trip, and the kernel loses to
+/// [`matmul_raw`] on wide shapes by ~2.5x.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_tile<const MRT: usize, const ACC: bool>(
+    a: &[f32],
+    lda: usize,
+    panel: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    j0: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+) {
+    // The output tile lives in registers across the whole k loop.
+    let mut acc = [[0.0f32; NR]; MRT];
+    if ACC {
+        for (im, tile) in acc.iter_mut().enumerate() {
+            let row = &out[(i0 + im) * n + j0..(i0 + im) * n + j0 + w];
+            tile[..w].copy_from_slice(row);
+        }
+    }
+    let mut kk = 0;
+    while kk + 4 <= k {
+        let strip = &panel[kk * NR..(kk + 4) * NR];
+        let (b0, rest) = strip.split_at(NR);
+        let (b1, rest) = rest.split_at(NR);
+        let (b2, b3) = rest.split_at(NR);
+        for (im, tile) in acc.iter_mut().enumerate() {
+            let ar = &a[(i0 + im) * lda + kk..(i0 + im) * lda + kk + 4];
+            let (a0, a1, a2, a3) = (ar[0], ar[1], ar[2], ar[3]);
+            for jn in 0..NR {
+                // Same left-associated group expression as matmul_raw.
+                tile[jn] += a0 * b0[jn] + a1 * b1[jn] + a2 * b2[jn] + a3 * b3[jn];
+            }
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let strip = &panel[kk * NR..(kk + 1) * NR];
+        for (im, tile) in acc.iter_mut().enumerate() {
+            let av = a[(i0 + im) * lda + kk];
+            for jn in 0..NR {
+                tile[jn] += av * strip[jn];
+            }
+        }
+        kk += 1;
+    }
+    for (im, tile) in acc.iter().enumerate() {
+        let row = &mut out[(i0 + im) * n + j0..(i0 + im) * n + j0 + w];
+        row.copy_from_slice(&tile[..w]);
+    }
+}
+
+/// One-shot blocked GEMM: pack `b`, then `out += a · b`. A drop-in for
+/// [`matmul_raw`] (bitwise-identical accumulate semantics) that pays one
+/// packing pass per call — use [`pack_b`] + [`gemm_packed`] when `b` is
+/// reused across calls.
+pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    let bp = pack_b(b, k, n);
+    gemm_packed(a, k, &bp, out, m, true);
+}
+
+/// `out = a · b` over a **zero-filled** `out`, choosing the blocked kernel
+/// when the shape amortizes its packing pass and falling back to
+/// [`matmul_raw`] otherwise. Both arms are bitwise-identical, so the
+/// heuristic is free to change; this is the kernel behind
+/// [`crate::Tape::matmul`]'s 2-D forward and backward.
+pub fn gemm_auto(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert!(out.iter().all(|&x| x == 0.0), "gemm_auto needs zeroed out");
+    // Packing costs k·n writes against m·k·n multiplies: below ~8 rows the
+    // pack dominates, and below one panel of columns blocking buys nothing.
+    if m >= 8 && n >= NR {
+        let bp = pack_b(b, k, n);
+        gemm_packed(a, k, &bp, out, m, false);
+    } else {
+        matmul_raw(a, b, out, m, k, n);
+    }
+}
+
+/// [`matmul_raw`] with `A` rows `lda` floats apart and explicit accumulate
+/// control: the small-shape companion of [`gemm_packed`] for operands built
+/// on the fly (attention scores over an assembled `Kᵀ`, attn·V) where `A` is
+/// a strided view into a fused projection buffer and packing `B` per call
+/// would cost more than it saves.
+///
+/// `accumulate = false` zero-fills exactly the `m·n` region the kernel
+/// writes — no caller-side clears of anything wider — and matches
+/// [`matmul_raw`] over a zeroed `out` bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_raw_strided(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    debug_assert!(lda >= k, "row stride {lda} shorter than k {k}");
+    debug_assert!(m == 0 || a.len() >= (m - 1) * lda + k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * lda..i * lda + k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        if !accumulate {
+            out_row.fill(0.0);
+        }
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+            let (b0, rest) = b[kk * n..].split_at(n);
+            let (b1, rest) = rest.split_at(n);
+            let (b2, rest) = rest.split_at(n);
+            let b3 = &rest[..n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+            }
+            kk += 4;
+        }
+        for (kk, &av) in a_row.iter().enumerate().skip(kk) {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul::transpose_into;
+
+    /// Deterministic pseudo-random fill, different per (seed, index).
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gemm_is_bitwise_matmul_raw_across_remainder_classes() {
+        // Every combination of full/partial tiles: m around MR, n around NR,
+        // k around the 4-group width.
+        for &m in &[1usize, 3, 4, 5, 8, 13] {
+            for &k in &[1usize, 2, 3, 4, 7, 16] {
+                for &n in &[1usize, 5, 8, 9, 16, 19] {
+                    let a = fill(m as u64 * 31 + k as u64, m * k);
+                    let b = fill(n as u64 * 17 + 7, k * n);
+                    let mut want = fill(99, m * n); // non-zero: accumulate path
+                    let mut got = want.clone();
+                    matmul_raw(&a, &b, &mut want, m, k, n);
+                    gemm(&a, &b, &mut got, m, k, n);
+                    assert_eq!(
+                        want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "m={m} k={k} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overwrite_mode_equals_matmul_raw_over_zeroed_out() {
+        let (m, k, n) = (6, 10, 11);
+        let a = fill(1, m * k);
+        let b = fill(2, k * n);
+        let mut want = vec![0.0f32; m * n];
+        matmul_raw(&a, &b, &mut want, m, k, n);
+        let bp = pack_b(&b, k, n);
+        let mut got = fill(3, m * n); // garbage: overwrite must not read it
+        gemm_packed(&a, k, &bp, &mut got, m, false);
+        assert_eq!(
+            want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn strided_a_reads_the_right_columns() {
+        // A is the first k columns of a wider [m, lda] buffer.
+        let (m, k, n, lda) = (5, 6, 9, 10);
+        let wide = fill(4, m * lda);
+        let mut narrow = vec![0.0f32; m * k];
+        for i in 0..m {
+            narrow[i * k..(i + 1) * k].copy_from_slice(&wide[i * lda..i * lda + k]);
+        }
+        let b = fill(5, k * n);
+        let mut want = vec![0.0f32; m * n];
+        matmul_raw(&narrow, &b, &mut want, m, k, n);
+
+        let bp = pack_b(&b, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_packed(&wide, lda, &bp, &mut got, m, false);
+        assert_eq!(want, got, "gemm_packed with lda");
+
+        let mut got2 = fill(6, m * n);
+        matmul_raw_strided(&wide, lda, &b, &mut got2, m, k, n, false);
+        assert_eq!(want, got2, "matmul_raw_strided overwrite with lda");
+    }
+
+    #[test]
+    fn transposed_pack_matches_transpose_then_pack() {
+        let (k, n) = (7, 13);
+        let src = fill(8, n * k); // [n, k] row-major
+        let mut bt = vec![0.0f32; n * k];
+        transpose_into(&src, n, k, &mut bt); // [k, n]
+        let via_transpose = pack_b(&bt, k, n);
+        let direct = pack_b_transposed(&src, k, n);
+        assert_eq!(via_transpose.data, direct.data);
+        let a = fill(9, 3 * k);
+        let mut want = vec![0.0f32; 3 * n];
+        matmul_raw(&a, &bt, &mut want, 3, k, n);
+        let mut got = vec![0.0f32; 3 * n];
+        gemm_packed(&a, k, &direct, &mut got, 3, false);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn gemm_auto_both_arms_agree() {
+        for &(m, k, n) in &[(2usize, 5usize, 4usize), (16, 16, 48)] {
+            let a = fill(10 + m as u64, m * k);
+            let b = fill(20 + n as u64, k * n);
+            let mut want = vec![0.0f32; m * n];
+            matmul_raw(&a, &b, &mut want, m, k, n);
+            let mut got = vec![0.0f32; m * n];
+            gemm_auto(&a, &b, &mut got, m, k, n);
+            assert_eq!(
+                want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_zero_overwrite_clears_out() {
+        let bp = pack_b(&[], 0, 5);
+        let mut out = fill(11, 3 * 5);
+        gemm_packed(&[], 0, &bp, &mut out, 3, false);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+}

@@ -63,17 +63,38 @@ pub fn matmul_raw_sparse(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usi
     }
 }
 
+/// Transpose tile edge: 32×32 f32 tiles are 4 KiB read + 4 KiB write,
+/// comfortably inside L1 alongside the working set.
+const TR_TILE: usize = 32;
+
 /// `out[c, r] = x[r, c]` for a row-major `[rows, cols]` buffer — the kernel
 /// behind [`crate::Tape::transpose`], exported so the grad-free inference
 /// path builds its `Kᵀ` and tied-embedding-head operands with the exact
 /// same element placement.
+///
+/// Tiled: the naive double loop strides `rows`-wide on every write, so past
+/// L1 each store is a fresh cache line touched once per column sweep. Walking
+/// [`TR_TILE`]² tiles keeps both the read rows and the write columns resident
+/// while a tile is transposed. Pure data movement — element placement is
+/// identical to the naive loop (pinned in this module's tests and in
+/// `tests/gemm_properties.rs`).
 pub fn transpose_into(x: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
     debug_assert_eq!(x.len(), rows * cols);
     debug_assert_eq!(out.len(), rows * cols);
-    for r in 0..rows {
-        for c in 0..cols {
-            out[c * rows + r] = x[r * cols + c];
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + TR_TILE).min(rows);
+        let mut c0 = 0;
+        while c0 < cols {
+            let c1 = (c0 + TR_TILE).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    out[c * rows + r] = x[r * cols + c];
+                }
+            }
+            c0 = c1;
         }
+        r0 = r1;
     }
 }
 
@@ -114,7 +135,7 @@ impl Tape {
             let (k2, n) = (vb.shape().dim(0), vb.shape().dim(1));
             assert_eq!(k, k2, "matmul inner dims: {} x {}", va.shape(), vb.shape());
             let mut out = self.alloc(m * n);
-            matmul_raw(va.data(), vb.data(), &mut out, m, k, n);
+            super::gemm::gemm_auto(va.data(), vb.data(), &mut out, m, k, n);
             (m, k, n, out)
         };
         self.push(
@@ -126,12 +147,12 @@ impl Tape {
                 let mut bt = ctx.alloc(k * n);
                 transpose_into(vb.data(), k, n, &mut bt);
                 let mut ga = ctx.alloc(m * k);
-                matmul_raw(g.data(), &bt, &mut ga, m, n, k);
+                super::gemm::gemm_auto(g.data(), &bt, &mut ga, m, n, k);
                 ctx.recycle(bt);
                 let mut at = ctx.alloc(m * k);
                 transpose_into(va.data(), m, k, &mut at);
                 let mut gb = ctx.alloc(k * n);
-                matmul_raw(&at, g.data(), &mut gb, k, m, n);
+                super::gemm::gemm_auto(&at, g.data(), &mut gb, k, m, n);
                 ctx.recycle(at);
                 vec![Tensor::new([m, k], ga), Tensor::new([k, n], gb)]
             })),
@@ -300,6 +321,32 @@ mod tests {
         let c = tape.matmul(a, b);
         assert_eq!(tape.shape_of(c), Shape::from([2, 1, 3]));
         assert_eq!(tape.get(c).data(), &[1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn tiled_transpose_matches_naive_loop() {
+        // Shapes straddling the tile edge in each dimension, plus degenerate
+        // row/column vectors.
+        for &(rows, cols) in &[
+            (1usize, 1usize),
+            (1, 70),
+            (70, 1),
+            (5, 9),
+            (TR_TILE, TR_TILE),
+            (TR_TILE - 1, TR_TILE + 1),
+            (2 * TR_TILE + 3, TR_TILE + 5),
+        ] {
+            let x: Vec<f32> = (0..rows * cols).map(|i| i as f32 * 0.37 - 4.0).collect();
+            let mut naive = vec![0.0f32; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    naive[c * rows + r] = x[r * cols + c];
+                }
+            }
+            let mut tiled = vec![0.0f32; rows * cols];
+            transpose_into(&x, rows, cols, &mut tiled);
+            assert_eq!(naive, tiled, "rows={rows} cols={cols}");
+        }
     }
 
     #[test]

@@ -7,12 +7,16 @@
 mod activation;
 mod elementwise;
 mod embedding;
+mod gemm;
 mod matmul;
 mod norm;
 mod reduce;
 mod slice;
 mod softmax;
 
+pub use gemm::{
+    gemm, gemm_auto, gemm_packed, matmul_raw_strided, pack_b, pack_b_transposed, PackedB, MR, NR,
+};
 pub use matmul::{matmul_raw, matmul_raw_sparse, transpose_into};
 
 // Forward-only kernels shared with the grad-free inference path

@@ -1,0 +1,157 @@
+//! Property-based pins for the blocked GEMM path (`ops/gemm.rs`).
+//!
+//! The kernel's contract is not "close to" but **bitwise-identical to**
+//! [`matmul_raw`]: the register-blocked tile must accumulate every output in
+//! the exact 4-wide k-group order of the naive kernel, so the fused LM
+//! forward, the tape, and the golden-metrics pin all stay on one arithmetic.
+//! Every property here compares `f32::to_bits`, never an epsilon, across
+//! randomized shapes that independently hit the three remainder classes:
+//! `k % 4` (the unroll tail), `n % NR` (a partial B panel), and `m % MR`
+//! (a partial row tile).
+
+use delrec_tensor::{
+    gemm, gemm_auto, gemm_packed, matmul_raw, matmul_raw_strided, pack_b, pack_b_transposed,
+    transpose_into, MR, NR,
+};
+use proptest::prelude::*;
+
+/// Deterministic value stream so each (shape, seed) case is reproducible.
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// `gemm == matmul_raw` to the bit, accumulate semantics included.
+    /// Shape ranges start below the tile/unroll widths (m < MR, k < 4,
+    /// n < NR all reachable) and extend past several full tiles.
+    #[test]
+    fn gemm_is_bitwise_matmul_raw(m in 1usize..3 * MR + 2, k in 1usize..19, n in 1usize..3 * NR + 3, seed in 0u64..1 << 32) {
+        let a = fill(seed, m * k);
+        let b = fill(seed ^ 0xA5A5, k * n);
+        let mut want = fill(seed ^ 0x0F0F, m * n); // non-zero: exercises += semantics
+        let mut got = want.clone();
+        matmul_raw(&a, &b, &mut want, m, k, n);
+        gemm(&a, &b, &mut got, m, k, n);
+        prop_assert_eq!(bits(&want), bits(&got), "m={} k={} n={}", m, k, n);
+    }
+
+    /// Overwrite mode over garbage equals matmul_raw over zeros: the
+    /// register accumulators start at the same 0.0 a fill would store.
+    #[test]
+    fn overwrite_is_bitwise_matmul_raw_over_zeros(m in 1usize..14, k in 1usize..17, n in 1usize..21, seed in 0u64..1 << 32) {
+        let a = fill(seed, m * k);
+        let b = fill(seed ^ 0x1234, k * n);
+        let mut want = vec![0.0f32; m * n];
+        matmul_raw(&a, &b, &mut want, m, k, n);
+        let bp = pack_b(&b, k, n);
+        let mut got = fill(seed ^ 0x777, m * n); // garbage must not leak through
+        gemm_packed(&a, k, &bp, &mut got, m, false);
+        prop_assert_eq!(bits(&want), bits(&got));
+        let mut got_strided = fill(seed ^ 0x888, m * n);
+        matmul_raw_strided(&a, k, &b, &mut got_strided, m, k, n, false);
+        prop_assert_eq!(bits(&want), bits(&got_strided));
+    }
+
+    /// Strided A (reading k columns out of a wider lda-pitch buffer — the
+    /// fused-QKV access pattern) matches a contiguous copy bitwise, for both
+    /// the packed kernel and the strided naive kernel.
+    #[test]
+    fn strided_a_is_bitwise_contiguous(m in 1usize..10, k in 1usize..13, n in 1usize..18, pad in 0usize..5, seed in 0u64..1 << 32) {
+        let lda = k + pad;
+        let wide = fill(seed, m * lda);
+        let mut narrow = vec![0.0f32; m * k];
+        for i in 0..m {
+            narrow[i * k..(i + 1) * k].copy_from_slice(&wide[i * lda..i * lda + k]);
+        }
+        let b = fill(seed ^ 0xBEEF, k * n);
+        let mut want = vec![0.0f32; m * n];
+        matmul_raw(&narrow, &b, &mut want, m, k, n);
+
+        let bp = pack_b(&b, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_packed(&wide, lda, &bp, &mut got, m, false);
+        prop_assert_eq!(bits(&want), bits(&got));
+
+        let mut got2 = vec![0.0f32; m * n];
+        matmul_raw_strided(&wide, lda, &b, &mut got2, m, k, n, true);
+        prop_assert_eq!(bits(&want), bits(&got2));
+    }
+
+    /// Packing the transpose directly (the tied-embedding-head path) equals
+    /// materializing the transpose and packing it.
+    #[test]
+    fn transposed_pack_is_bitwise_transpose_then_pack(m in 1usize..7, k in 1usize..13, n in 1usize..26, seed in 0u64..1 << 32) {
+        let src = fill(seed, n * k); // stored [n, k], multiplies as [k, n]
+        let mut bt = vec![0.0f32; n * k];
+        transpose_into(&src, n, k, &mut bt);
+        let a = fill(seed ^ 0xC0DE, m * k);
+        let mut want = vec![0.0f32; m * n];
+        matmul_raw(&a, &bt, &mut want, m, k, n);
+        let bp = pack_b_transposed(&src, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_packed(&a, k, &bp, &mut got, m, false);
+        prop_assert_eq!(bits(&want), bits(&got));
+    }
+
+    /// Both arms of the `gemm_auto` dispatch heuristic produce identical
+    /// bits, so the m/n threshold is a pure performance choice.
+    #[test]
+    fn gemm_auto_is_bitwise_matmul_raw(m in 1usize..20, k in 1usize..12, n in 1usize..20, seed in 0u64..1 << 32) {
+        let a = fill(seed, m * k);
+        let b = fill(seed ^ 0xD1CE, k * n);
+        let mut want = vec![0.0f32; m * n];
+        matmul_raw(&a, &b, &mut want, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_auto(&a, &b, &mut got, m, k, n);
+        prop_assert_eq!(bits(&want), bits(&got));
+    }
+
+    /// Tiled transpose places every element exactly like the naive loop,
+    /// including shapes straddling the tile boundary.
+    #[test]
+    fn tiled_transpose_matches_naive(rows in 1usize..70, cols in 1usize..70, seed in 0u64..1 << 32) {
+        let x = fill(seed, rows * cols);
+        let mut naive = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                naive[c * rows + r] = x[r * cols + c];
+            }
+        }
+        let mut tiled = vec![0.0f32; rows * cols];
+        transpose_into(&x, rows, cols, &mut tiled);
+        prop_assert_eq!(bits(&naive), bits(&tiled));
+    }
+}
+
+/// Directed corner sweep on top of the random shapes: every combination of
+/// {below, at, just above} the MR / 4-group / NR edges.
+#[test]
+fn remainder_class_grid_is_bitwise() {
+    for m in [1, MR - 1, MR, MR + 1, 2 * MR] {
+        for k in [1, 3, 4, 5, 8, 9] {
+            for n in [1, NR - 1, NR, NR + 1, 2 * NR, 2 * NR + 3] {
+                let a = fill((m * 1009 + k) as u64, m * k);
+                let b = fill((n * 2003 + 1) as u64, k * n);
+                let mut want = vec![0.0f32; m * n];
+                matmul_raw(&a, &b, &mut want, m, k, n);
+                let mut got = vec![0.0f32; m * n];
+                gemm(&a, &b, &mut got, m, k, n);
+                assert_eq!(bits(&want), bits(&got), "m={m} k={k} n={n}");
+            }
+        }
+    }
+}

@@ -8,6 +8,9 @@ cargo clippy --workspace -- -D warnings
 # The observability crate is a zero-dependency leaf everything else links
 # against; hold it (tests included) to the same warnings-are-errors bar.
 cargo clippy -p delrec-obs --all-targets -- -D warnings
+# The tensor crate carries the GEMM micro-kernel; lint its tests and the
+# gemm property suite at the same bar.
+cargo clippy -p delrec-tensor --all-targets -- -D warnings
 cargo test -q
 
 # Smoke-run the inference-engine benchmark: asserts the grad-free engine's
@@ -23,3 +26,8 @@ cargo run --release -q -p delrec-bench --bin serve -- --scale smoke --out "$(mkt
 # overhead stays under 2% of the hot scoring path and that the batch-32
 # attribution profile's spans cover at least 90% of measured wall time.
 cargo run --release -q -p delrec-bench --bin obs -- --scale smoke --out "$(mktemp -d)"
+
+# Smoke-run the GEMM benchmark: asserts the blocked kernel is bitwise
+# identical to matmul_raw on every timed shape and that fused, legacy, and
+# tape scoring agree to the bit before reporting any speedup.
+cargo run --release -q -p delrec-bench --bin gemm -- --scale smoke --out "$(mktemp -d)"
