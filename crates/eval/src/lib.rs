@@ -13,7 +13,7 @@ pub mod ttest;
 pub use bootstrap::{bootstrap_ci, hr_ci, ndcg_ci, ConfidenceInterval};
 pub use metrics::RankingReport;
 pub use runner::{
-    evaluate, evaluate_examples, score_candidates_chunked, EvalConfig, FnRanker, Ranker,
-    ScoreRequest,
+    evaluate, evaluate_examples, evaluate_examples_par, evaluate_par, score_candidates_chunked,
+    EvalConfig, FnRanker, Ranker, ScoreRequest,
 };
 pub use ttest::{paired_t_test, TTestResult};

@@ -132,47 +132,123 @@ pub fn evaluate_examples<R: Ranker + ?Sized>(
         .max_examples
         .unwrap_or(examples.len())
         .min(examples.len());
-    let mut ranks = Vec::with_capacity(take);
-    for (chunk_idx, chunk) in examples[..take].chunks(cfg.batch_size).enumerate() {
-        let _chunk_span = delrec_obs::span!("eval.chunk");
-        let base = chunk_idx * cfg.batch_size;
-        let candidate_sets: Vec<Vec<ItemId>> = chunk
-            .iter()
-            .enumerate()
-            .map(|(k, ex)| sampler.candidates(ex.target, cfg.candidate_seed, base + k))
-            .collect();
-        let requests: Vec<ScoreRequest<'_>> = chunk
-            .iter()
-            .zip(&candidate_sets)
-            .map(|(ex, cands)| (ex.prefix.as_slice(), cands.as_slice()))
-            .collect();
-        let score_rows = ranker.score_candidates_batch(&requests);
-        assert_eq!(
-            score_rows.len(),
-            chunk.len(),
-            "ranker returned wrong batch size"
+    // Same partitioner as the parallel path, so the two walk identical
+    // chunks and the reports can only differ if rank_chunk itself could
+    // (it can't: each example's rank is computed independently).
+    let mut ranks = vec![0usize; take];
+    for range in delrec_par::chunk_ranges(take, cfg.batch_size) {
+        let out = &mut ranks[range.clone()];
+        rank_chunk(
+            ranker,
+            &examples[range.clone()],
+            &sampler,
+            cfg,
+            range.start,
+            out,
         );
-        for ((ex, candidates), scores) in chunk.iter().zip(&candidate_sets).zip(&score_rows) {
-            assert_eq!(
-                scores.len(),
-                candidates.len(),
-                "ranker returned wrong arity"
-            );
-            let pos = candidates
-                .iter()
-                .position(|&c| c == ex.target)
-                .expect("sampler always includes the positive");
-            // Rank = number of candidates scored strictly higher (ties favour
-            // earlier candidates to stay deterministic).
-            let rank = scores
-                .iter()
-                .enumerate()
-                .filter(|&(j, &s)| s > scores[pos] || (s == scores[pos] && j < pos))
-                .count();
-            ranks.push(rank);
-        }
     }
     RankingReport::new(ranks, cfg.m)
+}
+
+/// Parallel [`evaluate`]: chunks run concurrently on the shared
+/// [`delrec_par`] pool. Requires `Sync` on the ranker — model-backed rankers
+/// qualify; closure-based test doubles holding `Cell`/`Rc` keep using the
+/// serial path.
+pub fn evaluate_par<R: Ranker + Sync + ?Sized>(
+    ranker: &R,
+    dataset: &Dataset,
+    split: Split,
+    cfg: &EvalConfig,
+) -> RankingReport {
+    evaluate_examples_par(ranker, dataset.examples(split), dataset.num_items(), cfg)
+}
+
+/// Parallel [`evaluate_examples`]. The example list is cut into the *same*
+/// `cfg.batch_size` chunks as the serial path ([`delrec_par::chunk_ranges`]);
+/// each worker scores whole chunks and writes ranks into that chunk's
+/// disjoint slot range, so the report is bitwise-identical to serial at any
+/// thread count — candidate sampling is indexed by absolute example position
+/// and each example's rank depends only on its own score row.
+pub fn evaluate_examples_par<R: Ranker + Sync + ?Sized>(
+    ranker: &R,
+    examples: &[delrec_data::Example],
+    num_items: usize,
+    cfg: &EvalConfig,
+) -> RankingReport {
+    let _span = delrec_obs::span!("eval.evaluate");
+    assert!(cfg.batch_size > 0, "batch_size must be positive");
+    let sampler = CandidateSampler::new(num_items, cfg.m);
+    let take = cfg
+        .max_examples
+        .unwrap_or(examples.len())
+        .min(examples.len());
+    let ranges = delrec_par::chunk_ranges(take, cfg.batch_size);
+    let mut ranks = vec![0usize; take];
+    let pool = delrec_par::current();
+    pool.for_each_range(&mut ranks, &ranges, |ci, out| {
+        let range = ranges[ci].clone();
+        rank_chunk(
+            ranker,
+            &examples[range.clone()],
+            &sampler,
+            cfg,
+            range.start,
+            out,
+        );
+    });
+    RankingReport::new(ranks, cfg.m)
+}
+
+/// Score one chunk of examples and write each example's rank into `out`
+/// (`out.len() == chunk.len()`). `base` is the chunk's absolute offset in
+/// the evaluation order — candidate sampling keys on it, so a chunk's
+/// candidate sets are independent of which thread (or call path) runs it.
+fn rank_chunk<R: Ranker + ?Sized>(
+    ranker: &R,
+    chunk: &[delrec_data::Example],
+    sampler: &CandidateSampler,
+    cfg: &EvalConfig,
+    base: usize,
+    out: &mut [usize],
+) {
+    let _chunk_span = delrec_obs::span!("eval.chunk");
+    let candidate_sets: Vec<Vec<ItemId>> = chunk
+        .iter()
+        .enumerate()
+        .map(|(k, ex)| sampler.candidates(ex.target, cfg.candidate_seed, base + k))
+        .collect();
+    let requests: Vec<ScoreRequest<'_>> = chunk
+        .iter()
+        .zip(&candidate_sets)
+        .map(|(ex, cands)| (ex.prefix.as_slice(), cands.as_slice()))
+        .collect();
+    let score_rows = ranker.score_candidates_batch(&requests);
+    assert_eq!(
+        score_rows.len(),
+        chunk.len(),
+        "ranker returned wrong batch size"
+    );
+    for (slot, ((ex, candidates), scores)) in out
+        .iter_mut()
+        .zip(chunk.iter().zip(&candidate_sets).zip(&score_rows))
+    {
+        assert_eq!(
+            scores.len(),
+            candidates.len(),
+            "ranker returned wrong arity"
+        );
+        let pos = candidates
+            .iter()
+            .position(|&c| c == ex.target)
+            .expect("sampler always includes the positive");
+        // Rank = number of candidates scored strictly higher (ties favour
+        // earlier candidates to stay deterministic).
+        *slot = scores
+            .iter()
+            .enumerate()
+            .filter(|&(j, &s)| s > scores[pos] || (s == scores[pos] && j < pos))
+            .count();
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +378,37 @@ mod tests {
             assert_eq!(a.ndcg(k), b.ndcg(k), "NDCG@{k} differs across batch sizes");
         }
         assert_eq!(a.mrr(), b.mrr());
+    }
+
+    #[test]
+    fn parallel_eval_matches_serial_at_every_thread_count() {
+        let ds = tiny();
+        // Plain-fn ranker: deterministic, history-sensitive, and `Sync`.
+        fn score(p: &[ItemId], c: &[ItemId]) -> Vec<f32> {
+            let h: u32 = p
+                .iter()
+                .fold(17, |acc, i| acc.wrapping_mul(31).wrapping_add(i.0));
+            c.iter()
+                .map(|&i| (i.0.wrapping_mul(2_654_435_761).wrapping_add(h) % 1000) as f32)
+                .collect()
+        }
+        let ranker = FnRanker::new("sync", score as fn(&[ItemId], &[ItemId]) -> Vec<f32>);
+        let cfg = EvalConfig {
+            batch_size: 7,
+            ..Default::default()
+        };
+        let serial = evaluate(&ranker, &ds, Split::Test, &cfg);
+        for lanes in [1usize, 2, 3, 7, 8] {
+            let pool = delrec_par::ThreadPool::new(lanes);
+            let par =
+                delrec_par::with_pool(&pool, || evaluate_par(&ranker, &ds, Split::Test, &cfg));
+            assert_eq!(serial.len(), par.len(), "lanes={lanes}");
+            assert_eq!(serial.mrr(), par.mrr(), "lanes={lanes}");
+            for k in [1, 5, 10, 15] {
+                assert_eq!(serial.hr(k), par.hr(k), "HR@{k} lanes={lanes}");
+                assert_eq!(serial.ndcg(k), par.ndcg(k), "NDCG@{k} lanes={lanes}");
+            }
+        }
     }
 
     #[test]

@@ -347,6 +347,7 @@ impl MiniLm {
         } else {
             None
         };
+        let has_soft = prefix.iter().any(|t| matches!(t, LmToken::Soft(_)));
         let h = self.encode_infer(
             ic,
             &seqs,
@@ -355,6 +356,7 @@ impl MiniLm {
             None,
             Some(&mut layers),
             pack.as_deref(),
+            has_soft,
         );
         ic.recycle(h);
         Some(PrefixCache {
@@ -363,7 +365,7 @@ impl MiniLm {
             math: ic.math(),
             layers,
             p: prefix.len(),
-            has_soft: prefix.iter().any(|t| matches!(t, LmToken::Soft(_))),
+            has_soft,
         })
     }
 
@@ -372,6 +374,18 @@ impl MiniLm {
     /// identical to it in [`MathMode::Exact`]. With a [`PrefixCache`], every
     /// sequence must extend the cached prefix and only the suffix is
     /// embedded and encoded.
+    ///
+    /// When the current `delrec-par` pool has more than one lane, the batch
+    /// is cut into one contiguous example chunk per lane
+    /// ([`delrec_par::partition`] — a pure function of `(bsz, lanes)`) and
+    /// each chunk is encoded independently into its own disjoint rows of the
+    /// logits buffer. This is bitwise-identical to the serial pass at every
+    /// lane count because an example's scores never depend on which other
+    /// examples share the batch (batch-row independence, pinned by
+    /// `tests/batch_row_independence.rs` and `tests/par_determinism.rs`):
+    /// attention is truncated to each example's own valid keys, padding rows
+    /// feed nothing, and the batch-level soft-scatter flag is computed here
+    /// — over the *whole* batch — before chunking.
     pub fn mask_logits_infer_batch(
         &self,
         ic: &InferCtx,
@@ -383,13 +397,70 @@ impl MiniLm {
         let _span = delrec_obs::span!("lm.mask_logits");
         let bsz = seqs.len();
         assert_eq!(bsz, mask_pos.len(), "one mask position per sequence");
-        let d = self.cfg.d_model;
         let vsz = self.cfg.vocab_size;
         let pack = if self.use_fused {
             Some(self.lm_pack())
         } else {
             None
         };
+        let has_soft = seqs
+            .iter()
+            .any(|s| s.iter().any(|t| matches!(t, LmToken::Soft(_))));
+        let mut logits = ic.alloc(bsz * vsz);
+        let pool = delrec_par::current();
+        let chunks = delrec_par::partition(bsz, pool.lanes());
+        if chunks.len() > 1 {
+            let elem_ranges: Vec<_> = chunks.iter().map(|r| r.start * vsz..r.end * vsz).collect();
+            pool.for_each_range(&mut logits, &elem_ranges, |ci, out| {
+                let r = chunks[ci].clone();
+                self.mask_logits_rows(
+                    ic,
+                    &seqs[r.clone()],
+                    soft_table,
+                    &mask_pos[r],
+                    cache,
+                    pack.as_deref(),
+                    has_soft,
+                    out,
+                );
+            });
+        } else {
+            self.mask_logits_rows(
+                ic,
+                seqs,
+                soft_table,
+                mask_pos,
+                cache,
+                pack.as_deref(),
+                has_soft,
+                &mut logits,
+            );
+        }
+        Tensor::new([bsz, vsz], logits)
+    }
+
+    /// Encode + head for one contiguous slice of the batch, writing
+    /// `seqs.len() * vocab_size` logits into `out`. The serial path is one
+    /// call over the whole batch; the parallel path runs one call per
+    /// example chunk, each with its own scratch from the (thread-sharded)
+    /// buffer pool. `has_soft` is the *batch-level* soft flag, computed by
+    /// the caller before chunking.
+    #[allow(clippy::too_many_arguments)]
+    fn mask_logits_rows(
+        &self,
+        ic: &InferCtx,
+        seqs: &[Vec<LmToken>],
+        soft_table: Option<&Tensor>,
+        mask_pos: &[usize],
+        cache: Option<&PrefixCache>,
+        pack: Option<&LmPack>,
+        has_soft: bool,
+        out: &mut [f32],
+    ) {
+        let bsz = seqs.len();
+        let d = self.cfg.d_model;
+        let vsz = self.cfg.vocab_size;
+        debug_assert_eq!(out.len(), bsz * vsz);
         let h = self.encode_infer(
             ic,
             seqs,
@@ -397,7 +468,8 @@ impl MiniLm {
             cache,
             Some(mask_pos),
             None,
-            pack.as_deref(),
+            pack,
+            has_soft,
         );
         // Final layer norm over the mask rows only — row-local, so identical
         // to the tape's normalize-everything-then-gather.
@@ -410,24 +482,23 @@ impl MiniLm {
             &mut hf,
         );
         ic.recycle(h);
-        let mut logits = ic.alloc(bsz * vsz);
-        match pack.as_deref() {
+        match pack {
             // The pre-transposed panel: no per-call [vocab, d] transpose.
-            Some(pk) => gemm_packed(&hf, d, &pk.head, &mut logits, bsz, false),
+            Some(pk) => gemm_packed(&hf, d, &pk.head, out, bsz, false),
             None => {
                 let tok_emb = self.store.get(self.tok_emb).data();
                 let mut emb_t = ic.alloc(d * vsz);
                 transpose_into(tok_emb, vsz, d, &mut emb_t);
-                matmul_raw(&hf, &emb_t, &mut logits, bsz, d, vsz);
+                out.fill(0.0);
+                matmul_raw(&hf, &emb_t, out, bsz, d, vsz);
                 ic.recycle(emb_t);
             }
         }
         let head_bias = self.store.get(self.head_bias).data();
-        for (i, x) in logits.iter_mut().enumerate() {
+        for (i, x) in out.iter_mut().enumerate() {
             *x += head_bias[i % vsz];
         }
         ic.recycle(hf);
-        Tensor::new([bsz, vsz], logits)
     }
 
     /// Encoder stack without a tape. Returns the pre-final-layer-norm hidden
@@ -449,6 +520,7 @@ impl MiniLm {
         mask_pos: Option<&[usize]>,
         mut capture: Option<&mut Vec<Vec<HeadKv>>>,
         pack: Option<&LmPack>,
+        has_soft: bool,
     ) -> Vec<f32> {
         let _span = delrec_obs::span!("lm.encode");
         let cfg = &self.cfg;
@@ -475,9 +547,18 @@ impl MiniLm {
         }
         let rows = bsz * s_max;
         let kmax = p + s_max;
-        let has_soft = seqs
-            .iter()
-            .any(|s| s.iter().any(|t| matches!(t, LmToken::Soft(_))));
+        // `has_soft` is the *batch-level* flag, passed in by the caller so a
+        // parallel example chunk embeds exactly like the full serial batch
+        // (a hard token receives the soft scatter's exact `+0.0` whenever
+        // any example in the batch has a soft token — even one in another
+        // chunk).
+        debug_assert!(
+            has_soft
+                || !seqs
+                    .iter()
+                    .any(|s| s.iter().any(|t| matches!(t, LmToken::Soft(_)))),
+            "has_soft must cover every soft token in the batch"
+        );
         if let Some(c) = cache {
             debug_assert!(
                 seqs.iter().all(|s| s[..p] == c.tokens[..]),

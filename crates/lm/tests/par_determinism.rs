@@ -1,0 +1,100 @@
+//! Thread-count invariance of the grad-free batch scoring path.
+//!
+//! `mask_logits_infer_batch` — the engine under `score_candidates_batch` and
+//! the serving runtime — parallelizes over example chunks on the shared
+//! `delrec-par` pool. The partition only chooses *which* worker computes
+//! which rows; each example's arithmetic is untouched (pinned separately by
+//! `batch_row_independence.rs`), so the output must be **bitwise identical**
+//! at every thread count, with every engine feature attached at once: soft
+//! prompts, AdaLoRA adapters, and the prefix cache.
+//!
+//! Batches are random and ragged so the chunk boundaries land differently
+//! from case to case; thread counts {1, 2, 3, 7, 8} cover fewer-chunks-than-
+//! lanes, uneven partitions, and more lanes than examples.
+
+use delrec_lm::{AdaLoraConfig, LmToken, MiniLm, MiniLmConfig};
+use delrec_par::{with_pool, ThreadPool};
+use delrec_tensor::{InferCtx, MathMode, Tensor};
+use proptest::prelude::*;
+
+/// A small MiniLM with non-trivial AdaLoRA deltas, a two-row soft-prompt
+/// table, and the shared `[Vocab(5), Soft(0), Soft(1), Vocab(6)]` prefix
+/// used across the engine's equivalence tests.
+fn build_lm() -> (MiniLm, Tensor, Vec<LmToken>) {
+    let mut cfg = MiniLmConfig::large(60);
+    cfg.dropout = 0.0;
+    let d = cfg.d_model;
+    let mut lm = MiniLm::new(cfg, 11);
+    lm.attach_adalora(AdaLoraConfig::default(), 5);
+    // Nudge singular values so adapter deltas are non-zero.
+    let mut i = 0;
+    while let Some(id) = lm.store().id_of(&format!("adalora.{i}.e")) {
+        for v in lm.store_mut().get_mut(id).data_mut() {
+            *v = 0.3;
+        }
+        i += 1;
+    }
+    assert!(i > 0, "adapters attached");
+    let soft = Tensor::new([2, d], (0..2 * d).map(|i| 0.01 * i as f32 - 0.1).collect());
+    let prefix = vec![
+        LmToken::Vocab(5),
+        LmToken::Soft(0),
+        LmToken::Soft(1),
+        LmToken::Vocab(6),
+    ];
+    (lm, soft, prefix)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random ragged batches score to the same bits on a 1-lane pool and on
+    /// pools of {2, 3, 7, 8} lanes, with and without the prefix cache.
+    #[test]
+    fn batch_scoring_is_bitwise_serial_at_every_thread_count(
+        suffixes in prop::collection::vec(prop::collection::vec(1u32..50, 1..8), 1..7),
+        use_cache in prop_oneof![Just(false), Just(true)],
+    ) {
+        let (lm, soft, prefix) = build_lm();
+        let seqs: Vec<Vec<LmToken>> = suffixes
+            .iter()
+            .map(|s| {
+                let mut t = prefix.clone();
+                t.extend(s.iter().map(|&i| LmToken::Vocab(i)));
+                t
+            })
+            .collect();
+        let mask_pos: Vec<usize> = seqs.iter().map(|s| s.len() - 1).collect();
+        let ic = InferCtx::new(MathMode::Exact);
+        let cache = if use_cache {
+            Some(
+                lm.build_prefix_cache(&ic, &prefix, Some(&soft))
+                    .expect("single-layer model must cache"),
+            )
+        } else {
+            None
+        };
+        let run = |lanes: usize| {
+            let pool = ThreadPool::new(lanes);
+            with_pool(&pool, || {
+                lm.mask_logits_infer_batch(&ic, &seqs, Some(&soft), &mask_pos, cache.as_ref())
+            })
+        };
+        let serial = bits(&run(1));
+        for lanes in [2usize, 3, 7, 8] {
+            let got = bits(&run(lanes));
+            prop_assert_eq!(
+                &serial,
+                &got,
+                "lanes={} batch={} cache={}",
+                lanes,
+                seqs.len(),
+                use_cache
+            );
+        }
+    }
+}

@@ -3,8 +3,8 @@
 //! Turns a fitted [`delrec_eval::Ranker`] into a multi-threaded service:
 //! clients submit [`RecRequest`]s, a scheduler thread coalesces the queue into
 //! micro-batches (size- and age-triggered) feeding `score_candidates_batch`
-//! on warm workers, and ranked results come back through per-request response
-//! channels. Around that core:
+//! on the shared `delrec-par` thread pool, and ranked results come back
+//! through per-request response channels. Around that core:
 //!
 //! - [`SessionStore`] — sharded, lock-striped per-user histories so requests
 //!   send only interaction deltas;

@@ -9,8 +9,8 @@
 //!                                        │
 //!                          ┌─────────────┴─────────────┐
 //!                          ▼ (num_workers = 0)         ▼ (num_workers ≥ 1)
-//!                    score inline                 worker pool (mpsc)
-//!                          │                            │
+//!                    score inline              shared `delrec-par` pool
+//!                          │                   (≤ num_workers in flight)
 //!                          └───────────┬────────────────┘
 //!                                      ▼
 //!                     per-request response channels (mpsc)
@@ -43,9 +43,11 @@ pub struct ServeConfig {
     pub batch_window: Duration,
     /// Admission bound: reject when this many requests are already queued.
     pub max_queue: usize,
-    /// Scoring threads. `0` scores on the scheduler thread itself (no
-    /// handoff — best on a single core); `n ≥ 1` fans batches out to a
-    /// worker pool so multiple batches score concurrently.
+    /// Concurrent scoring batches. `0` scores on the scheduler thread itself
+    /// (no handoff — best on a single core); `n ≥ 1` dispatches batches to
+    /// the process-wide [`delrec_par`] pool with at most `n` in flight, so
+    /// multiple batches score concurrently without the server owning any
+    /// scoring threads of its own.
     pub num_workers: usize,
     /// Lock stripes in the session store.
     pub session_shards: usize,
@@ -105,6 +107,25 @@ struct Shared<R> {
     /// scheduler's drain (the queue lock is still the source of truth at
     /// enqueue time).
     depth: AtomicU64,
+    /// Batches currently scoring on the shared pool (`num_workers ≥ 1`
+    /// path). The scheduler blocks dispatch while this sits at
+    /// `cfg.num_workers` — backpressure lands in the queue, where admission
+    /// control and deadline shedding can see it.
+    inflight: Mutex<usize>,
+    /// Signalled whenever a pool-dispatched batch finishes.
+    inflight_cv: Condvar,
+}
+
+/// Decrements the in-flight batch count when a pool-dispatched scoring job
+/// ends — panic included, since a leaked count would wedge the shutdown
+/// drain that waits for in-flight work.
+struct InflightGuard<R>(Arc<Shared<R>>);
+
+impl<R> Drop for InflightGuard<R> {
+    fn drop(&mut self) {
+        *self.0.inflight.lock().unwrap() -= 1;
+        self.0.inflight_cv.notify_all();
+    }
 }
 
 /// Handle for submitting requests. Cheap to clone; every clone talks to the
@@ -297,7 +318,6 @@ fn scheduler_loop<R: Ranker>(sh: &Shared<R>, dispatch: &dyn Fn(&Shared<R>, Vec<P
 pub struct Server<R: Ranker + Send + Sync + 'static> {
     shared: Arc<Shared<R>>,
     scheduler: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl<R: Ranker + Send + Sync + 'static> Server<R> {
@@ -316,9 +336,10 @@ impl<R: Ranker + Send + Sync + 'static> Server<R> {
             notify: Condvar::new(),
             metrics: Metrics::new(),
             depth: AtomicU64::new(0),
+            inflight: Mutex::new(0),
+            inflight_cv: Condvar::new(),
         });
 
-        let mut workers = Vec::new();
         let scheduler = if shared.cfg.num_workers == 0 {
             let sh = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -326,33 +347,37 @@ impl<R: Ranker + Send + Sync + 'static> Server<R> {
                 .spawn(move || scheduler_loop(&sh, &|sh, batch| score_batch(sh, batch)))
                 .expect("spawn scheduler")
         } else {
-            let (tx, rx) = mpsc::channel::<Vec<Pending>>();
-            let rx = Arc::new(Mutex::new(rx));
-            for i in 0..shared.cfg.num_workers {
-                let sh = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
-                workers.push(
-                    std::thread::Builder::new()
-                        .name(format!("serve-worker-{i}"))
-                        .spawn(move || loop {
-                            // Hold the receiver lock only for the dequeue.
-                            let batch = rx.lock().unwrap().recv();
-                            match batch {
-                                Ok(b) => score_batch(&sh, b),
-                                Err(_) => return, // scheduler gone: drain done
-                            }
-                        })
-                        .expect("spawn worker"),
-                );
-            }
+            // Batches go to the process-wide delrec-par pool as detached
+            // jobs, capped at num_workers in flight. On a pool with no
+            // workers (DELREC_THREADS=1) `spawn` runs the job inline on the
+            // scheduler thread — same semantics as num_workers = 0.
             let sh = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("serve-scheduler".into())
                 .spawn(move || {
-                    scheduler_loop(&sh, &|_, batch| {
-                        tx.send(batch).expect("worker pool alive");
+                    let dispatcher = Arc::clone(&sh);
+                    scheduler_loop(&sh, &move |_, batch| {
+                        let cap = dispatcher.cfg.num_workers;
+                        let mut n = dispatcher.inflight.lock().unwrap();
+                        while *n >= cap {
+                            n = dispatcher.inflight_cv.wait(n).unwrap();
+                        }
+                        *n += 1;
+                        drop(n);
+                        let job = InflightGuard(Arc::clone(&dispatcher));
+                        delrec_par::global().spawn(move || {
+                            score_batch(&job.0, batch);
+                            drop(job);
+                        });
                     });
-                    // `tx` drops here, closing the pool.
+                    // Final drain: scheduler_loop returning means the queue
+                    // is empty and closed, but pool jobs may still be
+                    // scoring. Shutdown's contract is "everything answered",
+                    // so wait them out before this thread exits.
+                    let mut n = sh.inflight.lock().unwrap();
+                    while *n > 0 {
+                        n = sh.inflight_cv.wait(n).unwrap();
+                    }
                 })
                 .expect("spawn scheduler")
         };
@@ -360,7 +385,6 @@ impl<R: Ranker + Send + Sync + 'static> Server<R> {
         Server {
             shared,
             scheduler: Some(scheduler),
-            workers,
         }
     }
 
@@ -400,9 +424,6 @@ impl<R: Ranker + Send + Sync + 'static> Server<R> {
         }
         self.shared.notify.notify_all();
         if let Some(h) = self.scheduler.take() {
-            let _ = h.join();
-        }
-        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }

@@ -235,7 +235,8 @@ proptest! {
 }
 
 /// Multi-worker configuration preserves the same bitwise contract (the pool
-/// path hands batches through an mpsc channel instead of scoring inline).
+/// path dispatches batches to the shared delrec-par pool instead of scoring
+/// inline on the scheduler thread).
 #[test]
 fn worker_pool_preserves_bitwise_identity() {
     let model = Arc::new(HashRanker::new());

@@ -35,6 +35,11 @@ pub const MR: usize = 4;
 /// Columns of the register-blocked output tile (panel width of [`PackedB`]).
 pub const NR: usize = 8;
 
+/// Minimum multiply-accumulates per parallel task: below this the fork/join
+/// handshake (queue lock + wake + latch) costs more than the arithmetic it
+/// offloads, so smaller products stay serial on the calling thread.
+const PAR_MIN_MACS_PER_TASK: usize = 64 * 1024;
+
 /// A right-hand GEMM operand repacked into `NR`-wide column panels.
 ///
 /// Panel `p` covers columns `p·NR .. min((p+1)·NR, n)` and stores `k`
@@ -129,10 +134,101 @@ pub fn gemm_packed(
     // not — and without provable no-aliasing against `out`, the whole micro-
     // kernel compiles to scalar stack code (measured ~2.6x slower).
     if accumulate {
-        gemm_panels::<true>(a, lda, &bp.data, bp.k, bp.n, out, m);
+        gemm_dispatch::<true>(a, lda, bp, out, m);
     } else {
-        gemm_panels::<false>(a, lda, &bp.data, bp.k, bp.n, out, m);
+        gemm_dispatch::<false>(a, lda, bp, out, m);
     }
+}
+
+/// Serial/parallel split for [`gemm_packed`]. Both arms are bitwise-identical:
+/// parallelism only changes *which thread* computes which disjoint output
+/// rows or column stripes, never the k-order within an output element (see
+/// the module docs' bitwise-identity argument — tile heights and panel
+/// boundaries don't enter the per-element expression).
+#[inline]
+fn gemm_dispatch<const ACC: bool>(a: &[f32], lda: usize, bp: &PackedB, out: &mut [f32], m: usize) {
+    if gemm_try_parallel::<ACC>(a, lda, bp, out, m) {
+        return;
+    }
+    gemm_panels::<ACC>(a, lda, &bp.data, bp.k, bp.n, out, m);
+}
+
+/// Parallel driver: returns `false` (caller runs serial) when the current
+/// pool has one lane or the product is too small to amortize a fork.
+///
+/// * **Row blocks** (tall shapes): the output rows are cut into `MR`-aligned
+///   contiguous blocks, each task running the ordinary serial driver on its
+///   own `A`-rows × `out`-rows sub-problem — a pure sub-slicing of the
+///   serial call.
+/// * **Panel blocks** (short, wide shapes — e.g. the `[bsz, vocab]` head):
+///   each task computes a stripe of `NR`-wide column panels into a private
+///   stripe buffer (reading the prior `out` values first when accumulating),
+///   and the caller copies the stripes back serially. Copies preserve bits,
+///   so this too is exactly the serial arithmetic.
+fn gemm_try_parallel<const ACC: bool>(
+    a: &[f32],
+    lda: usize,
+    bp: &PackedB,
+    out: &mut [f32],
+    m: usize,
+) -> bool {
+    let (k, n) = (bp.k, bp.n);
+    let macs = m * k * n;
+    if macs < 2 * PAR_MIN_MACS_PER_TASK {
+        return false;
+    }
+    let pool = delrec_par::current();
+    let lanes = pool.lanes();
+    if lanes < 2 {
+        return false;
+    }
+    let task_cap = (macs / PAR_MIN_MACS_PER_TASK).min(lanes);
+    let row_tiles = m.div_ceil(MR);
+    if row_tiles >= 2 && task_cap >= 2 {
+        let tile_ranges = delrec_par::partition(row_tiles, task_cap.min(row_tiles));
+        let row_ranges: Vec<_> = tile_ranges
+            .iter()
+            .map(|r| r.start * MR * n..(r.end * MR).min(m) * n)
+            .collect();
+        let data = &bp.data;
+        pool.for_each_range(out, &row_ranges, |ti, out_chunk| {
+            let i0 = tile_ranges[ti].start * MR;
+            let rows = out_chunk.len() / n;
+            gemm_panels::<ACC>(&a[i0 * lda..], lda, data, k, n, out_chunk, rows);
+        });
+        return true;
+    }
+    let panels = n.div_ceil(NR);
+    let tasks = task_cap.min(panels);
+    if tasks >= 2 {
+        let panel_ranges = delrec_par::partition(panels, tasks);
+        let data = &bp.data;
+        let prior: &[f32] = out;
+        let mut stripes: Vec<Vec<f32>> = vec![Vec::new(); tasks];
+        pool.for_each_chunk(&mut stripes, 1, |ti, slot| {
+            let pr = &panel_ranges[ti];
+            let j0 = pr.start * NR;
+            let w = (pr.end * NR).min(n) - j0;
+            let mut tmp = vec![0.0f32; m * w];
+            if ACC {
+                for i in 0..m {
+                    tmp[i * w..(i + 1) * w].copy_from_slice(&prior[i * n + j0..i * n + j0 + w]);
+                }
+            }
+            gemm_panel_range::<ACC>(a, lda, data, k, n, &mut tmp, m, pr.clone(), w);
+            slot[0] = tmp;
+        });
+        for (ti, pr) in panel_ranges.iter().enumerate() {
+            let j0 = pr.start * NR;
+            let w = (pr.end * NR).min(n) - j0;
+            let tmp = &stripes[ti];
+            for i in 0..m {
+                out[i * n + j0..i * n + j0 + w].copy_from_slice(&tmp[i * w..(i + 1) * w]);
+            }
+        }
+        return true;
+    }
+    false
 }
 
 /// Panel/tile driver for [`gemm_packed`], monomorphized on `ACC`.
@@ -147,23 +243,43 @@ fn gemm_panels<const ACC: bool>(
     out: &mut [f32],
     m: usize,
 ) {
-    let panels = n.div_ceil(NR);
-    for p in 0..panels {
+    gemm_panel_range::<ACC>(a, lda, data, k, n, out, m, 0..n.div_ceil(NR), n);
+}
+
+/// [`gemm_panels`] restricted to panels `p_range`, writing into an `out`
+/// whose rows are `ldo` floats apart and whose column 0 is global column
+/// `p_range.start * NR`. The serial path is the full range with `ldo = n`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn gemm_panel_range<const ACC: bool>(
+    a: &[f32],
+    lda: usize,
+    data: &[f32],
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    m: usize,
+    p_range: std::ops::Range<usize>,
+    ldo: usize,
+) {
+    let p0 = p_range.start;
+    for p in p_range {
         let j0 = p * NR;
         let w = NR.min(n - j0);
+        let jo = j0 - p0 * NR; // column offset within `out`
         let panel = &data[p * k * NR..(p + 1) * k * NR];
         let mut i0 = 0;
         while i0 + MR <= m {
-            micro_tile::<MR, ACC>(a, lda, panel, out, i0, j0, w, k, n);
+            micro_tile::<MR, ACC>(a, lda, panel, out, i0, jo, w, k, ldo);
             i0 += MR;
         }
         // Remainder rows dispatch to compile-time heights so the tile still
         // lives in registers (MR is 4; 1..=3 are the only partial heights).
         match m - i0 {
             0 => {}
-            1 => micro_tile::<1, ACC>(a, lda, panel, out, i0, j0, w, k, n),
-            2 => micro_tile::<2, ACC>(a, lda, panel, out, i0, j0, w, k, n),
-            _ => micro_tile::<3, ACC>(a, lda, panel, out, i0, j0, w, k, n),
+            1 => micro_tile::<1, ACC>(a, lda, panel, out, i0, jo, w, k, ldo),
+            2 => micro_tile::<2, ACC>(a, lda, panel, out, i0, jo, w, k, ldo),
+            _ => micro_tile::<3, ACC>(a, lda, panel, out, i0, jo, w, k, ldo),
         }
     }
 }
@@ -185,13 +301,13 @@ fn micro_tile<const MRT: usize, const ACC: bool>(
     j0: usize,
     w: usize,
     k: usize,
-    n: usize,
+    ldo: usize,
 ) {
     // The output tile lives in registers across the whole k loop.
     let mut acc = [[0.0f32; NR]; MRT];
     if ACC {
         for (im, tile) in acc.iter_mut().enumerate() {
-            let row = &out[(i0 + im) * n + j0..(i0 + im) * n + j0 + w];
+            let row = &out[(i0 + im) * ldo + j0..(i0 + im) * ldo + j0 + w];
             tile[..w].copy_from_slice(row);
         }
     }
@@ -222,7 +338,7 @@ fn micro_tile<const MRT: usize, const ACC: bool>(
         kk += 1;
     }
     for (im, tile) in acc.iter().enumerate() {
-        let row = &mut out[(i0 + im) * n + j0..(i0 + im) * n + j0 + w];
+        let row = &mut out[(i0 + im) * ldo + j0..(i0 + im) * ldo + j0 + w];
         row.copy_from_slice(&tile[..w]);
     }
 }
@@ -425,5 +541,59 @@ mod tests {
         let mut out = fill(11, 3 * 5);
         gemm_packed(&[], 0, &bp, &mut out, 3, false);
         assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    /// Shapes big enough to cross the parallel threshold, covering both the
+    /// row-block path (tall) and the panel-block path (short and wide), in
+    /// both accumulate modes, at several lane counts.
+    #[test]
+    fn parallel_gemm_is_bitwise_serial() {
+        for &(m, k, n) in &[(64usize, 64usize, 40usize), (3, 512, 256), (33, 48, 96)] {
+            let a = fill(m as u64 ^ 0xabc, m * k);
+            let b = fill(n as u64 ^ 0xdef, k * n);
+            let bp = pack_b(&b, k, n);
+            for accumulate in [false, true] {
+                let seed_out = fill(7, m * n);
+                let serial = delrec_par::with_pool(&delrec_par::ThreadPool::new(1), || {
+                    let mut out = seed_out.clone();
+                    gemm_packed(&a, k, &bp, &mut out, m, accumulate);
+                    out
+                });
+                for lanes in [2usize, 3, 7, 8] {
+                    let pool = delrec_par::ThreadPool::new(lanes);
+                    let got = delrec_par::with_pool(&pool, || {
+                        let mut out = seed_out.clone();
+                        gemm_packed(&a, k, &bp, &mut out, m, accumulate);
+                        out
+                    });
+                    assert_eq!(
+                        serial.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "m={m} k={k} n={n} acc={accumulate} lanes={lanes}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The threshold must actually engage the pool for large products (the
+    /// bitwise test above would pass vacuously if everything stayed serial).
+    #[test]
+    fn parallel_path_engages_above_threshold() {
+        let tasks = delrec_obs::global().counter("par.pool.tasks");
+        let (m, k, n) = (64, 64, 64);
+        let a = fill(21, m * k);
+        let b = fill(22, k * n);
+        let bp = pack_b(&b, k, n);
+        let mut out = vec![0.0f32; m * n];
+        let pool = delrec_par::ThreadPool::new(4);
+        let before = tasks.get();
+        delrec_par::with_pool(&pool, || {
+            gemm_packed(&a, k, &bp, &mut out, m, false);
+        });
+        assert!(
+            tasks.get() > before,
+            "large product should fork to the pool"
+        );
     }
 }

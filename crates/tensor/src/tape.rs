@@ -38,14 +38,19 @@ pub struct Var {
 /// the pool as a whole holds at most [`BufferPool::total_float_cap`] floats,
 /// so a one-off giant pass (or a serving peak) cannot pin memory forever.
 ///
-/// The free lists sit behind a [`Mutex`], making the pool `Send + Sync`: a
-/// pool may be shared across serving workers, and per-worker contexts built
-/// over separate pools need no synchronization at all. The lock is
-/// uncontended in every existing single-threaded path and its cost is noise
-/// next to the kernels the buffers feed.
+/// The free lists are **sharded by thread**: each thread is pinned
+/// round-robin to one of a fixed set of lock-striped shards, so the parallel
+/// scoring path (`delrec-par` workers each running their own chunk) recycles
+/// scratch without contending on a single mutex. A thread takes from and
+/// returns to its own shard, which also keeps recycling hit rates intact —
+/// a worker gets back the very buffers it freed. Each shard enforces
+/// `total_float_cap / shards`, so the pool-wide retention bound holds under
+/// any number of workers without a racy global counter.
 pub struct BufferPool {
-    inner: Mutex<PoolInner>,
-    /// Retention bound: total pooled floats never exceeds this.
+    shards: Box<[Mutex<PoolInner>]>,
+    /// Per-shard retention bound (`total_float_cap / shards`).
+    shard_float_cap: usize,
+    /// Pool-wide retention bound: total pooled floats never exceeds this.
     total_float_cap: usize,
 }
 
@@ -58,11 +63,28 @@ struct PoolInner {
 
 impl Default for BufferPool {
     fn default() -> Self {
-        BufferPool {
-            inner: Mutex::new(PoolInner::default()),
-            total_float_cap: POOL_TOTAL_FLOAT_CAP,
-        }
+        Self::with_total_float_cap(POOL_TOTAL_FLOAT_CAP)
     }
+}
+
+/// Shard count for every pool in the process: enough for the configured lane
+/// count (power of two for cheap masking), at least 4 so test-injected pools
+/// on small machines still spread, at most 16 to bound per-pool overhead.
+fn pool_shards() -> usize {
+    delrec_par::default_lanes()
+        .max(4)
+        .next_power_of_two()
+        .min(16)
+}
+
+/// This thread's home shard, assigned round-robin at first use.
+fn home_shard(nshards: usize) -> usize {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SEED: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    SEED.with(|s| *s) & (nshards - 1)
 }
 
 /// Per-bin retention cap. 64 buffers per size class comfortably covers the
@@ -90,8 +112,11 @@ impl BufferPool {
     /// (each ~4 bytes). Serving deployments size this to their memory budget;
     /// tests shrink it to exercise eviction.
     pub fn with_total_float_cap(total_floats: usize) -> Self {
+        let n = pool_shards();
+        let shards: Vec<Mutex<PoolInner>> = (0..n).map(|_| Mutex::default()).collect();
         BufferPool {
-            inner: Mutex::new(PoolInner::default()),
+            shards: shards.into_boxed_slice(),
+            shard_float_cap: total_floats / n,
             total_float_cap: total_floats,
         }
     }
@@ -101,9 +126,19 @@ impl BufferPool {
         self.total_float_cap
     }
 
-    /// Total floats currently pooled (sum of buffer capacities).
+    /// Total floats currently pooled (sum of buffer capacities across
+    /// shards). Each shard respects its own slice of the cap, so this never
+    /// exceeds [`total_float_cap`](Self::total_float_cap) even transiently.
     pub fn total_floats(&self) -> usize {
-        self.inner.lock().unwrap().total_floats
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().total_floats)
+            .sum()
+    }
+
+    /// The shard serving the current thread.
+    fn shard(&self) -> &Mutex<PoolInner> {
+        &self.shards[home_shard(self.shards.len())]
     }
 
     /// A zeroed buffer of length `n`, recycled when possible.
@@ -154,7 +189,7 @@ impl BufferPool {
         if n == 0 {
             return None;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.shard().lock().unwrap();
         let lo = size_class(n);
         if lo >= inner.bins.len() {
             return None;
@@ -185,8 +220,8 @@ impl BufferPool {
         if cap == 0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
-        if inner.total_floats + cap > self.total_float_cap {
+        let mut inner = self.shard().lock().unwrap();
+        if inner.total_floats + cap > self.shard_float_cap {
             return; // over budget: let the allocator have it back
         }
         let cls = size_class(cap);
@@ -201,7 +236,10 @@ impl BufferPool {
 
     /// Number of buffers currently pooled (diagnostics and tests).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().bins.iter().map(Vec::len).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().bins.iter().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     /// True when nothing is pooled.
@@ -577,15 +615,18 @@ mod tests {
 
     #[test]
     fn pool_total_float_cap_bounds_retention_under_churn() {
-        // Cap of 1000 floats: puts beyond the budget are dropped, so a burst
-        // of large buffers (a simulated load peak) cannot pin memory.
-        let pool = BufferPool::with_total_float_cap(1000);
+        // Shard budget of 1000 floats: puts beyond it are dropped, so a burst
+        // of large buffers (a simulated load peak) cannot pin memory. A
+        // single thread only ever touches its home shard, so its retention is
+        // bounded by cap/shards exactly.
+        let cap = 1000 * pool_shards();
+        let pool = BufferPool::with_total_float_cap(cap);
         for _ in 0..10 {
             pool.put(vec![0.0; 256]);
         }
         assert!(
-            pool.total_floats() <= 1000,
-            "pooled {} floats, cap 1000",
+            pool.total_floats() <= cap,
+            "pooled {} floats, cap {cap}",
             pool.total_floats()
         );
         assert_eq!(pool.len(), 3, "exactly ⌊1000/256⌋ buffers retained");
@@ -595,9 +636,36 @@ mod tests {
         pool.put(buf);
         assert_eq!(pool.len(), 3);
         // A single buffer over the whole cap is never retained.
-        pool.put(vec![0.0; 2048]);
+        pool.put(vec![0.0; 2 * cap]);
         assert_eq!(pool.len(), 3, "over-cap buffer dropped");
-        assert!(pool.total_floats() <= 1000);
+        assert!(pool.total_floats() <= cap);
+    }
+
+    #[test]
+    fn pool_growth_cap_holds_under_parallel_churn() {
+        // N threads hammering take/put from every shard: the pool-wide
+        // retention bound must hold at every observable instant, because each
+        // shard enforces its own slice of the cap (no racy global counter).
+        let pool = Arc::new(BufferPool::with_total_float_cap(10_000));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let p = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let n = 64 + ((t * 37 + i) % 7) * 100;
+                        let b = p.take(n);
+                        assert_eq!(b.len(), n);
+                        p.put(b);
+                        let pooled = p.total_floats();
+                        assert!(pooled <= p.total_float_cap(), "pooled {pooled}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pool.total_floats() <= pool.total_float_cap());
     }
 
     #[test]

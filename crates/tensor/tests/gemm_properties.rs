@@ -120,6 +120,42 @@ proptest! {
         prop_assert_eq!(bits(&want), bits(&got));
     }
 
+    /// Parallel `gemm_packed` is bitwise-identical to the 1-lane serial path
+    /// at every tested thread count. Shapes are scaled up so the product
+    /// crosses the parallel work threshold: `wide` below forces the
+    /// panel-block path (too few row tiles to split), the tall arm forces
+    /// row blocks, and both accumulate modes run on the same operands.
+    #[test]
+    fn parallel_gemm_is_bitwise_serial_at_every_thread_count(
+        wide in prop_oneof![Just(false), Just(true)],
+        dim in 1usize..5,
+        k in 33usize..96,
+        acc in prop_oneof![Just(false), Just(true)],
+        seed in 0u64..1 << 32,
+    ) {
+        // Tall: m in 33..161, n in 17..81 — always ≥ 2 row tiles.
+        // Wide: m in 1..5, n in 257..1281 — 1 row tile, ≥ 32 panels.
+        let (m, n) = if wide { (dim, 256 * dim + 256) } else { (32 * dim + 1, 16 * dim + 1) };
+        let a = fill(seed, m * k);
+        let b = fill(seed ^ 0xFACE, k * n);
+        let bp = pack_b(&b, k, n);
+        let seed_out = fill(seed ^ 0x5EED, m * n);
+        let serial = delrec_par::with_pool(&delrec_par::ThreadPool::new(1), || {
+            let mut out = seed_out.clone();
+            gemm_packed(&a, k, &bp, &mut out, m, acc);
+            out
+        });
+        for lanes in [2usize, 3, 7, 8] {
+            let pool = delrec_par::ThreadPool::new(lanes);
+            let got = delrec_par::with_pool(&pool, || {
+                let mut out = seed_out.clone();
+                gemm_packed(&a, k, &bp, &mut out, m, acc);
+                out
+            });
+            prop_assert_eq!(bits(&serial), bits(&got), "m={} k={} n={} acc={} lanes={}", m, k, n, acc, lanes);
+        }
+    }
+
     /// Tiled transpose places every element exactly like the naive loop,
     /// including shapes straddling the tile boundary.
     #[test]

@@ -11,7 +11,14 @@ cargo clippy -p delrec-obs --all-targets -- -D warnings
 # The tensor crate carries the GEMM micro-kernel; lint its tests and the
 # gemm property suite at the same bar.
 cargo clippy -p delrec-tensor --all-targets -- -D warnings
-cargo test -q
+# The thread pool underpins every parallel path and owns the only unsafe
+# lifetime erasure in the workspace; lint it (tests included) at -D warnings.
+cargo clippy -p delrec-par --all-targets -- -D warnings
+# The whole suite must pass single-threaded (pool runs inline) and
+# multi-threaded (parallel paths engage); results are bitwise-identical
+# either way, so both runs use the same expectations.
+DELREC_THREADS=1 cargo test -q
+DELREC_THREADS=4 cargo test -q
 
 # Smoke-run the inference-engine benchmark: asserts the grad-free engine's
 # exact-mode scores are bitwise identical to the tape before timing anything.
@@ -31,3 +38,8 @@ cargo run --release -q -p delrec-bench --bin obs -- --scale smoke --out "$(mktem
 # identical to matmul_raw on every timed shape and that fused, legacy, and
 # tape scoring agree to the bit before reporting any speedup.
 cargo run --release -q -p delrec-bench --bin gemm -- --scale smoke --out "$(mktemp -d)"
+
+# Smoke-run the thread-pool scaling benchmark: asserts parallel GEMM and
+# batch scoring are bitwise identical to the 1-thread path at every timed
+# thread count before reporting any scaling curve.
+cargo run --release -q -p delrec-bench --bin par -- --scale smoke --out "$(mktemp -d)"

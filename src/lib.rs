@@ -25,6 +25,9 @@
 //!   and paired t-tests.
 //! * [`obs`] — observability: a hierarchical span profiler (off by default)
 //!   and the process-wide metrics registry the other layers report into.
+//! * [`par`] — the shared scoped thread pool (sized by `DELREC_THREADS`)
+//!   under GEMM, batch scoring, eval, and serving; parallel results are
+//!   bitwise identical to serial at every thread count.
 //!
 //! ## Quickstart
 //!
@@ -59,5 +62,6 @@ pub use delrec_data as data;
 pub use delrec_eval as eval;
 pub use delrec_lm as lm;
 pub use delrec_obs as obs;
+pub use delrec_par as par;
 pub use delrec_seqrec as seqrec;
 pub use delrec_tensor as tensor;
