@@ -20,12 +20,11 @@
 //!    fused path: the `lm.qkv` + `lm.pack` share of wall, against the 55.5%
 //!    `lm.qkv` share PR 4 measured on the per-head path.
 
+use delrec_bench::harness::{best_ns, best_wall_ns, fill, fit_delrec, score_bits, ScoringWorkload};
 use delrec_bench::{banner, write_json, CliArgs, ExperimentContext};
-use delrec_core::{DelRec, LmPreset, TeacherKind};
+use delrec_core::{LmPreset, TeacherKind};
 use delrec_data::synthetic::DatasetProfile;
-use delrec_data::{CandidateSampler, Split};
 use delrec_eval::json::Json;
-use delrec_eval::Ranker;
 use delrec_tensor::{gemm_auto, matmul_raw, pack_b, PackedB};
 use std::hint::black_box;
 use std::time::Instant;
@@ -33,32 +32,6 @@ use std::time::Instant;
 const BATCH: usize = 32;
 /// `lm.qkv` share of batch-32 wall on the per-head path (results/BENCH_obs.json).
 const PRE_PR_QKV_PCT: f64 = 55.5;
-
-/// Deterministic operand fill (same stream as the gemm property tests).
-fn fill(seed: u64, len: usize) -> Vec<f32> {
-    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-    (0..len)
-        .map(|_| {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
-        })
-        .collect()
-}
-
-/// Best-of-3 nanoseconds for `iters` calls of `f`.
-fn best_ns(iters: u32, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..3 {
-        let start = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
-    }
-    best
-}
 
 /// One timed kernel shape: gate bitwise equality, then time the three
 /// kernels (naive, pack-per-call, cached-pack).
@@ -125,60 +98,25 @@ fn main() {
 
     // ---- Part 2: end-to-end batch-32 scoring, fused vs legacy ------------
     let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, args.scale, args.seed);
-    let examples = ctx.dataset.examples(Split::Test);
-    let n = examples.len().min(64);
-    assert!(n > 0, "no test examples");
-    let teacher = ctx.teacher(TeacherKind::SASRec);
-    eprintln!("[{}] fitting DELRec …", ctx.dataset.name);
-    let mut model = DelRec::fit(
-        &ctx.dataset,
-        &ctx.pipeline,
-        teacher.as_ref(),
-        ctx.lm(LmPreset::Large),
-        &ctx.delrec_config(TeacherKind::SASRec),
-    );
-    let sampler = CandidateSampler::new(ctx.dataset.num_items(), 15);
-    let cand_sets: Vec<Vec<delrec_data::ItemId>> = examples[..n]
-        .iter()
-        .enumerate()
-        .map(|(i, ex)| sampler.candidates(ex.target, args.seed, i))
-        .collect();
-    let requests: Vec<delrec_eval::ScoreRequest<'_>> = examples[..n]
-        .iter()
-        .zip(&cand_sets)
-        .map(|(ex, c)| (ex.prefix.as_slice(), c.as_slice()))
-        .collect();
-    let score_pass = |model: &DelRec| -> Vec<Vec<f32>> {
-        let mut out = Vec::with_capacity(n);
-        let mut i = 0;
-        while i < n {
-            let end = (i + BATCH).min(n);
-            out.extend(model.score_candidates_batch(&requests[i..end]));
-            i = end;
-        }
-        out
-    };
+    let mut model = fit_delrec(&ctx, TeacherKind::SASRec, LmPreset::Large);
+    let work = ScoringWorkload::build(&ctx, args.seed, 64);
+    let n = work.len();
+    let score_pass = |model: &_| work.score_pass(model, BATCH);
 
     // Correctness gate: fused, legacy, and the tape agree bitwise.
-    let bits = |scores: &[Vec<f32>]| -> Vec<Vec<u32>> {
-        scores
-            .iter()
-            .map(|r| r.iter().map(|x| x.to_bits()).collect())
-            .collect()
-    };
     let fused_scores = score_pass(&model);
     model.set_fused_projections(false);
     let legacy_scores = score_pass(&model);
     assert_eq!(
-        bits(&fused_scores),
-        bits(&legacy_scores),
+        score_bits(&fused_scores),
+        score_bits(&legacy_scores),
         "correctness gate: fused path diverged from the per-head path"
     );
     model.set_inference_engine(false);
     let tape_scores = score_pass(&model);
     assert_eq!(
-        bits(&fused_scores),
-        bits(&tape_scores),
+        score_bits(&fused_scores),
+        score_bits(&tape_scores),
         "correctness gate: engine diverged from the tape"
     );
     model.set_inference_engine(true);
@@ -186,19 +124,13 @@ fn main() {
 
     // Timed passes: each mode gets a warm-up (prefix cache, engine pool,
     // weight pack, title cache), then best-of-3 walls.
-    let wall = |model: &DelRec| -> f64 {
-        score_pass(model); // warm-up
-        let mut best = f64::INFINITY;
-        for _ in 0..3 {
-            let t = Instant::now();
-            black_box(score_pass(model));
-            best = best.min(t.elapsed().as_nanos() as f64);
-        }
-        best
-    };
-    let legacy_ns = wall(&model); // still in legacy mode
+    let legacy_ns = best_wall_ns(|| {
+        black_box(score_pass(&model));
+    }); // still in legacy mode
     model.set_fused_projections(true);
-    let fused_ns = wall(&model);
+    let fused_ns = best_wall_ns(|| {
+        black_box(score_pass(&model));
+    });
     let speedup = legacy_ns / fused_ns;
     let target = 1.3;
     println!(

@@ -13,10 +13,10 @@
 //! transcendentals for polynomial kernels on top. Exact-mode engine scores
 //! are asserted bitwise equal to the tape's before timing starts.
 
+use delrec_bench::harness::PromptStream;
 use delrec_bench::{banner, write_json, CliArgs, ExperimentContext};
-use delrec_core::{LmPreset, PromptBuilder, SoftMode, TeacherKind};
+use delrec_core::{LmPreset, TeacherKind};
 use delrec_data::synthetic::DatasetProfile;
-use delrec_data::{CandidateSampler, Split};
 use delrec_eval::json::Json;
 use delrec_eval::report::Table;
 use delrec_lm::verbalizer;
@@ -53,33 +53,18 @@ fn main() {
         args.scale
     ));
     let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, args.scale, args.seed);
-    let examples = ctx.dataset.examples(Split::Test);
-    let n = examples.len().min(64);
-    assert!(n > 0, "no test examples");
 
     // The same prompt stream the batching benchmark scores.
     let lm = ctx.lm(LmPreset::Large);
-    let pb = PromptBuilder::new(
-        &ctx.pipeline.vocab,
-        &ctx.pipeline.items,
-        TeacherKind::SASRec.name(),
-    );
-    let sampler = CandidateSampler::new(ctx.dataset.num_items(), 15);
-    let mut seqs = Vec::with_capacity(n);
-    let mut mask_pos = Vec::with_capacity(n);
-    let mut title_sets = Vec::with_capacity(n);
-    let mut prefix_len = 0;
-    for (i, ex) in examples[..n].iter().enumerate() {
-        let cands = sampler.candidates(ex.target, args.seed, i);
-        let take = ex.prefix.len().min(9);
-        let prompt =
-            pb.recommendation(&ex.prefix[ex.prefix.len() - take..], &cands, SoftMode::None);
-        prefix_len = prompt.prefix_len;
-        seqs.push(prompt.tokens);
-        mask_pos.push(prompt.mask_pos);
-        title_sets.push(ctx.pipeline.items.titles_of(&cands));
-    }
-    let shared_prefix = seqs[0][..prefix_len].to_vec();
+    let prompts = PromptStream::build(&ctx, TeacherKind::SASRec, args.seed, 64);
+    let PromptStream {
+        seqs,
+        mask_pos,
+        title_sets,
+        prefix_len,
+    } = &prompts;
+    let (n, prefix_len) = (seqs.len(), *prefix_len);
+    let shared_prefix = prompts.shared_prefix().to_vec();
 
     // Correctness gate before any timing: exact engine scores (cache on)
     // must be bitwise identical to the tape's.
@@ -87,12 +72,12 @@ fn main() {
         let tape = Tape::new();
         let c = Ctx::new(&tape, lm.store(), false);
         let mut rng = StdRng::seed_from_u64(0);
-        let logits = tape.get(lm.mask_logits_batch(&c, &seqs, None, &mask_pos, &mut rng));
+        let logits = tape.get(lm.mask_logits_batch(&c, seqs, None, mask_pos, &mut rng));
         let refs: Vec<&[Vec<u32>]> = title_sets.iter().map(|t| t.as_slice()).collect();
         let want = verbalizer::rank_candidates_batch(&logits, &refs);
         let ic = InferCtx::new(MathMode::Exact);
         let cache = lm.build_prefix_cache(&ic, &shared_prefix, None);
-        let logits = lm.mask_logits_infer_batch(&ic, &seqs, None, &mask_pos, cache.as_ref());
+        let logits = lm.mask_logits_infer_batch(&ic, seqs, None, mask_pos, cache.as_ref());
         let got = verbalizer::rank_candidates_batch_mode(&logits, &refs, MathMode::Exact);
         assert_eq!(got, want, "exact engine must reproduce tape scores");
     }

@@ -24,12 +24,11 @@
 //!    1.36x model-layer batching ceiling. **Gate: components must cover
 //!    ≥ 90% of measured wall time.**
 
+use delrec_bench::harness::{fit_delrec, PromptStream, ScoringWorkload};
 use delrec_bench::{banner, write_json, CliArgs, ExperimentContext};
-use delrec_core::{DelRec, LmPreset, PromptBuilder, SoftMode, TeacherKind};
+use delrec_core::{LmPreset, TeacherKind};
 use delrec_data::synthetic::DatasetProfile;
-use delrec_data::{CandidateSampler, Split};
 use delrec_eval::json::Json;
-use delrec_eval::Ranker;
 use delrec_lm::verbalizer;
 use delrec_obs::{FlatSpanStats, MetricValue, SpanStats};
 use delrec_tensor::{InferCtx, MathMode};
@@ -93,48 +92,26 @@ fn main() {
         args.scale
     ));
     let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, args.scale, args.seed);
-    let examples = ctx.dataset.examples(Split::Test);
-    let n = examples.len().min(64);
-    assert!(n > 0, "no test examples");
 
     // ---- Part 1: disabled-mode overhead on the infer hot path -------------
     // The same prompt stream as BENCH_infer, hottest configuration only.
     let lm = ctx.lm(LmPreset::Large);
-    let pb = PromptBuilder::new(
-        &ctx.pipeline.vocab,
-        &ctx.pipeline.items,
-        TeacherKind::SASRec.name(),
-    );
-    let sampler = CandidateSampler::new(ctx.dataset.num_items(), 15);
-    let mut seqs = Vec::with_capacity(n);
-    let mut mask_pos = Vec::with_capacity(n);
-    let mut title_sets = Vec::with_capacity(n);
-    let mut prefix_len = 0;
-    for (i, ex) in examples[..n].iter().enumerate() {
-        let cands = sampler.candidates(ex.target, args.seed, i);
-        let take = ex.prefix.len().min(9);
-        let prompt =
-            pb.recommendation(&ex.prefix[ex.prefix.len() - take..], &cands, SoftMode::None);
-        prefix_len = prompt.prefix_len;
-        seqs.push(prompt.tokens);
-        mask_pos.push(prompt.mask_pos);
-        title_sets.push(ctx.pipeline.items.titles_of(&cands));
-    }
-    let shared_prefix = seqs[0][..prefix_len].to_vec();
+    let prompts = PromptStream::build(&ctx, TeacherKind::SASRec, args.seed, 64);
+    let n = prompts.len();
     let ic = InferCtx::new(MathMode::Exact);
-    let cache = lm.build_prefix_cache(&ic, &shared_prefix, None);
+    let cache = lm.build_prefix_cache(&ic, prompts.shared_prefix(), None);
     let one_pass = || {
         let mut i = 0;
         while i < n {
             let end = (i + BATCH).min(n);
             let logits = lm.mask_logits_infer_batch(
                 &ic,
-                &seqs[i..end],
+                &prompts.seqs[i..end],
                 None,
-                &mask_pos[i..end],
+                &prompts.mask_pos[i..end],
                 cache.as_ref(),
             );
-            let refs: Vec<&[Vec<u32>]> = title_sets[i..end].iter().map(|t| t.as_slice()).collect();
+            let refs = prompts.title_refs(i..end);
             black_box(verbalizer::rank_candidates_batch_mode(
                 &logits,
                 &refs,
@@ -186,34 +163,12 @@ fn main() {
     );
 
     // ---- Part 2: batch-32 attribution over a fitted DELRec ----------------
-    let teacher = ctx.teacher(TeacherKind::SASRec);
-    eprintln!("[{}] fitting DELRec …", ctx.dataset.name);
-    let model = DelRec::fit(
-        &ctx.dataset,
-        &ctx.pipeline,
-        teacher.as_ref(),
-        ctx.lm(LmPreset::Large),
-        &ctx.delrec_config(TeacherKind::SASRec),
-    );
+    let model = fit_delrec(&ctx, TeacherKind::SASRec, LmPreset::Large);
     // Warm the caches (prefix K/V, title sets, engine pool) outside the
     // profiled window — steady-state serving is what the ceiling is about.
-    let cand_sets: Vec<Vec<delrec_data::ItemId>> = examples[..n]
-        .iter()
-        .enumerate()
-        .map(|(i, ex)| sampler.candidates(ex.target, args.seed, i))
-        .collect();
-    let requests: Vec<delrec_eval::ScoreRequest<'_>> = examples[..n]
-        .iter()
-        .zip(&cand_sets)
-        .map(|(ex, c)| (ex.prefix.as_slice(), c.as_slice()))
-        .collect();
+    let work = ScoringWorkload::build(&ctx, args.seed, 64);
     let score_pass = || {
-        let mut i = 0;
-        while i < n {
-            let end = (i + BATCH).min(n);
-            black_box(model.score_candidates_batch(&requests[i..end]));
-            i = end;
-        }
+        black_box(work.score_pass(&model, BATCH));
     };
     score_pass(); // warm-up, unprofiled
 

@@ -16,44 +16,19 @@
 //! wall time, so the gate relaxes to "no regression" and the core count is
 //! recorded in the JSON so the numbers read honestly.
 
+use delrec_bench::harness::{
+    adaptive_speedup_gate, best_ns, best_wall_ns, fill, fit_delrec, score_bits, ScoringWorkload,
+};
 use delrec_bench::{banner, write_json, CliArgs, ExperimentContext};
-use delrec_core::{DelRec, LmPreset, TeacherKind};
+use delrec_core::{LmPreset, TeacherKind};
 use delrec_data::synthetic::DatasetProfile;
-use delrec_data::{CandidateSampler, Split};
 use delrec_eval::json::Json;
 use delrec_par::{with_pool, ThreadPool};
 use delrec_tensor::{gemm_packed, pack_b};
 use std::hint::black_box;
-use std::time::Instant;
 
 const BATCH: usize = 32;
 const THREADS: [usize; 3] = [1, 2, 4];
-
-/// Deterministic operand fill (same stream as the gemm property tests).
-fn fill(seed: u64, len: usize) -> Vec<f32> {
-    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-    (0..len)
-        .map(|_| {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
-        })
-        .collect()
-}
-
-/// Best-of-3 nanoseconds for `iters` calls of `f`.
-fn best_ns(iters: u32, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..3 {
-        let start = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
-    }
-    best
-}
 
 /// GEMM at one shape across thread counts: gate bitwise identity against the
 /// 1-lane result, then report per-thread-count best-of-3 times.
@@ -136,67 +111,25 @@ fn main() {
 
     // ---- Part 2: batch-32 scoring scaling --------------------------------
     let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, args.scale, args.seed);
-    let examples = ctx.dataset.examples(Split::Test);
-    let n = examples.len().min(64);
-    assert!(n > 0, "no test examples");
-    let teacher = ctx.teacher(TeacherKind::SASRec);
-    eprintln!("[{}] fitting DELRec …", ctx.dataset.name);
-    let model = DelRec::fit(
-        &ctx.dataset,
-        &ctx.pipeline,
-        teacher.as_ref(),
-        ctx.lm(LmPreset::Large),
-        &ctx.delrec_config(TeacherKind::SASRec),
-    );
-    let sampler = CandidateSampler::new(ctx.dataset.num_items(), 15);
-    let cand_sets: Vec<Vec<delrec_data::ItemId>> = examples[..n]
-        .iter()
-        .enumerate()
-        .map(|(i, ex)| sampler.candidates(ex.target, args.seed, i))
-        .collect();
-    let requests: Vec<delrec_eval::ScoreRequest<'_>> = examples[..n]
-        .iter()
-        .zip(&cand_sets)
-        .map(|(ex, c)| (ex.prefix.as_slice(), c.as_slice()))
-        .collect();
-    let score_pass = |model: &DelRec| -> Vec<Vec<f32>> {
-        use delrec_eval::Ranker;
-        let mut out = Vec::with_capacity(n);
-        let mut i = 0;
-        while i < n {
-            let end = (i + BATCH).min(n);
-            out.extend(model.score_candidates_batch(&requests[i..end]));
-            i = end;
-        }
-        out
-    };
-    let bits = |scores: &[Vec<f32>]| -> Vec<Vec<u32>> {
-        scores
-            .iter()
-            .map(|r| r.iter().map(|x| x.to_bits()).collect())
-            .collect()
-    };
+    let model = fit_delrec(&ctx, TeacherKind::SASRec, LmPreset::Large);
+    let work = ScoringWorkload::build(&ctx, args.seed, 64);
+    let n = work.len();
 
     // Correctness gate, then best-of-3 walls, per thread count.
     let serial_pool = ThreadPool::new(1);
-    let want = with_pool(&serial_pool, || bits(&score_pass(&model)));
+    let want = with_pool(&serial_pool, || score_bits(&work.score_pass(&model, BATCH)));
     let mut points = Vec::new();
     for &t in &THREADS {
         let pool = ThreadPool::new(t);
         let ns = with_pool(&pool, || {
-            let got = bits(&score_pass(&model));
+            let got = score_bits(&work.score_pass(&model, BATCH));
             assert_eq!(
                 want, got,
                 "correctness gate: batch scoring diverged from serial at {t} threads"
             );
-            score_pass(&model); // warm-up after the gate pass
-            let mut best = f64::INFINITY;
-            for _ in 0..3 {
-                let start = Instant::now();
-                black_box(score_pass(&model));
-                best = best.min(start.elapsed().as_nanos() as f64);
-            }
-            best
+            best_wall_ns(|| {
+                black_box(work.score_pass(&model, BATCH));
+            })
         });
         points.push((t, ns));
     }
@@ -215,11 +148,7 @@ fn main() {
         .iter()
         .find(|&&(t, _)| t == 4)
         .map_or(1.0, |&(_, ns)| base / ns);
-    let (gate_mode, target) = if cores >= 4 {
-        ("speedup", 1.8)
-    } else {
-        ("no_regression", 0.85)
-    };
+    let (gate_mode, target) = adaptive_speedup_gate(cores, 1.8);
     let met = at4 >= target;
     println!(
         "gate [{gate_mode}] on {cores} core(s): 4-thread speedup {at4:.2}x vs target ≥ {target}x{}",

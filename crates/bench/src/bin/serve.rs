@@ -17,10 +17,10 @@
 //!
 //! Writes `BENCH_serve.json`.
 
+use delrec_bench::harness::{fit_delrec, ScoringWorkload};
 use delrec_bench::{banner, write_json, CliArgs, ExperimentContext};
 use delrec_core::{DelRec, LmPreset, TeacherKind};
 use delrec_data::synthetic::DatasetProfile;
-use delrec_data::{CandidateSampler, ItemId, Split};
 use delrec_eval::json::Json;
 use delrec_eval::report::Table;
 use delrec_eval::Ranker;
@@ -28,47 +28,23 @@ use delrec_serve::{RecRequest, ServeConfig, Server};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One prepared request: the (pre-truncated) history a fresh session will
-/// hold after the delta lands, plus the candidate set.
-struct Workload {
-    prefix: Vec<ItemId>,
-    candidates: Vec<ItemId>,
-}
-
-fn build_workload(ctx: &ExperimentContext, seed: u64, n: usize) -> Vec<Workload> {
-    let examples = ctx.dataset.examples(Split::Test);
-    assert!(!examples.is_empty(), "no test examples");
-    let sampler = CandidateSampler::new(ctx.dataset.num_items(), 15);
-    (0..n)
-        .map(|i| {
-            let ex = &examples[i % examples.len()];
-            Workload {
-                prefix: ex.prefix.clone(),
-                candidates: sampler.candidates(ex.target, seed, i),
-            }
-        })
-        .collect()
-}
-
 /// Closed-loop flood: submit everything as fast as admission allows, wait for
 /// all responses, return (requests/sec, snapshot, responses).
 fn flood(
     model: &Arc<DelRec>,
     cfg: ServeConfig,
-    work: &[Workload],
+    work: &ScoringWorkload,
 ) -> (f64, delrec_serve::MetricsSnapshot, Vec<Vec<f32>>) {
     let server = Server::start(Arc::clone(model), cfg);
     let client = server.client();
     let start = Instant::now();
-    let handles: Vec<_> = work
-        .iter()
-        .enumerate()
-        .map(|(i, w)| {
+    let handles: Vec<_> = (0..work.len())
+        .map(|i| {
             client
                 .submit(RecRequest {
                     user_id: i as u64, // unique user: session == this prefix
-                    recent_items: w.prefix.clone(),
-                    candidates: w.candidates.clone(),
+                    recent_items: work.prefix(i).to_vec(),
+                    candidates: work.candidates(i).to_vec(),
                     deadline: None,
                 })
                 .expect("deep queue, no deadline: always admitted")
@@ -129,7 +105,7 @@ fn open_loop(
     window: Duration,
     offered_rps: f64,
     budget: Duration,
-    work: &[Workload],
+    work: &ScoringWorkload,
 ) -> SweepCell {
     let server = Server::start(
         Arc::clone(model),
@@ -145,15 +121,15 @@ fn open_loop(
     let start = Instant::now();
     let mut rejected = 0u64;
     let mut handles = Vec::with_capacity(work.len());
-    for (i, w) in work.iter().enumerate() {
+    for i in 0..work.len() {
         let due = start + interarrival * i as u32;
         if let Some(wait) = due.checked_duration_since(Instant::now()) {
             std::thread::sleep(wait);
         }
         match client.submit(RecRequest {
             user_id: i as u64,
-            recent_items: w.prefix.clone(),
-            candidates: w.candidates.clone(),
+            recent_items: work.prefix(i).to_vec(),
+            candidates: work.candidates(i).to_vec(),
             deadline: Some(Instant::now() + budget),
         }) {
             Ok(h) => handles.push(h),
@@ -194,21 +170,13 @@ fn main() {
         args.scale
     ));
     let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, args.scale, args.seed);
-    let teacher = ctx.teacher(TeacherKind::SASRec);
-    eprintln!("[{}] fitting DELRec …", ctx.dataset.name);
-    let model = Arc::new(DelRec::fit(
-        &ctx.dataset,
-        &ctx.pipeline,
-        teacher.as_ref(),
-        ctx.lm(LmPreset::Large),
-        &ctx.delrec_config(TeacherKind::SASRec),
-    ));
+    let model = Arc::new(fit_delrec(&ctx, TeacherKind::SASRec, LmPreset::Large));
 
     let n = match args.scale.to_string().as_str() {
         "smoke" => 96,
         _ => 384,
     };
-    let work = build_workload(&ctx, args.seed, n);
+    let work = ScoringWorkload::build_cycled(&ctx, args.seed, n);
 
     // Phase 1 — correctness gate: serve under aggressive coalescing, then
     // rescore every request directly. Bitwise equality or bust.
@@ -224,11 +192,12 @@ fn main() {
         &work,
     );
     let mut mismatches = 0usize;
-    for (w, scores) in work.iter().zip(&served) {
+    for (i, scores) in served.iter().enumerate() {
         // The server truncates sessions to its max_history; mirror that.
-        let keep = w.prefix.len().min(ServeConfig::default().max_history);
-        let hist = &w.prefix[w.prefix.len() - keep..];
-        if model.score_candidates(hist, &w.candidates) != *scores {
+        let prefix = work.prefix(i);
+        let keep = prefix.len().min(ServeConfig::default().max_history);
+        let hist = &prefix[prefix.len() - keep..];
+        if model.score_candidates(hist, work.candidates(i)) != *scores {
             mismatches += 1;
         }
     }
@@ -266,18 +235,12 @@ fn main() {
             .0,
         );
         let t = Instant::now();
-        for w in &work {
-            std::hint::black_box(model.score_candidates(&w.prefix, &w.candidates));
+        for i in 0..work.len() {
+            std::hint::black_box(model.score_candidates(work.prefix(i), work.candidates(i)));
         }
         direct_loop_rps = direct_loop_rps.max(n as f64 / t.elapsed().as_secs_f64().max(1e-9));
         let t = Instant::now();
-        for chunk in work.chunks(32) {
-            let reqs: Vec<_> = chunk
-                .iter()
-                .map(|w| (w.prefix.as_slice(), w.candidates.as_slice()))
-                .collect();
-            std::hint::black_box(model.score_candidates_batch(&reqs));
-        }
+        std::hint::black_box(work.score_pass(model.as_ref(), 32));
         direct_batch_rps = direct_batch_rps.max(n as f64 / t.elapsed().as_secs_f64().max(1e-9));
     }
     let speedup = batched_rps / naive_rps;

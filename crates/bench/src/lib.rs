@@ -13,6 +13,7 @@
 
 pub mod args;
 pub mod context;
+pub mod harness;
 pub mod methods;
 pub mod scale;
 

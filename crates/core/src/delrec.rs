@@ -206,8 +206,8 @@ impl DelRec {
             stage1_stats,
             stage2_losses,
             infer_enabled: true,
-            math: MathMode::Exact,
-            engine: EnginePool::new(MathMode::Exact),
+            math: cfg.math,
+            engine: EnginePool::new(cfg.math),
             titles: TitleCache::new(),
         }
     }
@@ -266,8 +266,8 @@ impl DelRec {
             stage1_stats: Stage1Stats::default(),
             stage2_losses: Vec::new(),
             infer_enabled: true,
-            math: MathMode::Exact,
-            engine: EnginePool::new(MathMode::Exact),
+            math: cfg.math,
+            engine: EnginePool::new(cfg.math),
             titles: TitleCache::new(),
         })
     }
@@ -287,8 +287,11 @@ impl DelRec {
 
     /// Numeric mode for engine scoring: [`MathMode::Exact`] mirrors the tape
     /// bit for bit, [`MathMode::Fast`] swaps `exp`/`tanh` for polynomial
-    /// kernels. Switching drops every pooled engine state (contexts and
-    /// prefix K/V caches are keyed on the mode).
+    /// kernels, and [`MathMode::Quantized`] serves per-channel int8 weight
+    /// panels (activations stay f32; see `delrec-lm`). Switching drops every
+    /// pooled engine state (contexts and prefix K/V caches are keyed on the
+    /// mode); the weight-pack cache keeps one slot per pack format, so
+    /// toggling between modes never rebuilds a still-valid pack.
     pub fn set_math_mode(&mut self, math: MathMode) {
         self.math = math;
         self.engine = EnginePool::new(math);

@@ -35,8 +35,8 @@
 use crate::transformer::{LmToken, MiniLm};
 use delrec_tensor::infer::{layer_norm_rows, InferCtx, MathMode};
 use delrec_tensor::{
-    gemm_packed, matmul_raw, matmul_raw_strided, pack_b, pack_b_transposed, transpose_into,
-    PackedB, ParamId, Tensor,
+    gemm_packed, gemm_packed_q8, matmul_raw, matmul_raw_strided, pack_b, pack_b_transposed,
+    quantize_pack, transpose_into, PackedB, ParamId, QuantizedPanel, Tensor,
 };
 use std::borrow::Cow;
 use std::sync::{Arc, Mutex};
@@ -87,7 +87,43 @@ impl PrefixCache {
     }
 }
 
-/// Packed weight panels of one block, ready for [`gemm_packed`].
+/// One packed projection panel in either precision: f32
+/// ([`MathMode::Exact`]/[`MathMode::Fast`]) or per-channel int8
+/// ([`MathMode::Quantized`]). The kernel dispatch lives here so the forward
+/// pass reads identically in both modes — outputs are f32 either way.
+pub(crate) enum Panel {
+    F32(PackedB),
+    Q8(QuantizedPanel),
+}
+
+impl Panel {
+    /// `out[m, n] (+)= a[m, k] · B` through the precision-matched kernel.
+    fn gemm(&self, a: &[f32], lda: usize, out: &mut [f32], m: usize, accumulate: bool) {
+        match self {
+            Panel::F32(p) => gemm_packed(a, lda, p, out, m, accumulate),
+            Panel::Q8(p) => gemm_packed_q8(a, lda, p, out, m, accumulate),
+        }
+    }
+
+    /// Heap bytes of this panel (codes/floats plus q8 scales).
+    fn bytes(&self) -> usize {
+        match self {
+            Panel::F32(p) => p.bytes(),
+            Panel::Q8(p) => p.bytes(),
+        }
+    }
+
+    /// Quantize an f32 panel in place of its layout; a q8 panel passes
+    /// through unchanged.
+    fn quantized(self) -> Panel {
+        match self {
+            Panel::F32(p) => Panel::Q8(quantize_pack(&p)),
+            q8 => q8,
+        }
+    }
+}
+
+/// Packed weight panels of one block, ready for [`Panel::gemm`].
 ///
 /// `qkv` is the fused `[d, 3·d]` panel — columns `0..d` are the per-head
 /// `wq` side by side (head `h` at columns `h·dh..(h+1)·dh`), `d..2d` the
@@ -98,38 +134,81 @@ impl PrefixCache {
 /// pruning, queries run over the gathered mask rows while keys/values still
 /// cover every row, so the three cannot share one call there.
 pub(crate) struct LayerPack {
-    qkv: PackedB,
-    q: Option<PackedB>,
-    kv: Option<PackedB>,
-    wo: PackedB,
-    w1: PackedB,
-    w2: PackedB,
+    qkv: Panel,
+    q: Option<Panel>,
+    kv: Option<Panel>,
+    wo: Panel,
+    w1: Panel,
+    w2: Panel,
 }
 
-/// Every packed weight panel of a [`MiniLm`], built once per parameter-store
-/// version: the attention/FFN panels per block plus the transposed
-/// tied-embedding head. Attention projections are packed with their AdaLoRA
-/// delta folded in (`W + ΔW`), so the per-forward `eff_proj` materialization
-/// disappears from the hot path along with the packing itself.
+impl LayerPack {
+    fn bytes(&self) -> usize {
+        self.qkv.bytes()
+            + self.q.as_ref().map_or(0, Panel::bytes)
+            + self.kv.as_ref().map_or(0, Panel::bytes)
+            + self.wo.bytes()
+            + self.w1.bytes()
+            + self.w2.bytes()
+    }
+
+    fn quantized(self) -> LayerPack {
+        LayerPack {
+            qkv: self.qkv.quantized(),
+            q: self.q.map(Panel::quantized),
+            kv: self.kv.map(Panel::quantized),
+            wo: self.wo.quantized(),
+            w1: self.w1.quantized(),
+            w2: self.w2.quantized(),
+        }
+    }
+}
+
+/// Every packed weight panel of a [`MiniLm`], built once per
+/// (parameter-store version, precision): the attention/FFN panels per block
+/// plus the transposed tied-embedding head. Attention projections are packed
+/// with their AdaLoRA delta folded in (`W + ΔW`), so the per-forward
+/// `eff_proj` materialization disappears from the hot path along with the
+/// packing itself — and under [`MathMode::Quantized`] the delta is folded
+/// *before* quantization, exactly like the f32 pack, because the q8 panels
+/// are quantized from that same f32 pack.
 pub(crate) struct LmPack {
     version: u64,
     layers: Vec<LayerPack>,
-    head: PackedB,
+    head: Panel,
 }
 
-/// Lazily built, version-checked cache slot for the model's [`LmPack`] —
+impl LmPack {
+    /// Heap bytes of every panel in the pack (q8 scales included).
+    fn bytes(&self) -> usize {
+        self.layers.iter().map(LayerPack::bytes).sum::<usize>() + self.head.bytes()
+    }
+}
+
+/// Lazily built, version-checked cache slots for the model's [`LmPack`]s —
 /// the same invalidation discipline as [`PrefixCache`]: any parameter write
-/// bumps the store version and the next forward repacks.
+/// bumps the store version and the next forward repacks. The f32 and int8
+/// packs live in separate slots keyed on (store version, precision), so the
+/// two coexist — a serving fleet can flip `MathMode` without thrashing —
+/// and invalidate independently.
 ///
 /// `Clone` deliberately resets to empty: [`MiniLm`] is `Clone`, and two
 /// clones have independent stores whose version counters advance
 /// independently from identical starting values, so a shared pack could
 /// validate against the wrong clone's weights.
-pub(crate) struct PackCache(Mutex<Option<Arc<LmPack>>>);
+pub(crate) struct PackCache(Mutex<[Option<Arc<LmPack>>; 2]>);
+
+impl PackCache {
+    /// Slot index for a math mode: f32 panels serve `Exact` and `Fast`
+    /// (fast math only changes transcendentals, never weights).
+    fn slot(math: MathMode) -> usize {
+        usize::from(math == MathMode::Quantized)
+    }
+}
 
 impl Default for PackCache {
     fn default() -> Self {
-        PackCache(Mutex::new(None))
+        PackCache(Mutex::new([None, None]))
     }
 }
 
@@ -238,10 +317,18 @@ impl MiniLm {
             .collect()
     }
 
-    /// Build every packed weight panel from the current store contents.
-    fn build_pack(&self) -> LmPack {
+    /// Build every packed weight panel from the current store contents. With
+    /// `quantized`, the f32 panels (AdaLoRA deltas already folded) are
+    /// converted to per-channel int8 as a final pass under the
+    /// `pack.quantize` span, and the byte gauges record whichever precision
+    /// was built.
+    fn build_pack(&self, quantized: bool) -> LmPack {
         let _span = delrec_obs::span!("lm.pack");
-        delrec_obs::counter!("lm.weight_pack.build").incr();
+        if quantized {
+            delrec_obs::counter!("lm.weight_pack.build_q8").incr();
+        } else {
+            delrec_obs::counter!("lm.weight_pack.build").incr();
+        }
         let cfg = &self.cfg;
         let d = cfg.d_model;
         let heads = cfg.num_heads;
@@ -279,41 +366,69 @@ impl MiniLm {
                         kvb[r * 2 * d..(r + 1) * 2 * d]
                             .copy_from_slice(&qkv[r * 3 * d + d..(r + 1) * 3 * d]);
                     }
-                    (Some(pack_b(&qb, d, d)), Some(pack_b(&kvb, d, 2 * d)))
+                    (
+                        Some(Panel::F32(pack_b(&qb, d, d))),
+                        Some(Panel::F32(pack_b(&kvb, d, 2 * d))),
+                    )
                 } else {
                     (None, None)
                 };
                 LayerPack {
-                    qkv: pack_b(&qkv, d, 3 * d),
+                    qkv: Panel::F32(pack_b(&qkv, d, 3 * d)),
                     q,
                     kv,
-                    wo: pack_b(self.store.get(b.wo).data(), d, d),
-                    w1: pack_b(self.store.get(b.w1).data(), d, ffn),
-                    w2: pack_b(self.store.get(b.w2).data(), ffn, d),
+                    wo: Panel::F32(pack_b(self.store.get(b.wo).data(), d, d)),
+                    w1: Panel::F32(pack_b(self.store.get(b.w1).data(), d, ffn)),
+                    w2: Panel::F32(pack_b(self.store.get(b.w2).data(), ffn, d)),
                 }
             })
-            .collect();
-        LmPack {
+            .collect::<Vec<_>>();
+        // The tied embedding is stored [vocab, d] but multiplies as
+        // [d, vocab]; packing the transpose directly retires the per-call
+        // `transpose_into` the head used to pay.
+        let mut head = Panel::F32(pack_b_transposed(
+            self.store.get(self.tok_emb).data(),
+            d,
+            cfg.vocab_size,
+        ));
+        let mut layers = layers;
+        if quantized {
+            let _qspan = delrec_obs::span!("pack.quantize");
+            layers = layers.into_iter().map(LayerPack::quantized).collect();
+            head = head.quantized();
+        }
+        let pack = LmPack {
             version: self.store.version(),
             layers,
-            // The tied embedding is stored [vocab, d] but multiplies as
-            // [d, vocab]; packing the transpose directly retires the
-            // per-call `transpose_into` the head used to pay.
-            head: pack_b_transposed(self.store.get(self.tok_emb).data(), d, cfg.vocab_size),
+            head,
+        };
+        if quantized {
+            delrec_obs::gauge!("lm.weight_pack.bytes_q8").set(pack.bytes() as f64);
+        } else {
+            delrec_obs::gauge!("lm.weight_pack.bytes").set(pack.bytes() as f64);
         }
+        pack
     }
 
-    /// The model's packed weight panels, rebuilt iff the parameter-store
-    /// version moved since the cached pack was built.
-    fn lm_pack(&self) -> Arc<LmPack> {
-        let mut slot = self.pack_cache.0.lock().expect("pack cache poisoned");
+    /// The model's packed weight panels for a math mode, rebuilt iff the
+    /// parameter-store version moved since that precision's cached pack was
+    /// built. `Exact` and `Fast` share the f32 slot; `Quantized` owns the
+    /// int8 slot — the two never evict each other.
+    fn lm_pack(&self, math: MathMode) -> Arc<LmPack> {
+        let quantized = math == MathMode::Quantized;
+        let mut slots = self.pack_cache.0.lock().expect("pack cache poisoned");
+        let slot = &mut slots[PackCache::slot(math)];
         if let Some(pack) = slot.as_ref() {
             if pack.version == self.store.version() {
-                delrec_obs::counter!("lm.weight_pack.hit").incr();
+                if quantized {
+                    delrec_obs::counter!("lm.weight_pack.hit_q8").incr();
+                } else {
+                    delrec_obs::counter!("lm.weight_pack.hit").incr();
+                }
                 return Arc::clone(pack);
             }
         }
-        let pack = Arc::new(self.build_pack());
+        let pack = Arc::new(self.build_pack(quantized));
         *slot = Some(Arc::clone(&pack));
         pack
     }
@@ -343,7 +458,7 @@ impl MiniLm {
         let mut layers = Vec::with_capacity(self.cfg.num_layers);
         let seqs = [prefix.to_vec()];
         let pack = if self.use_fused {
-            Some(self.lm_pack())
+            Some(self.lm_pack(ic.math()))
         } else {
             None
         };
@@ -399,7 +514,7 @@ impl MiniLm {
         assert_eq!(bsz, mask_pos.len(), "one mask position per sequence");
         let vsz = self.cfg.vocab_size;
         let pack = if self.use_fused {
-            Some(self.lm_pack())
+            Some(self.lm_pack(ic.math()))
         } else {
             None
         };
@@ -484,7 +599,7 @@ impl MiniLm {
         ic.recycle(h);
         match pack {
             // The pre-transposed panel: no per-call [vocab, d] transpose.
-            Some(pk) => gemm_packed(&hf, d, &pk.head, out, bsz, false),
+            Some(pk) => pk.head.gemm(&hf, d, out, bsz, false),
             None => {
                 let tok_emb = self.store.get(self.tok_emb).data();
                 let mut emb_t = ic.alloc(d * vsz);
@@ -648,26 +763,17 @@ impl MiniLm {
                         let lp = &pk.layers[l];
                         if pruned.is_some() {
                             qf = ic.alloc(nq * d);
-                            gemm_packed(
-                                q_in,
-                                d,
-                                lp.q.as_ref().expect("last-layer q pack"),
-                                &mut qf,
-                                nq,
-                                false,
-                            );
+                            lp.q.as_ref()
+                                .expect("last-layer q pack")
+                                .gemm(q_in, d, &mut qf, nq, false);
                             kvf = ic.alloc(rows * 2 * d);
-                            gemm_packed(
-                                &xin,
-                                d,
-                                lp.kv.as_ref().expect("last-layer kv pack"),
-                                &mut kvf,
-                                rows,
-                                false,
-                            );
+                            lp.kv
+                                .as_ref()
+                                .expect("last-layer kv pack")
+                                .gemm(&xin, d, &mut kvf, rows, false);
                         } else {
                             qkvf = ic.alloc(rows * 3 * d);
-                            gemm_packed(&xin, d, &lp.qkv, &mut qkvf, rows, false);
+                            lp.qkv.gemm(&xin, d, &mut qkvf, rows, false);
                         }
                     }
                     None => {
@@ -841,7 +947,7 @@ impl MiniLm {
             let wo_span = delrec_obs::span!("lm.wo");
             let mut attn_out = ic.alloc(nq * d);
             match pack {
-                Some(pk) => gemm_packed(&attn_cat, d, &pk.layers[l].wo, &mut attn_out, nq, false),
+                Some(pk) => pk.layers[l].wo.gemm(&attn_cat, d, &mut attn_out, nq, false),
                 None => matmul_raw(&attn_cat, blk.wo, &mut attn_out, nq, d, d),
             }
             // Residual; at the final block this compresses h to mask rows.
@@ -871,7 +977,7 @@ impl MiniLm {
             layer_norm_rows(&h, blk.ln2_g, blk.ln2_b, &mut xin2);
             let mut f = ic.alloc(nq * ffn);
             match pack {
-                Some(pk) => gemm_packed(&xin2, d, &pk.layers[l].w1, &mut f, nq, false),
+                Some(pk) => pk.layers[l].w1.gemm(&xin2, d, &mut f, nq, false),
                 None => matmul_raw(&xin2, blk.w1, &mut f, nq, d, ffn),
             }
             for (i, x) in f.iter_mut().enumerate() {
@@ -880,7 +986,7 @@ impl MiniLm {
             ic.gelu(&mut f);
             let mut f2 = ic.alloc(nq * d);
             match pack {
-                Some(pk) => gemm_packed(&f, ffn, &pk.layers[l].w2, &mut f2, nq, false),
+                Some(pk) => pk.layers[l].w2.gemm(&f, ffn, &mut f2, nq, false),
                 None => matmul_raw(&f, blk.w2, &mut f2, nq, ffn, d),
             }
             for (i, x) in f2.iter_mut().enumerate() {

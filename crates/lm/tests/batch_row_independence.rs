@@ -32,7 +32,7 @@ fn diff_report(
     let vsz = batched.data().len() / seqs.len();
     let mut total = 0;
     for (i, (s, &mp)) in seqs.iter().zip(mask_pos).enumerate() {
-        let solo = lm.mask_logits_infer_batch(ic, &[s.clone()], soft, &[mp], cache);
+        let solo = lm.mask_logits_infer_batch(ic, std::slice::from_ref(s), soft, &[mp], cache);
         let n = batched.data()[i * vsz..(i + 1) * vsz]
             .iter()
             .zip(solo.data())
@@ -159,7 +159,13 @@ fn batched_rows_match_single_rows_with_cache_soft_and_adapters() {
     let batched = lm.mask_logits_infer_batch(&ic, &seqs, Some(&soft), &mask_pos, Some(&cache));
     let vsz = batched.data().len() / seqs.len();
     for (i, (s, &mp)) in seqs.iter().zip(&mask_pos).enumerate() {
-        let solo = lm.mask_logits_infer_batch(&ic, &[s.clone()], Some(&soft), &[mp], Some(&cache));
+        let solo = lm.mask_logits_infer_batch(
+            &ic,
+            std::slice::from_ref(s),
+            Some(&soft),
+            &[mp],
+            Some(&cache),
+        );
         let n_diff = batched.data()[i * vsz..(i + 1) * vsz]
             .iter()
             .zip(solo.data())
@@ -185,7 +191,7 @@ fn batched_rows_match_single_rows_bitwise() {
     let batched = lm.mask_logits_infer_batch(&ic, &seqs, None, &mask_pos, None);
     let vsz = batched.data().len() / seqs.len();
     for (i, (s, &mp)) in seqs.iter().zip(&mask_pos).enumerate() {
-        let solo = lm.mask_logits_infer_batch(&ic, &[s.clone()], None, &[mp], None);
+        let solo = lm.mask_logits_infer_batch(&ic, std::slice::from_ref(s), None, &[mp], None);
         let row = &batched.data()[i * vsz..(i + 1) * vsz];
         let n_diff = row.iter().zip(solo.data()).filter(|(a, b)| a != b).count();
         let max_diff = row

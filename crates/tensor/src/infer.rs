@@ -27,14 +27,23 @@ use std::sync::Arc;
 /// `Exact` delegates to `std` (`f32::exp`, `f32::tanh`, …) and is bitwise
 /// identical to the tape's forward math — the default, and the only mode
 /// training paths ever see. `Fast` substitutes the polynomial kernels in
-/// this module.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// this module. `Quantized` keeps the exact transcendentals but tells
+/// weight-owning layers (see `delrec-lm`'s `WeightPack`) to run their frozen
+/// projection weights through int8 panels
+/// ([`crate::ops::pack_b_q8`] / [`crate::ops::gemm_packed_q8`]) — activations,
+/// norms, and softmax stay f32, so in this crate `Quantized` behaves like
+/// `Exact` everywhere.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum MathMode {
     /// `std` transcendentals; bitwise identical to the tape forward.
     #[default]
     Exact,
     /// Polynomial `exp`/`tanh`/`gelu` (bounds in the module docs).
     Fast,
+    /// Exact transcendentals over int8-quantized frozen weights (per-channel
+    /// scales, f32 accumulation). Deterministic, but not bitwise-equal to
+    /// `Exact`; eval-level drift is pinned by the LM test suite.
+    Quantized,
 }
 
 // Degree-6 polynomial for 2^f on f ∈ [0, 1): the Taylor coefficients of
@@ -109,7 +118,7 @@ pub fn softmax_row_mode(row: &mut [f32], math: MathMode) {
     let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let mut sum = 0.0f32;
     match math {
-        MathMode::Exact => {
+        MathMode::Exact | MathMode::Quantized => {
             for x in row.iter_mut() {
                 let e = (*x - max).exp();
                 *x = e;
@@ -155,7 +164,7 @@ pub fn layer_norm_rows(x: &[f32], gamma: &[f32], beta: &[f32], out: &mut [f32]) 
 pub fn gelu_slice_mode(xs: &mut [f32], math: MathMode) {
     let _span = delrec_obs::span!("tensor.gelu");
     match math {
-        MathMode::Exact => {
+        MathMode::Exact | MathMode::Quantized => {
             for x in xs.iter_mut() {
                 *x = gelu_fwd(*x);
             }
@@ -173,7 +182,7 @@ pub fn gelu_slice_mode(xs: &mut [f32], math: MathMode) {
 pub fn log_sum_exp_mode(data: &[f32], math: MathMode) -> f32 {
     let max = data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let sum: f32 = match math {
-        MathMode::Exact => data.iter().map(|&x| (x - max).exp()).sum(),
+        MathMode::Exact | MathMode::Quantized => data.iter().map(|&x| (x - max).exp()).sum(),
         MathMode::Fast => data.iter().map(|&x| fast_exp(x - max)).sum(),
     };
     max + sum.ln()
@@ -307,6 +316,30 @@ mod tests {
         for (f, e) in fast.iter().zip(&exact) {
             assert!((f - e).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn quantized_mode_transcendentals_are_bitwise_exact() {
+        // Quantized only changes weight storage (in delrec-lm); every kernel
+        // in this crate must treat it exactly like Exact.
+        let raw = vec![0.3f32, -1.2, 2.0, 0.45, -0.8];
+        let mut exact = raw.clone();
+        softmax_row_mode(&mut exact, MathMode::Exact);
+        let mut quant = raw.clone();
+        softmax_row_mode(&mut quant, MathMode::Quantized);
+        assert_eq!(
+            exact.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            quant.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        let mut ge = raw.clone();
+        gelu_slice_mode(&mut ge, MathMode::Exact);
+        let mut gq = raw.clone();
+        gelu_slice_mode(&mut gq, MathMode::Quantized);
+        assert_eq!(ge, gq);
+        assert_eq!(
+            log_sum_exp_mode(&raw, MathMode::Exact).to_bits(),
+            log_sum_exp_mode(&raw, MathMode::Quantized).to_bits()
+        );
     }
 
     #[test]

@@ -34,8 +34,9 @@ mod ops;
 
 pub use infer::{fast_exp, fast_gelu, fast_sigmoid, fast_tanh, InferCtx, MathMode};
 pub use ops::{
-    gemm, gemm_auto, gemm_packed, matmul_raw, matmul_raw_sparse, matmul_raw_strided, pack_b,
-    pack_b_transposed, transpose_into, PackedB, MR, NR,
+    gemm, gemm_auto, gemm_packed, gemm_packed_q8, matmul_raw, matmul_raw_sparse,
+    matmul_raw_strided, pack_b, pack_b_q8, pack_b_transposed, pack_b_transposed_q8, quantize_pack,
+    transpose_into, PackedB, QuantizedPanel, MR, NR,
 };
 pub use params::{Ctx, ParamId, ParamStore};
 pub use shape::Shape;

@@ -40,6 +40,14 @@ pub const NR: usize = 8;
 /// offloads, so smaller products stay serial on the calling thread.
 const PAR_MIN_MACS_PER_TASK: usize = 64 * 1024;
 
+/// Minimum multiply-accumulates for [`gemm_auto`] to pay for a packing pass:
+/// packing allocates and writes `⌈n/NR⌉·k·NR` floats before a single MAC
+/// runs, and below a few thousand MACs [`matmul_raw`] finishes in less time
+/// than that data movement. Mirrors [`PAR_MIN_MACS_PER_TASK`] an order of
+/// magnitude down — an allocation plus a copy is far cheaper than a
+/// fork/join handshake, but not free.
+const AUTO_PACK_MIN_MACS: usize = 8 * 1024;
+
 /// A right-hand GEMM operand repacked into `NR`-wide column panels.
 ///
 /// Panel `p` covers columns `p·NR .. min((p+1)·NR, n)` and stores `k`
@@ -67,6 +75,11 @@ impl PackedB {
     /// Packed size in floats (includes zero padding of the last panel).
     pub fn packed_len(&self) -> usize {
         self.data.len()
+    }
+
+    /// Heap bytes of the pack (4 bytes per packed float, padding included).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
     }
 }
 
@@ -106,6 +119,103 @@ pub fn pack_b_transposed(src: &[f32], k: usize, n: usize) -> PackedB {
         }
     }
     PackedB { data, k, n }
+}
+
+/// A right-hand GEMM operand quantized to int8 with per-output-channel
+/// scales, in the same `NR`-wide k-major panel layout as [`PackedB`].
+///
+/// Column `j` stores codes `q[kk, j] = round(b[kk, j] / scale[j])` clamped
+/// to `[-127, 127]`, with `scale[j] = maxabs_j / 127` so the column's
+/// largest magnitude maps to ±127 and the dequantization error is at most
+/// `maxabs_j / 254` per element. All-zero columns get `scale[j] = 0.0` and
+/// all-zero codes — no division, no NaN. Scales are indexed by global column
+/// (`scales[j]`; panel `p` owns `scales[p·NR .. (p+1)·NR]`, padded lanes
+/// carry `0.0`).
+#[derive(Clone, Debug)]
+pub struct QuantizedPanel {
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    k: usize,
+    n: usize,
+}
+
+impl QuantizedPanel {
+    /// Inner (shared) dimension `k` this pack was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width `n` this pack was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Packed size in int8 codes (includes zero padding of the last panel).
+    pub fn packed_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Heap bytes of the pack: one byte per code plus the f32 scales.
+    pub fn bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Per-column scales, indexed by global column; padded lanes are `0.0`.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+}
+
+/// Quantize an existing f32 pack, preserving its layout: per-column max-abs
+/// over the panels (column `j` is lane `j % NR` of panel `j / NR`), then one
+/// rounded, clamped division per element. Both q8 packers go through this,
+/// so the code layout is identical to the f32 pack by construction — and
+/// callers that already hold a [`PackedB`] (e.g. `delrec-lm`'s weight pack,
+/// which folds AdaLoRA deltas into the f32 pack first) can quantize it
+/// without re-deriving the panels.
+pub fn quantize_pack(bp: &PackedB) -> QuantizedPanel {
+    let (k, n) = (bp.k, bp.n);
+    let panels = n.div_ceil(NR);
+    let mut scales = vec![0.0f32; panels * NR];
+    for p in 0..panels {
+        let panel = &bp.data[p * k * NR..(p + 1) * k * NR];
+        let lane_max = &mut scales[p * NR..(p + 1) * NR];
+        for strip in panel.chunks_exact(NR) {
+            for (mx, &v) in lane_max.iter_mut().zip(strip) {
+                *mx = mx.max(v.abs());
+            }
+        }
+    }
+    for s in scales.iter_mut() {
+        *s /= 127.0;
+    }
+    let mut data = vec![0i8; bp.data.len()];
+    for p in 0..panels {
+        let src = &bp.data[p * k * NR..(p + 1) * k * NR];
+        let dst = &mut data[p * k * NR..(p + 1) * k * NR];
+        let lane_scale = &scales[p * NR..(p + 1) * NR];
+        for (drow, srow) in dst.chunks_exact_mut(NR).zip(src.chunks_exact(NR)) {
+            for jn in 0..NR {
+                if lane_scale[jn] > 0.0 {
+                    drow[jn] = (srow[jn] / lane_scale[jn]).round().clamp(-127.0, 127.0) as i8;
+                }
+            }
+        }
+    }
+    QuantizedPanel { data, scales, k, n }
+}
+
+/// Pack a row-major `[k, n]` matrix into int8 panels for [`gemm_packed_q8`]
+/// — the quantized counterpart of [`pack_b`].
+pub fn pack_b_q8(b: &[f32], k: usize, n: usize) -> QuantizedPanel {
+    quantize_pack(&pack_b(b, k, n))
+}
+
+/// Pack the *transpose* of a row-major `[n, k]` matrix into int8 panels —
+/// the quantized counterpart of [`pack_b_transposed`], used for the tied
+/// embedding head.
+pub fn pack_b_transposed_q8(src: &[f32], k: usize, n: usize) -> QuantizedPanel {
+    quantize_pack(&pack_b_transposed(src, k, n))
 }
 
 /// `out[m, n] (+)= a[m, k] · B` for a packed `B`, with `A` rows `lda` floats
@@ -343,6 +453,245 @@ fn micro_tile<const MRT: usize, const ACC: bool>(
     }
 }
 
+/// `out[m, n] (+)= a[m, k] · dequant(Bq)` for an int8-quantized `B` — the
+/// [`QuantizedPanel`] counterpart of [`gemm_packed`].
+///
+/// The kernel widens each int8 code to f32 in-register and accumulates
+/// `Σ_k a[i,k] · widen(q[k,j])` in f32 with exactly [`gemm_packed`]'s
+/// k-order (full 4-groups in ascending k, the same left-associated group
+/// expression, then the remainder one product at a time). The per-column
+/// scale multiplies the *finished* sum once at write-back; with
+/// `accumulate`, the prior `out` value is added after that single multiply.
+/// One fixed rounding schedule per output element means results are
+/// run-to-run and thread-count deterministic — though not bitwise-equal to
+/// [`gemm_packed`] over the unquantized weights, which is the whole trade.
+#[inline]
+pub fn gemm_packed_q8(
+    a: &[f32],
+    lda: usize,
+    bq: &QuantizedPanel,
+    out: &mut [f32],
+    m: usize,
+    accumulate: bool,
+) {
+    let (k, n) = (bq.k, bq.n);
+    debug_assert!(lda >= k, "row stride {lda} shorter than k {k}");
+    debug_assert!(m == 0 || a.len() >= (m - 1) * lda + k);
+    debug_assert_eq!(out.len(), m * n);
+    if accumulate {
+        q8_dispatch::<true>(a, lda, bq, out, m);
+    } else {
+        q8_dispatch::<false>(a, lda, bq, out, m);
+    }
+}
+
+/// Serial/parallel split for [`gemm_packed_q8`]; same structure and
+/// thresholds as [`gemm_dispatch`], so the determinism argument carries
+/// over verbatim: parallelism only changes which thread computes which
+/// disjoint outputs, never any per-element expression.
+#[inline]
+fn q8_dispatch<const ACC: bool>(
+    a: &[f32],
+    lda: usize,
+    bq: &QuantizedPanel,
+    out: &mut [f32],
+    m: usize,
+) {
+    if q8_try_parallel::<ACC>(a, lda, bq, out, m) {
+        return;
+    }
+    q8_panels::<ACC>(a, lda, &bq.data, &bq.scales, bq.k, bq.n, out, m);
+}
+
+/// Parallel driver for [`gemm_packed_q8`]: a line-for-line mirror of
+/// [`gemm_try_parallel`] (same MAC threshold, same deterministic
+/// [`delrec_par::partition`] row/panel split, same private-stripe copy-back
+/// when accumulating), so q8 results are bitwise-identical across thread
+/// counts by the same construction the f32 path is.
+fn q8_try_parallel<const ACC: bool>(
+    a: &[f32],
+    lda: usize,
+    bq: &QuantizedPanel,
+    out: &mut [f32],
+    m: usize,
+) -> bool {
+    let (k, n) = (bq.k, bq.n);
+    let macs = m * k * n;
+    if macs < 2 * PAR_MIN_MACS_PER_TASK {
+        return false;
+    }
+    let pool = delrec_par::current();
+    let lanes = pool.lanes();
+    if lanes < 2 {
+        return false;
+    }
+    let task_cap = (macs / PAR_MIN_MACS_PER_TASK).min(lanes);
+    let row_tiles = m.div_ceil(MR);
+    if row_tiles >= 2 && task_cap >= 2 {
+        let tile_ranges = delrec_par::partition(row_tiles, task_cap.min(row_tiles));
+        let row_ranges: Vec<_> = tile_ranges
+            .iter()
+            .map(|r| r.start * MR * n..(r.end * MR).min(m) * n)
+            .collect();
+        let data = &bq.data;
+        let scales = &bq.scales;
+        pool.for_each_range(out, &row_ranges, |ti, out_chunk| {
+            let i0 = tile_ranges[ti].start * MR;
+            let rows = out_chunk.len() / n;
+            q8_panels::<ACC>(&a[i0 * lda..], lda, data, scales, k, n, out_chunk, rows);
+        });
+        return true;
+    }
+    let panels = n.div_ceil(NR);
+    let tasks = task_cap.min(panels);
+    if tasks >= 2 {
+        let panel_ranges = delrec_par::partition(panels, tasks);
+        let data = &bq.data;
+        let scales = &bq.scales;
+        let prior: &[f32] = out;
+        let mut stripes: Vec<Vec<f32>> = vec![Vec::new(); tasks];
+        pool.for_each_chunk(&mut stripes, 1, |ti, slot| {
+            let pr = &panel_ranges[ti];
+            let j0 = pr.start * NR;
+            let w = (pr.end * NR).min(n) - j0;
+            let mut tmp = vec![0.0f32; m * w];
+            if ACC {
+                for i in 0..m {
+                    tmp[i * w..(i + 1) * w].copy_from_slice(&prior[i * n + j0..i * n + j0 + w]);
+                }
+            }
+            q8_panel_range::<ACC>(a, lda, data, scales, k, n, &mut tmp, m, pr.clone(), w);
+            slot[0] = tmp;
+        });
+        for (ti, pr) in panel_ranges.iter().enumerate() {
+            let j0 = pr.start * NR;
+            let w = (pr.end * NR).min(n) - j0;
+            let tmp = &stripes[ti];
+            for i in 0..m {
+                out[i * n + j0..i * n + j0 + w].copy_from_slice(&tmp[i * w..(i + 1) * w]);
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Panel/tile driver for [`gemm_packed_q8`], monomorphized on `ACC`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn q8_panels<const ACC: bool>(
+    a: &[f32],
+    lda: usize,
+    data: &[i8],
+    scales: &[f32],
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    m: usize,
+) {
+    q8_panel_range::<ACC>(a, lda, data, scales, k, n, out, m, 0..n.div_ceil(NR), n);
+}
+
+/// [`q8_panels`] restricted to panels `p_range` — the q8 mirror of
+/// [`gemm_panel_range`], with the panel's `NR` scales sliced alongside its
+/// codes.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn q8_panel_range<const ACC: bool>(
+    a: &[f32],
+    lda: usize,
+    data: &[i8],
+    scales: &[f32],
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    m: usize,
+    p_range: std::ops::Range<usize>,
+    ldo: usize,
+) {
+    let p0 = p_range.start;
+    for p in p_range {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        let jo = j0 - p0 * NR; // column offset within `out`
+        let panel = &data[p * k * NR..(p + 1) * k * NR];
+        let lane_scale = &scales[p * NR..(p + 1) * NR];
+        let mut i0 = 0;
+        while i0 + MR <= m {
+            micro_tile_q8::<MR, ACC>(a, lda, panel, lane_scale, out, i0, jo, w, k, ldo);
+            i0 += MR;
+        }
+        match m - i0 {
+            0 => {}
+            1 => micro_tile_q8::<1, ACC>(a, lda, panel, lane_scale, out, i0, jo, w, k, ldo),
+            2 => micro_tile_q8::<2, ACC>(a, lda, panel, lane_scale, out, i0, jo, w, k, ldo),
+            _ => micro_tile_q8::<3, ACC>(a, lda, panel, lane_scale, out, i0, jo, w, k, ldo),
+        }
+    }
+}
+
+/// One `MRT`×`NR` output tile against one int8 panel. Codes accumulate as
+/// widened f32 in registers (same const-generic spill avoidance as
+/// [`micro_tile`]); the prior `out` values are *not* pre-loaded into the
+/// tile — the per-column scale must multiply only the fresh sum, so the
+/// accumulate add happens at write-back as `out += sum · scale`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_tile_q8<const MRT: usize, const ACC: bool>(
+    a: &[f32],
+    lda: usize,
+    panel: &[i8],
+    lane_scale: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    j0: usize,
+    w: usize,
+    k: usize,
+    ldo: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MRT];
+    let mut kk = 0;
+    while kk + 4 <= k {
+        let strip = &panel[kk * NR..(kk + 4) * NR];
+        let (b0, rest) = strip.split_at(NR);
+        let (b1, rest) = rest.split_at(NR);
+        let (b2, b3) = rest.split_at(NR);
+        for (im, tile) in acc.iter_mut().enumerate() {
+            let ar = &a[(i0 + im) * lda + kk..(i0 + im) * lda + kk + 4];
+            let (a0, a1, a2, a3) = (ar[0], ar[1], ar[2], ar[3]);
+            for jn in 0..NR {
+                // Same left-associated group expression as micro_tile, over
+                // in-register widened codes.
+                tile[jn] += a0 * f32::from(b0[jn])
+                    + a1 * f32::from(b1[jn])
+                    + a2 * f32::from(b2[jn])
+                    + a3 * f32::from(b3[jn]);
+            }
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let strip = &panel[kk * NR..(kk + 1) * NR];
+        for (im, tile) in acc.iter_mut().enumerate() {
+            let av = a[(i0 + im) * lda + kk];
+            for jn in 0..NR {
+                tile[jn] += av * f32::from(strip[jn]);
+            }
+        }
+        kk += 1;
+    }
+    for (im, tile) in acc.iter().enumerate() {
+        let row = &mut out[(i0 + im) * ldo + j0..(i0 + im) * ldo + j0 + w];
+        for (o, (&sum, &s)) in row.iter_mut().zip(tile.iter().zip(lane_scale)) {
+            if ACC {
+                *o += sum * s;
+            } else {
+                *o = sum * s;
+            }
+        }
+    }
+}
+
 /// One-shot blocked GEMM: pack `b`, then `out += a · b`. A drop-in for
 /// [`matmul_raw`] (bitwise-identical accumulate semantics) that pays one
 /// packing pass per call — use [`pack_b`] + [`gemm_packed`] when `b` is
@@ -360,9 +709,11 @@ pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize)
 /// [`crate::Tape::matmul`]'s 2-D forward and backward.
 pub fn gemm_auto(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert!(out.iter().all(|&x| x == 0.0), "gemm_auto needs zeroed out");
-    // Packing costs k·n writes against m·k·n multiplies: below ~8 rows the
-    // pack dominates, and below one panel of columns blocking buys nothing.
-    if m >= 8 && n >= NR {
+    // Packing costs an allocation plus k·n writes against m·k·n multiplies:
+    // below ~8 rows the pack dominates, below one panel of columns blocking
+    // buys nothing, and below AUTO_PACK_MIN_MACS total work the raw kernel
+    // finishes before the pack's data movement pays for itself.
+    if m >= 8 && n >= NR && m * k * n >= AUTO_PACK_MIN_MACS {
         let bp = pack_b(b, k, n);
         gemm_packed(a, k, &bp, out, m, false);
     } else {
@@ -516,6 +867,171 @@ mod tests {
         let mut got = vec![0.0f32; 3 * n];
         gemm_packed(&a, k, &direct, &mut got, 3, false);
         assert_eq!(want, got);
+    }
+
+    /// Widen a pack's codes back to a row-major `[k, n]` f32 matrix, run the
+    /// reference [`matmul_raw`] over them (the same per-element k-order the
+    /// q8 micro-kernel uses), then apply scale-then-prior at each element —
+    /// the semantics `gemm_packed_q8` must reproduce bitwise.
+    fn q8_reference(a: &[f32], bq: &QuantizedPanel, m: usize, prior: Option<&[f32]>) -> Vec<f32> {
+        let (k, n) = (bq.k, bq.n);
+        let mut codes = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                codes[kk * n + j] = f32::from(bq.data[(j / NR) * k * NR + kk * NR + j % NR]);
+            }
+        }
+        let mut sums = vec![0.0f32; m * n];
+        matmul_raw(a, &codes, &mut sums, m, k, n);
+        sums.iter()
+            .enumerate()
+            .map(|(idx, &sum)| {
+                let scaled = sum * bq.scales[idx % n];
+                match prior {
+                    Some(p) => p[idx] + scaled,
+                    None => scaled,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn q8_pack_scales_map_maxabs_to_127() {
+        let (k, n) = (9, 13);
+        let b = fill(42, k * n);
+        let bq = pack_b_q8(&b, k, n);
+        for j in 0..n {
+            let maxabs = (0..k).map(|kk| b[kk * n + j].abs()).fold(0.0f32, f32::max);
+            let s = bq.scales()[j];
+            assert!(
+                (s - maxabs / 127.0).abs() <= f32::EPSILON * maxabs,
+                "column {j}: scale {s} vs maxabs/127 {}",
+                maxabs / 127.0
+            );
+            let code_max = (0..k)
+                .map(|kk| bq.data[(j / NR) * k * NR + kk * NR + j % NR].unsigned_abs())
+                .max()
+                .unwrap();
+            assert_eq!(code_max, 127, "column {j}: max |code| must hit 127");
+            for kk in 0..k {
+                let q = bq.data[(j / NR) * k * NR + kk * NR + j % NR];
+                let deq = f32::from(q) * s;
+                assert!(
+                    (deq - b[kk * n + j]).abs() <= maxabs / 254.0 + f32::EPSILON * maxabs,
+                    "column {j} row {kk}: dequant {deq} vs {}",
+                    b[kk * n + j]
+                );
+            }
+        }
+        // Padded lanes of the last panel: zero scale, zero codes.
+        for j in n..n.div_ceil(NR) * NR {
+            assert_eq!(bq.scales()[j], 0.0);
+        }
+    }
+
+    #[test]
+    fn q8_zero_columns_produce_exact_zeros_not_nan() {
+        let (m, k, n) = (5, 7, 10);
+        let mut b = fill(3, k * n);
+        for kk in 0..k {
+            b[kk * n + 4] = 0.0; // column 4 all zeros
+        }
+        let bq = pack_b_q8(&b, k, n);
+        assert_eq!(bq.scales()[4], 0.0);
+        let a = fill(4, m * k);
+        let mut out = vec![f32::NAN; m * n];
+        gemm_packed_q8(&a, k, &bq, &mut out, m, false);
+        for i in 0..m {
+            assert_eq!(out[i * n + 4].to_bits(), 0.0f32.to_bits());
+        }
+        assert!(out.iter().all(|x| !x.is_nan()));
+    }
+
+    #[test]
+    fn q8_kernel_is_bitwise_reference_across_remainder_classes() {
+        for &m in &[1usize, 3, 4, 5, 8, 13] {
+            for &k in &[1usize, 2, 3, 4, 7, 16] {
+                for &n in &[1usize, 5, 8, 9, 16, 19] {
+                    let a = fill(m as u64 * 31 + k as u64, m * k);
+                    let b = fill(n as u64 * 17 + 7, k * n);
+                    let bq = pack_b_q8(&b, k, n);
+                    // Overwrite mode.
+                    let want = q8_reference(&a, &bq, m, None);
+                    let mut got = fill(99, m * n); // garbage: must not be read
+                    gemm_packed_q8(&a, k, &bq, &mut got, m, false);
+                    assert_eq!(
+                        want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "overwrite m={m} k={k} n={n}"
+                    );
+                    // Accumulate mode.
+                    let prior = fill(7, m * n);
+                    let want = q8_reference(&a, &bq, m, Some(&prior));
+                    let mut got = prior.clone();
+                    gemm_packed_q8(&a, k, &bq, &mut got, m, true);
+                    assert_eq!(
+                        want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "accumulate m={m} k={k} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q8_transposed_pack_matches_transpose_then_pack() {
+        let (k, n) = (7, 13);
+        let src = fill(8, n * k); // [n, k] row-major
+        let mut bt = vec![0.0f32; n * k];
+        transpose_into(&src, n, k, &mut bt); // [k, n]
+        let via_transpose = pack_b_q8(&bt, k, n);
+        let direct = pack_b_transposed_q8(&src, k, n);
+        assert_eq!(via_transpose.data, direct.data);
+        assert_eq!(via_transpose.scales, direct.scales);
+    }
+
+    /// The q8 mirror of `parallel_gemm_is_bitwise_serial`: shapes crossing
+    /// the parallel threshold through both the row-block and panel-block
+    /// paths, both accumulate modes, thread counts {1, 2, 4, 8}.
+    #[test]
+    fn parallel_q8_is_bitwise_serial() {
+        for &(m, k, n) in &[(64usize, 64usize, 40usize), (3, 512, 256), (33, 48, 96)] {
+            let a = fill(m as u64 ^ 0xabc, m * k);
+            let b = fill(n as u64 ^ 0xdef, k * n);
+            let bq = pack_b_q8(&b, k, n);
+            for accumulate in [false, true] {
+                let seed_out = fill(7, m * n);
+                let serial = delrec_par::with_pool(&delrec_par::ThreadPool::new(1), || {
+                    let mut out = seed_out.clone();
+                    gemm_packed_q8(&a, k, &bq, &mut out, m, accumulate);
+                    out
+                });
+                for lanes in [2usize, 4, 8] {
+                    let pool = delrec_par::ThreadPool::new(lanes);
+                    let got = delrec_par::with_pool(&pool, || {
+                        let mut out = seed_out.clone();
+                        gemm_packed_q8(&a, k, &bq, &mut out, m, accumulate);
+                        out
+                    });
+                    assert_eq!(
+                        serial.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "m={m} k={k} n={n} acc={accumulate} lanes={lanes}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q8_pack_is_at_least_3_5x_smaller_at_serving_k() {
+        // The serving panels all have k ≥ 32 (XL preset), where the 4-byte
+        // per-column scale overhead leaves 4k/(k+4) ≥ 3.56x.
+        let (k, n) = (32, 96);
+        let b = fill(12, k * n);
+        let ratio = pack_b(&b, k, n).bytes() as f64 / pack_b_q8(&b, k, n).bytes() as f64;
+        assert!(ratio >= 3.5, "pack-memory ratio {ratio:.2} < 3.5");
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! (a partial row tile).
 
 use delrec_tensor::{
-    gemm, gemm_auto, gemm_packed, matmul_raw, matmul_raw_strided, pack_b, pack_b_transposed,
-    transpose_into, MR, NR,
+    gemm, gemm_auto, gemm_packed, gemm_packed_q8, matmul_raw, matmul_raw_strided, pack_b,
+    pack_b_q8, pack_b_transposed, transpose_into, MR, NR,
 };
 use proptest::prelude::*;
 
@@ -108,9 +108,11 @@ proptest! {
     }
 
     /// Both arms of the `gemm_auto` dispatch heuristic produce identical
-    /// bits, so the m/n threshold is a pure performance choice.
+    /// bits, so the m/n/MAC thresholds are a pure performance choice. The
+    /// shape ranges straddle the 8k-MAC packing threshold (up to ~59k MACs),
+    /// so both the raw and packed routes are exercised.
     #[test]
-    fn gemm_auto_is_bitwise_matmul_raw(m in 1usize..20, k in 1usize..12, n in 1usize..20, seed in 0u64..1 << 32) {
+    fn gemm_auto_is_bitwise_matmul_raw(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1 << 32) {
         let a = fill(seed, m * k);
         let b = fill(seed ^ 0xD1CE, k * n);
         let mut want = vec![0.0f32; m * n];
@@ -150,6 +152,99 @@ proptest! {
             let got = delrec_par::with_pool(&pool, || {
                 let mut out = seed_out.clone();
                 gemm_packed(&a, k, &bp, &mut out, m, acc);
+                out
+            });
+            prop_assert_eq!(bits(&serial), bits(&got), "m={} k={} n={} acc={} lanes={}", m, k, n, acc, lanes);
+        }
+    }
+
+    /// Per-channel quantization invariants of `pack_b_q8`: in every column
+    /// the max-abs value maps to a ±127 code, all-zero columns keep a 0.0
+    /// scale with all-zero codes (no NaN anywhere downstream), and every
+    /// dequantized element sits within maxabs/254 of the original — half a
+    /// code step at the column's own scale.
+    #[test]
+    fn q8_pack_per_channel_scale_properties(
+        k in 1usize..24,
+        n in 1usize..26,
+        zero_col in 0usize..26,
+        seed in 0u64..1 << 32,
+    ) {
+        let mut b = fill(seed, k * n);
+        let zc = zero_col % n;
+        for kk in 0..k {
+            b[kk * n + zc] = 0.0;
+        }
+        let bq = pack_b_q8(&b, k, n);
+        // Identity A makes the kernel emit the dequantized panel itself:
+        // row kk of `deq` is `widen(q[kk, :]) · scales`, one multiply per
+        // element, so every invariant is observable through the public API.
+        let mut eye = vec![0.0f32; k * k];
+        for kk in 0..k {
+            eye[kk * k + kk] = 1.0;
+        }
+        let mut deq = vec![f32::NAN; k * n];
+        gemm_packed_q8(&eye, k, &bq, &mut deq, k, false);
+        prop_assert!(deq.iter().all(|x| !x.is_nan()), "kernel emitted NaN");
+        for j in 0..n {
+            let maxabs = (0..k).map(|kk| b[kk * n + j].abs()).fold(0.0f32, f32::max);
+            let s = bq.scales()[j];
+            prop_assert!(s.is_finite(), "column {} scale not finite", j);
+            let col_max = (0..k).map(|kk| deq[kk * n + j].abs()).fold(0.0f32, f32::max);
+            if maxabs == 0.0 {
+                prop_assert_eq!(s, 0.0, "zero column {} must get scale 0", j);
+                for kk in 0..k {
+                    prop_assert_eq!(deq[kk * n + j].to_bits(), 0.0f32.to_bits());
+                }
+                continue;
+            }
+            prop_assert!(
+                (s - maxabs / 127.0).abs() <= f32::EPSILON * maxabs,
+                "column {}: scale {} vs maxabs/127 {}", j, s, maxabs / 127.0
+            );
+            // The max-abs element maps to a ±127 code, and no code exceeds
+            // it: the column's dequantized max is exactly 127 · scale.
+            prop_assert_eq!(
+                col_max.to_bits(),
+                (127.0 * s).to_bits(),
+                "column {}: max |dequant| must be 127·scale", j
+            );
+            for kk in 0..k {
+                prop_assert!(
+                    (deq[kk * n + j] - b[kk * n + j]).abs() <= maxabs / 254.0 + f32::EPSILON * maxabs,
+                    "column {} row {}: dequant error above maxabs/254", j, kk
+                );
+            }
+        }
+    }
+
+    /// Parallel `gemm_packed_q8` is bitwise-identical to the 1-lane serial
+    /// path at thread counts {2, 4, 8}, through both the row-block and
+    /// panel-block splits, in both accumulate modes — the q8 mirror of the
+    /// f32 determinism pin above.
+    #[test]
+    fn parallel_q8_is_bitwise_serial_at_every_thread_count(
+        wide in prop_oneof![Just(false), Just(true)],
+        dim in 1usize..5,
+        k in 33usize..96,
+        acc in prop_oneof![Just(false), Just(true)],
+        seed in 0u64..1 << 32,
+    ) {
+        let (m, n) = if wide { (dim, 256 * dim + 256) } else { (32 * dim + 1, 16 * dim + 1) };
+        let a = fill(seed, m * k);
+        let b = fill(seed ^ 0xFACE, k * n);
+        let bq = pack_b_q8(&b, k, n);
+        let seed_out = fill(seed ^ 0x5EED, m * n);
+        let serial = delrec_par::with_pool(&delrec_par::ThreadPool::new(1), || {
+            let mut out = seed_out.clone();
+            gemm_packed_q8(&a, k, &bq, &mut out, m, acc);
+            out
+        });
+        for lanes in [2usize, 4, 8] {
+            let pool = delrec_par::ThreadPool::new(lanes);
+            let got = delrec_par::with_pool(&pool, || {
+                let mut out = seed_out.clone();
+                gemm_packed_q8(&a, k, &bq, &mut out, m, acc);
                 out
             });
             prop_assert_eq!(bits(&serial), bits(&got), "m={} k={} n={} acc={} lanes={}", m, k, n, acc, lanes);

@@ -20,6 +20,12 @@ cargo clippy -p delrec-par --all-targets -- -D warnings
 DELREC_THREADS=1 cargo test -q
 DELREC_THREADS=4 cargo test -q
 
+# The quantized weight-pack suite (dual-slot cache, q8 kernel determinism,
+# tape round-trips) must hold at both pool sizes explicitly — it is the
+# test file most sensitive to the parallel drivers' partitioning.
+DELREC_THREADS=1 cargo test -q -p delrec-lm --test quantized_pack
+DELREC_THREADS=4 cargo test -q -p delrec-lm --test quantized_pack
+
 # Smoke-run the inference-engine benchmark: asserts the grad-free engine's
 # exact-mode scores are bitwise identical to the tape before timing anything.
 cargo run --release -q -p delrec-bench --bin infer -- --scale smoke --out "$(mktemp -d)"
@@ -43,3 +49,8 @@ cargo run --release -q -p delrec-bench --bin gemm -- --scale smoke --out "$(mkte
 # batch scoring are bitwise identical to the 1-thread path at every timed
 # thread count before reporting any scaling curve.
 cargo run --release -q -p delrec-bench --bin par -- --scale smoke --out "$(mktemp -d)"
+
+# Smoke-run the quantization benchmark: asserts the int8 pack memory ratio
+# (>= 3.5x), the eval-metric drift budget (|delta| < 1e-2), and bitwise
+# thread-count determinism before timing anything.
+cargo run --release -q -p delrec-bench --bin quant -- --scale smoke --out "$(mktemp -d)"

@@ -1,8 +1,9 @@
 //! The grad-free inference engine as an evaluation drop-in: with
 //! `MathMode::Exact` it must reproduce the autograd tape's metrics *exactly*
-//! (same `RankingReport`, rank for rank) at every batch size, and with
+//! (same `RankingReport`, rank for rank) at every batch size, with
 //! `MathMode::Fast` the metrics may drift only within the documented 1e-3
-//! budget.
+//! budget, and with `MathMode::Quantized` (int8 weight panels) within the
+//! documented 1e-2 budget.
 
 use delrec::core::{
     build_teacher, pretrained_lm, DelRec, DelRecConfig, LmPreset, Pipeline, TeacherKind,
@@ -90,4 +91,66 @@ fn fast_math_drift_stays_within_metric_budget() {
     // correctly invalidated both ways).
     model.set_math_mode(MathMode::Exact);
     assert_eq!(eval_with(&model, &ds, 16), exact);
+}
+
+#[test]
+fn quantized_drift_stays_within_metric_budget() {
+    let (ds, mut model) = fitted_model();
+    let exact = eval_with(&model, &ds, 16);
+    model.set_math_mode(MathMode::Quantized);
+    assert_eq!(model.math_mode(), MathMode::Quantized);
+    let quant = eval_with(&model, &ds, 16);
+    for k in [1, 5, 10] {
+        assert!(
+            (exact.hr(k) - quant.hr(k)).abs() < 1e-2,
+            "HR@{k}: {} vs {}",
+            exact.hr(k),
+            quant.hr(k)
+        );
+    }
+    for k in [5, 10] {
+        assert!(
+            (exact.ndcg(k) - quant.ndcg(k)).abs() < 1e-2,
+            "NDCG@{k}: {} vs {}",
+            exact.ndcg(k),
+            quant.ndcg(k)
+        );
+    }
+    // Back to exact: identical to the original run again — the engine pool
+    // and both weight-pack slots key correctly on the mode.
+    model.set_math_mode(MathMode::Exact);
+    assert_eq!(eval_with(&model, &ds, 16), exact);
+}
+
+#[test]
+fn config_math_mode_plumbs_into_fitted_and_loaded_models() {
+    let (ds, model) = fitted_model();
+    let exact_report = eval_with(&model, &ds, 16);
+
+    // A model *loaded* under a Quantized config must come up in that mode
+    // and reproduce a fitted model's quantized metrics exactly — the
+    // config-level plumbing the eval harness and server construct through.
+    let pipeline = Pipeline::build(&ds);
+    let mut cfg = DelRecConfig::smoke(TeacherKind::SASRec);
+    cfg.lm = LmPreset::Large;
+    cfg.math = MathMode::Quantized;
+    let mut blob = Vec::new();
+    model.save(&mut blob).expect("serialize");
+    let restored = DelRec::load(&pipeline, &cfg, &mut blob.as_slice()).expect("restore");
+    assert_eq!(restored.math_mode(), MathMode::Quantized);
+
+    let mut quant_model = model;
+    quant_model.set_math_mode(MathMode::Quantized);
+    assert_eq!(
+        eval_with(&restored, &ds, 16),
+        eval_with(&quant_model, &ds, 16),
+        "config-selected mode must behave exactly like the runtime switch"
+    );
+
+    // Sanity: the restored quantized model still sits within the drift
+    // budget of the exact metrics.
+    let quant_report = eval_with(&restored, &ds, 16);
+    for k in [1, 5, 10] {
+        assert!((exact_report.hr(k) - quant_report.hr(k)).abs() < 1e-2);
+    }
 }
