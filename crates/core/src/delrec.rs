@@ -385,6 +385,21 @@ impl DelRec {
         &self.lm
     }
 
+    /// The tokenized item catalog this model was fitted on — the
+    /// [`Recommender`](crate::Recommender) exports its item embeddings from
+    /// these titles.
+    pub fn items(&self) -> &ItemTokens {
+        &self.items
+    }
+
+    /// Mutable access to the underlying LM, for parameter surgery in tests
+    /// and continued training. Any parameter write bumps the store version,
+    /// which invalidates every version-keyed cache downstream: weight packs,
+    /// prefix caches, and the retrieval item index.
+    pub fn lm_mut(&mut self) -> &mut MiniLm {
+        &mut self.lm
+    }
+
     /// The distilled soft prompts, if this variant has them.
     pub fn soft_prompt(&self) -> Option<&SoftPrompt> {
         self.sp.as_ref()

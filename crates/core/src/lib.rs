@@ -26,6 +26,7 @@ pub mod config;
 pub mod delrec;
 pub mod pipeline;
 pub mod prompt;
+pub mod recommend;
 pub mod stage1;
 pub mod stage2;
 
@@ -34,3 +35,4 @@ pub use config::{DelRecConfig, StageConfig, StageOptimizer, TeacherKind};
 pub use delrec::DelRec;
 pub use pipeline::{build_teacher, pretrained_lm, LmPreset, Pipeline};
 pub use prompt::{ItemTokens, Prompt, PromptBuilder, SoftMode};
+pub use recommend::{RecommendConfig, Recommender};

@@ -1,0 +1,211 @@
+//! `recommend(user_history) -> top-k` with **no candidate list**: the
+//! full-catalog retrieve-then-re-rank pipeline over a fitted [`DelRec`].
+//!
+//! Stage one retrieves `retrieve_n` candidates by scanning every item with a
+//! [`Retriever`] built from the LM's own item embeddings (mean title-token
+//! embeddings, the MiniLM stand-in for "LLM item embeddings"); stage two
+//! re-ranks the survivors with the fitted DELRec prompt scorer in bounded
+//! chunks (prompt context caps how many titles fit per forward). Both stages
+//! are bitwise thread-count deterministic, so the composition is too.
+//!
+//! The retriever is cached per parameter-store version with one slot per
+//! index format — the exact discipline of the LM weight-pack cache: the f32
+//! slot serves [`MathMode::Exact`] and [`MathMode::Fast`] (the scan is pure
+//! GEMM; Fast approximates nothing it uses), the q8 slot serves
+//! [`MathMode::Quantized`], and a version bump invalidates a slot without
+//! touching the other. `retrieval.index.{build,hit}` counters and the
+//! `retrieval.index.bytes` gauge make the cache observable.
+
+use crate::delrec::DelRec;
+use delrec_data::ItemId;
+use delrec_eval::{score_candidates_chunked, Ranker, ScoreRequest, TopKRecommender};
+use delrec_lm::MiniLm;
+use delrec_retrieval::{sort_ranked, IndexFormat, Retriever};
+use delrec_tensor::MathMode;
+use std::sync::{Arc, Mutex};
+
+/// Pipeline knobs for [`Recommender`].
+#[derive(Clone, Debug)]
+pub struct RecommendConfig {
+    /// Candidates the retrieval stage surfaces for re-ranking. The recall
+    /// ceiling of the whole pipeline: a target the scan leaves below this
+    /// cut can never be recommended.
+    pub retrieve_n: usize,
+    /// Candidates per re-ranking prompt (the paper's protocol uses 15-way
+    /// candidate sets; chunks reuse that shape so the scorer stays in
+    /// distribution).
+    pub rerank_chunk: usize,
+}
+
+impl Default for RecommendConfig {
+    fn default() -> Self {
+        RecommendConfig {
+            retrieve_n: 100,
+            rerank_chunk: 15,
+        }
+    }
+}
+
+/// Version-keyed retriever cache: slot 0 holds f32 panels (Exact/Fast),
+/// slot 1 holds q8 panels (Quantized) — mirror of the LM's dual-slot
+/// weight-pack cache.
+struct RetrieverCache {
+    slots: Mutex<[Option<Arc<Retriever>>; 2]>,
+}
+
+impl RetrieverCache {
+    fn new() -> Self {
+        RetrieverCache {
+            slots: Mutex::new([None, None]),
+        }
+    }
+}
+
+/// The full-pipeline recommender: a fitted [`DelRec`] plus the cached
+/// retrieval stage built from its item embeddings.
+pub struct Recommender {
+    model: DelRec,
+    cfg: RecommendConfig,
+    cache: RetrieverCache,
+}
+
+/// The pipeline must be shareable across serving threads like [`DelRec`]
+/// itself (the cache is a `Mutex` over `Arc`s; the retriever is immutable
+/// once built).
+#[allow(dead_code)]
+fn _assert_recommender_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Recommender>();
+}
+
+impl Recommender {
+    /// Wrap a fitted model with the default pipeline configuration.
+    pub fn new(model: DelRec) -> Self {
+        Self::with_config(model, RecommendConfig::default())
+    }
+
+    /// Wrap a fitted model with explicit knobs.
+    pub fn with_config(model: DelRec, cfg: RecommendConfig) -> Self {
+        assert!(cfg.retrieve_n > 0, "retrieve_n must be positive");
+        assert!(cfg.rerank_chunk > 0, "rerank_chunk must be positive");
+        Recommender {
+            model,
+            cfg,
+            cache: RetrieverCache::new(),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &DelRec {
+        &self.model
+    }
+
+    /// Mutable access to the wrapped model (parameter surgery, continued
+    /// training). The retriever cache needs no explicit reset: it re-checks
+    /// the store version on every [`recommend`](Self::recommend).
+    pub fn model_mut(&mut self) -> &mut DelRec {
+        &mut self.model
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &RecommendConfig {
+        &self.cfg
+    }
+
+    /// Switch the re-ranker's numeric mode (see [`DelRec::set_math_mode`]).
+    /// The retriever cache keeps one slot per index format, so toggling
+    /// between modes never rebuilds a still-valid index.
+    pub fn set_math_mode(&mut self, math: MathMode) {
+        self.model.set_math_mode(math);
+    }
+
+    /// Export the `[n_items, d_model]` item-embedding matrix from the LM:
+    /// row `j` is the mean token embedding of item `j`'s title — computed
+    /// once per parameter-store version, then packed into the index.
+    fn export_embeddings(lm: &MiniLm, items: &crate::prompt::ItemTokens) -> (Vec<f32>, usize) {
+        let _span = delrec_obs::span!("retrieval.export");
+        let dim = lm.cfg.d_model;
+        let n_items = items.len();
+        let mut emb = Vec::with_capacity(n_items * dim);
+        for j in 0..n_items {
+            let title = items.title(ItemId(j as u32));
+            if title.is_empty() {
+                // Untokenizable title: a zero row scores 0 against every
+                // query and sorts purely by id — never recommended, never a
+                // panic.
+                emb.resize(emb.len() + dim, 0.0);
+            } else {
+                emb.extend_from_slice(&lm.title_embedding(title));
+            }
+        }
+        (emb, dim)
+    }
+
+    /// The current retriever: cached when its parameter-store version (and
+    /// format slot) still match, rebuilt from freshly exported embeddings
+    /// otherwise.
+    fn retriever(&self) -> Arc<Retriever> {
+        let version = self.model.lm().store().version();
+        let (slot, format) = match self.model.math_mode() {
+            MathMode::Quantized => (1, IndexFormat::Q8),
+            _ => (0, IndexFormat::F32),
+        };
+        let mut slots = self.cache.slots.lock().unwrap();
+        if let Some(r) = &slots[slot] {
+            if r.index().version() == version {
+                delrec_obs::counter!("retrieval.index.hit").incr();
+                return Arc::clone(r);
+            }
+        }
+        let (emb, dim) = Self::export_embeddings(self.model.lm(), self.model.items());
+        let built = Arc::new(Retriever::build(emb, dim, version, format));
+        slots[slot] = Some(Arc::clone(&built));
+        built
+    }
+
+    /// Retrieve-only entry (no re-ranking): the scan's best-first top-`n`.
+    /// This is the stage the recall@N evaluation measures.
+    pub fn retrieve(&self, history: &[ItemId], n: usize) -> Vec<(ItemId, f32)> {
+        self.retriever().retrieve(history, n)
+    }
+
+    /// The full pipeline: retrieve `max(retrieve_n, k)` candidates from the
+    /// whole catalog, re-rank them with the fitted DELRec, return the `k`
+    /// best (score descending, ties toward the smaller [`ItemId`]).
+    pub fn recommend(&self, history: &[ItemId], k: usize) -> Vec<(ItemId, f32)> {
+        assert!(k > 0, "k must be positive");
+        let _span = delrec_obs::span!("recommend");
+        let retrieved = self.retrieve(history, self.cfg.retrieve_n.max(k));
+        let ids: Vec<ItemId> = retrieved.iter().map(|&(id, _)| id).collect();
+        let rerank = delrec_obs::span!("rerank");
+        let scores = score_candidates_chunked(&self.model, history, &ids, self.cfg.rerank_chunk);
+        drop(rerank);
+        let mut ranked: Vec<(ItemId, f32)> = ids.into_iter().zip(scores).collect();
+        sort_ranked(&mut ranked);
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+impl TopKRecommender for Recommender {
+    fn recommend_top_k(&self, prefix: &[ItemId], k: usize) -> Vec<(ItemId, f32)> {
+        self.recommend(prefix, k)
+    }
+}
+
+/// The pipeline still serves the classic candidate-scoring protocol by
+/// delegating to the wrapped model — one `Server<Recommender>` can answer
+/// both request shapes.
+impl Ranker for Recommender {
+    fn name(&self) -> &str {
+        "delrec+retrieval"
+    }
+
+    fn score_candidates(&self, prefix: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
+        self.model.score_candidates(prefix, candidates)
+    }
+
+    fn score_candidates_batch(&self, requests: &[ScoreRequest<'_>]) -> Vec<Vec<f32>> {
+        self.model.score_candidates_batch(requests)
+    }
+}

@@ -7,13 +7,17 @@ pub mod bootstrap;
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod retrieval;
 pub mod runner;
 pub mod ttest;
 
 pub use bootstrap::{bootstrap_ci, hr_ci, ndcg_ci, ConfidenceInterval};
 pub use metrics::RankingReport;
+pub use retrieval::{
+    evaluate_retrieval, evaluate_top_k, RetrievalEvalConfig, RetrievalReport, TopKReport,
+};
 pub use runner::{
     evaluate, evaluate_examples, evaluate_examples_par, evaluate_par, score_candidates_chunked,
-    EvalConfig, FnRanker, Ranker, ScoreRequest,
+    EvalConfig, FnRanker, Ranker, ScoreRequest, TopKRecommender,
 };
 pub use ttest::{paired_t_test, TTestResult};

@@ -29,6 +29,19 @@ pub trait Ranker {
     }
 }
 
+/// Anything that can produce a best-first top-k over the *whole catalog*
+/// from a user history alone — the full retrieve-then-re-rank pipeline, as
+/// opposed to a [`Ranker`], which is handed its candidate set.
+///
+/// Contract: the returned list is best-first, at most `k` long (shorter only
+/// when the catalog is smaller), deduplicated, and deterministic — equal
+/// scores order by ascending [`ItemId`], and the list is bitwise identical
+/// at every thread count.
+pub trait TopKRecommender {
+    /// The `k` best items for this history, best first, with their scores.
+    fn recommend_top_k(&self, prefix: &[ItemId], k: usize) -> Vec<(ItemId, f32)>;
+}
+
 /// Adapter turning a closure into a [`Ranker`] — used to wrap full-catalog
 /// scorers (conventional models) and test doubles.
 pub struct FnRanker<F> {

@@ -1,0 +1,125 @@
+//! The query side of retrieval: turn a user's interaction history into one
+//! vector in the item-embedding space.
+//!
+//! The encoder is the cheapest thing that works and — crucially for the
+//! serving path — fully deterministic: a recency-weighted mean of the
+//! history items' (normalized) embeddings, accumulated oldest-to-newest in
+//! one fixed order, then L2-normalized. This is the DLLM2Rec-style "ship the
+//! LLM embeddings to a cheap student" candidate generator: all the semantic
+//! lifting lives in the item embeddings; the user side just aggregates them.
+
+use crate::index::l2_normalize_rows;
+use delrec_data::ItemId;
+
+/// Default geometric recency decay: the newest interaction weighs 1, the
+/// one before `0.8`, then `0.64`, … — recent taste dominates without the
+/// older history vanishing entirely.
+pub const DEFAULT_DECAY: f32 = 0.8;
+
+/// Encodes a user history as a recency-weighted mean of item embeddings.
+///
+/// Owns its own normalized copy of the `[n_items, dim]` embedding matrix:
+/// the packed [`ItemIndex`](crate::ItemIndex) panels cannot be indexed by
+/// row, and the encoder must read individual item rows.
+pub struct UserEncoder {
+    emb: Vec<f32>,
+    dim: usize,
+    n_items: usize,
+    decay: f32,
+}
+
+impl UserEncoder {
+    /// Build from a row-major `[n_items, dim]` embedding matrix (consumed;
+    /// rows are L2-normalized in place, matching the index side) with the
+    /// [`DEFAULT_DECAY`] recency weighting.
+    pub fn new(embeddings: Vec<f32>, dim: usize) -> Self {
+        Self::with_decay(embeddings, dim, DEFAULT_DECAY)
+    }
+
+    /// [`new`](Self::new) with an explicit per-step decay in `(0, 1]`
+    /// (`1.0` = plain mean).
+    pub fn with_decay(mut embeddings: Vec<f32>, dim: usize, decay: f32) -> Self {
+        assert!(dim > 0, "embedding dim must be positive");
+        assert_eq!(embeddings.len() % dim, 0, "embedding matrix shape");
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "decay must be in (0, 1], got {decay}"
+        );
+        let n_items = embeddings.len() / dim;
+        l2_normalize_rows(&mut embeddings, dim);
+        UserEncoder {
+            emb: embeddings,
+            dim,
+            n_items,
+            decay,
+        }
+    }
+
+    /// Embedding dimensionality (the query vector's length).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encode a history (oldest first) into a unit-norm query vector.
+    ///
+    /// Out-of-catalog ids are skipped; an empty (or fully skipped) history
+    /// yields the zero vector, whose scan scores every item 0.0 and thus
+    /// falls back to pure ItemId order in the top-k — deterministic cold
+    /// start rather than a panic.
+    pub fn encode(&self, history: &[ItemId]) -> Vec<f32> {
+        let mut q = vec![0.0f32; self.dim];
+        // Oldest-to-newest with weight decay^(age): one fixed accumulation
+        // order, so the query — and everything downstream — is bitwise
+        // reproducible for a given history.
+        for (age, &id) in history.iter().rev().enumerate() {
+            let j = id.index();
+            if j >= self.n_items {
+                continue;
+            }
+            let w = self.decay.powi(age as i32);
+            let row = &self.emb[j * self.dim..(j + 1) * self.dim];
+            for (acc, &v) in q.iter_mut().zip(row) {
+                *acc += w * v;
+            }
+        }
+        l2_normalize_rows(&mut q, self.dim);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_item_history_points_at_that_item() {
+        let emb = vec![1.0, 0.0, 0.0, 2.0, -3.0, 0.0];
+        let enc = UserEncoder::new(emb, 2);
+        let q = enc.encode(&[ItemId(1)]);
+        assert!((q[0] - 0.0).abs() < 1e-6 && (q[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_history_is_zero_vector() {
+        let enc = UserEncoder::new(vec![1.0, 0.0], 2);
+        assert_eq!(enc.encode(&[]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn out_of_catalog_ids_are_skipped() {
+        let enc = UserEncoder::new(vec![1.0, 0.0], 2);
+        let q = enc.encode(&[ItemId(7), ItemId(0)]);
+        assert!((q[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recency_weighting_prefers_the_newest_item() {
+        // Orthogonal items: the query must lean toward the last interaction.
+        let emb = vec![1.0, 0.0, 0.0, 1.0];
+        let enc = UserEncoder::new(emb, 2);
+        let q = enc.encode(&[ItemId(0), ItemId(1)]);
+        assert!(q[1] > q[0], "newest item must dominate: {q:?}");
+        let norm: f32 = q.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+}

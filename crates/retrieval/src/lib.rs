@@ -1,0 +1,100 @@
+//! Full-catalog candidate generation for DELRec.
+//!
+//! The missing production stage in the paper's protocol: instead of scoring
+//! an oracle-provided candidate set, [`Retriever`] scans *every* item — LLM
+//! (MiniLM) item embeddings, L2-normalized and repacked into the blocked
+//! GEMM panel layout ([`ItemIndex`]) — against a query vector aggregated
+//! from the user's history ([`UserEncoder`]), then selects candidates with a
+//! deterministic [`top_k`]. DELRec re-ranks the survivors upstream (see
+//! `delrec-core`'s `Recommender`).
+//!
+//! Design invariants, shared with every kernel in this workspace:
+//!
+//! * **Bitwise thread-count determinism.** The scan is `gemm_packed` (or its
+//!   int8 twin), whose parallel drivers only redistribute disjoint output
+//!   stripes; the top-k is a serial pass with a total order
+//!   ([`f32::total_cmp`], ties toward the smaller `ItemId`). Identical input
+//!   → identical candidate lists at `DELREC_THREADS` 1 or 64.
+//! * **Exactness.** Brute force, not ANN: the scan's own recall is 1.0, so
+//!   end-to-end recall measures the *embeddings*, not an index structure.
+//! * **One build per parameter version.** [`ItemIndex`] carries the
+//!   parameter-store version it was exported from; callers cache it and
+//!   rebuild when the version (or math mode) moves — same contract as the LM
+//!   weight-pack cache.
+
+#![warn(missing_docs)]
+
+pub mod encoder;
+pub mod index;
+pub mod topk;
+
+pub use encoder::{UserEncoder, DEFAULT_DECAY};
+pub use index::{l2_normalize_rows, IndexFormat, ItemIndex};
+pub use topk::{sort_ranked, top_k};
+
+use delrec_data::ItemId;
+
+/// Index + encoder composed into the retrieval stage: history in,
+/// best-first `(item, score)` candidates out.
+pub struct Retriever {
+    index: ItemIndex,
+    encoder: UserEncoder,
+}
+
+impl Retriever {
+    /// Build both stages from one row-major `[n_items, dim]` embedding
+    /// matrix exported at parameter-store version `version`.
+    pub fn build(embeddings: Vec<f32>, dim: usize, version: u64, format: IndexFormat) -> Self {
+        let encoder = UserEncoder::new(embeddings.clone(), dim);
+        let index = ItemIndex::build(embeddings, dim, version, format);
+        Retriever { index, encoder }
+    }
+
+    /// The packed index (size, version, format, bytes).
+    pub fn index(&self) -> &ItemIndex {
+        &self.index
+    }
+
+    /// The query encoder.
+    pub fn encoder(&self) -> &UserEncoder {
+        &self.encoder
+    }
+
+    /// Retrieve the `n` best-scoring candidates for a user history (oldest
+    /// first), best first. Returns the whole catalog ranked when
+    /// `n >= catalog size`.
+    pub fn retrieve(&self, history: &[ItemId], n: usize) -> Vec<(ItemId, f32)> {
+        let query = self.encoder.encode(history);
+        let scores = self.index.scan(&query);
+        top_k(&scores, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retrieve_ranks_the_history_neighborhood_first() {
+        // Three well-separated directions; history in direction 0.
+        let emb = vec![
+            1.0, 0.0, 0.0, //
+            0.9, 0.1, 0.0, //
+            0.0, 1.0, 0.0, //
+            0.0, 0.0, 1.0, //
+        ];
+        let r = Retriever::build(emb, 3, 0, IndexFormat::F32);
+        let got = r.retrieve(&[ItemId(0)], 2);
+        assert_eq!(got[0].0, ItemId(0));
+        assert_eq!(got[1].0, ItemId(1));
+    }
+
+    #[test]
+    fn cold_start_returns_id_order() {
+        let emb = vec![0.3f32; 5 * 4];
+        let r = Retriever::build(emb, 4, 0, IndexFormat::F32);
+        let got = r.retrieve(&[], 3);
+        let ids: Vec<u32> = got.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic top-k selection over a full-catalog score row.
+//!
+//! The ordering is total and explicit: higher score first, and *bitwise
+//! equal* scores break toward the smaller [`ItemId`]. Comparison uses
+//! [`f32::total_cmp`], so `-0.0 < 0.0` and NaN ordering are pinned rather
+//! than left to `partial_cmp`'s mercy — given a bitwise-deterministic score
+//! row (which the index scan guarantees at every thread count), the selected
+//! list is bitwise identical run to run and lane count to lane count.
+
+use delrec_data::ItemId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// `(score, item)` with the *reversed* retrieval order, so the max-heap's
+/// root is the worst element currently kept — a classic bounded top-k heap.
+#[derive(PartialEq)]
+struct Worst(f32, u32);
+
+impl Eq for Worst {}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Lower score = "greater" (worse); on equal bits, higher id = worse.
+        other
+            .0
+            .total_cmp(&self.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+/// The `k` best-scoring items of `scores` (item `j`'s score at index `j`),
+/// best first; ties in score order by ascending [`ItemId`]. Returns fewer
+/// than `k` entries only when the catalog itself is smaller than `k`.
+pub fn top_k(scores: &[f32], k: usize) -> Vec<(ItemId, f32)> {
+    let _span = delrec_obs::span!("retrieval.topk");
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap = BinaryHeap::with_capacity(k + 1);
+    for (j, &s) in scores.iter().enumerate() {
+        let cand = Worst(s, j as u32);
+        if heap.len() < k {
+            heap.push(cand);
+        } else if cand < *heap.peek().expect("non-empty at capacity") {
+            heap.pop();
+            heap.push(cand);
+        }
+    }
+    let mut out: Vec<(ItemId, f32)> = heap.into_iter().map(|Worst(s, j)| (ItemId(j), s)).collect();
+    // Heap pop order is worst-first and heap-internal layout is not a
+    // contract; sort the k survivors with the same total order, best first.
+    sort_ranked(&mut out);
+    out
+}
+
+/// Sort `(item, score)` pairs best-first under the retrieval order: score
+/// descending via [`f32::total_cmp`], ties toward the smaller [`ItemId`].
+/// Shared by [`top_k`] and re-ranking callers that score a candidate subset.
+pub fn sort_ranked(ranked: &mut [(ItemId, f32)]) {
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0 .0.cmp(&b.0 .0)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_best_scores_in_order() {
+        let scores = [0.1, 0.9, -0.3, 0.5, 0.7];
+        let got = top_k(&scores, 3);
+        assert_eq!(
+            got,
+            vec![(ItemId(1), 0.9), (ItemId(4), 0.7), (ItemId(3), 0.5)]
+        );
+    }
+
+    #[test]
+    fn equal_scores_break_toward_smaller_item_id() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let got = top_k(&scores, 2);
+        assert_eq!(got, vec![(ItemId(0), 0.5), (ItemId(1), 0.5)]);
+        // Including the boundary: the last kept and first dropped are tied,
+        // and the *smaller id* is kept.
+        let got = top_k(&[0.9, 0.5, 0.5, 0.5], 2);
+        assert_eq!(got, vec![(ItemId(0), 0.9), (ItemId(1), 0.5)]);
+    }
+
+    #[test]
+    fn negative_zero_orders_below_positive_zero() {
+        let got = top_k(&[-0.0, 0.0], 2);
+        assert_eq!(got[0], (ItemId(1), 0.0));
+        assert_eq!(got[1], (ItemId(0), -0.0));
+    }
+
+    #[test]
+    fn k_larger_than_catalog_returns_everything() {
+        let got = top_k(&[0.2, 0.8], 10);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, ItemId(1));
+    }
+
+    #[test]
+    fn k_zero_and_empty_scores_are_empty() {
+        assert!(top_k(&[0.5], 0).is_empty());
+        assert!(top_k(&[], 3).is_empty());
+    }
+}

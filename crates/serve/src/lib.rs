@@ -25,6 +25,6 @@ pub mod server;
 pub mod session;
 
 pub use metrics::{LogHistogram, Metrics, MetricsSnapshot};
-pub use request::{ranking_of, RecRequest, RecResponse, ServeError};
-pub use server::{Client, ResponseHandle, ServeConfig, Server};
+pub use request::{ranking_of, RecRequest, RecResponse, ServeError, TopKRequest, TopKResponse};
+pub use server::{Client, ResponseHandle, ServeConfig, Server, TopKHandle};
 pub use session::SessionStore;

@@ -41,6 +41,53 @@ impl RecRequest {
     }
 }
 
+/// A full-catalog top-k request: no candidate list — the server retrieves
+/// candidates from the whole catalog and re-ranks them with the fitted model.
+///
+/// Session semantics are identical to [`RecRequest`]: `recent_items` is a
+/// delta appended to the stored per-user history.
+#[derive(Clone, Debug)]
+pub struct TopKRequest {
+    /// Session key. Shares histories with [`RecRequest`]s of the same id.
+    pub user_id: u64,
+    /// New interactions since the user's last request, oldest first.
+    pub recent_items: Vec<ItemId>,
+    /// How many recommendations to return. Must be positive.
+    pub k: usize,
+    /// Drop-dead time covering the whole retrieve + re-rank pipeline.
+    pub deadline: Option<Instant>,
+}
+
+impl TopKRequest {
+    /// Convenience: a request with a deadline `budget` from now.
+    pub fn with_budget(
+        user_id: u64,
+        recent_items: Vec<ItemId>,
+        k: usize,
+        budget: Duration,
+    ) -> Self {
+        TopKRequest {
+            user_id,
+            recent_items,
+            k,
+            deadline: Some(Instant::now() + budget),
+        }
+    }
+}
+
+/// A served full-catalog recommendation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopKResponse {
+    /// The `k` best items, best first (score descending, ties toward the
+    /// smaller [`ItemId`]) — bitwise identical to calling the recommender's
+    /// `recommend_top_k` directly on the session history.
+    pub items: Vec<(ItemId, f32)>,
+    /// Time spent queued before the request's batch flushed.
+    pub queue_wait: Duration,
+    /// Total submit-to-response latency as the server measured it.
+    pub latency: Duration,
+}
+
 /// A served recommendation: per-candidate scores plus the derived ranking.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RecResponse {
@@ -73,8 +120,14 @@ pub enum ServeError {
     /// The deadline passed while the request was queued or being scored; the
     /// request was shed rather than silently answered late.
     DeadlineExpired,
-    /// The request had no candidates to score.
+    /// The request had no candidates to score (or asked for zero items).
     EmptyCandidates,
+    /// A [`TopKRequest`](crate::TopKRequest) reached a server whose model has
+    /// no full-catalog recommendation path (started with [`Server::start`]
+    /// rather than `start_recommender`).
+    ///
+    /// [`Server::start`]: crate::Server::start
+    TopKUnsupported,
     /// The server is shutting down (or has shut down).
     Shutdown,
 }
@@ -88,6 +141,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::DeadlineExpired => write!(f, "deadline expired before a result was ready"),
             ServeError::EmptyCandidates => write!(f, "request has no candidates"),
+            ServeError::TopKUnsupported => {
+                write!(f, "server has no full-catalog top-k path")
+            }
             ServeError::Shutdown => write!(f, "server is shut down"),
         }
     }

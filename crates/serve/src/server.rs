@@ -22,9 +22,9 @@
 //! knob, never a numerics knob.
 
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::request::{ranking_of, RecRequest, RecResponse, ServeError};
+use crate::request::{ranking_of, RecRequest, RecResponse, ServeError, TopKRequest, TopKResponse};
 use crate::session::SessionStore;
-use delrec_eval::{Ranker, ScoreRequest};
+use delrec_eval::{Ranker, ScoreRequest, TopKRecommender};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -80,13 +80,46 @@ impl ServeConfig {
     }
 }
 
+/// The full-catalog recommendation handler a `start_recommender` server
+/// captures from its model: `(session history, k) -> top-k items`. Stored
+/// type-erased so the queue, scheduler, and scoring paths stay monomorphized
+/// over plain [`Ranker`]s.
+type TopKFn =
+    Arc<dyn Fn(&[delrec_data::ItemId], usize) -> Vec<(delrec_data::ItemId, f32)> + Send + Sync>;
+
+/// What a queued request wants scored, plus its response path.
+enum Work {
+    /// Classic protocol: score an explicit candidate list.
+    Score {
+        candidates: Vec<delrec_data::ItemId>,
+        tx: mpsc::Sender<Result<RecResponse, ServeError>>,
+    },
+    /// Full-catalog protocol: retrieve + re-rank the whole catalog.
+    TopK {
+        k: usize,
+        tx: mpsc::Sender<Result<TopKResponse, ServeError>>,
+    },
+}
+
+impl Work {
+    fn send_err(&self, e: ServeError) {
+        match self {
+            Work::Score { tx, .. } => {
+                let _ = tx.send(Err(e));
+            }
+            Work::TopK { tx, .. } => {
+                let _ = tx.send(Err(e));
+            }
+        }
+    }
+}
+
 /// One queued request: the resolved session snapshot plus the response path.
 struct Pending {
     prefix: Vec<delrec_data::ItemId>,
-    candidates: Vec<delrec_data::ItemId>,
     deadline: Option<Instant>,
     submitted: Instant,
-    tx: mpsc::Sender<Result<RecResponse, ServeError>>,
+    work: Work,
 }
 
 struct QueueState {
@@ -97,6 +130,11 @@ struct QueueState {
 /// State shared by clients, the scheduler, and the workers.
 struct Shared<R> {
     model: Arc<R>,
+    /// Present only on servers started with `start_recommender`; admission
+    /// rejects [`TopKRequest`]s with [`ServeError::TopKUnsupported`] when
+    /// absent, so the scoring path may rely on it once a top-k request is
+    /// queued.
+    topk: Option<TopKFn>,
     cfg: ServeConfig,
     queue: Mutex<QueueState>,
     /// Signalled on submit and on shutdown; the scheduler waits on it.
@@ -159,22 +197,47 @@ impl ResponseHandle {
     }
 }
 
+/// An in-flight full-catalog top-k request's receive side.
+pub struct TopKHandle {
+    rx: mpsc::Receiver<Result<TopKResponse, ServeError>>,
+}
+
+impl TopKHandle {
+    /// Block until the server answers (with items or a shedding error).
+    pub fn wait(self) -> Result<TopKResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+
+    /// Block up to `timeout`; `None` when nothing arrived in time.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<TopKResponse, ServeError>> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
 impl<R: Ranker + Send + Sync + 'static> Client<R> {
-    /// Resolve the session, run admission control, and enqueue. Returns
-    /// immediately with a handle; the response arrives when the request's
-    /// batch flushes and scores.
-    pub fn submit(&self, req: RecRequest) -> Result<ResponseHandle, ServeError> {
+    /// Shared admission path: resolve the session, check backpressure and
+    /// deadline feasibility, and return the still-held queue lock so the
+    /// caller can push its [`Pending`] atomically with the checks.
+    fn admit(
+        &self,
+        user_id: u64,
+        recent_items: &[delrec_data::ItemId],
+        deadline: Option<Instant>,
+        now: Instant,
+    ) -> Result<
+        (
+            Vec<delrec_data::ItemId>,
+            std::sync::MutexGuard<'_, QueueState>,
+        ),
+        ServeError,
+    > {
         let sh = &*self.shared;
-        let now = Instant::now();
-        if req.candidates.is_empty() {
-            return Err(ServeError::EmptyCandidates);
-        }
         // Session update happens even if admission sheds the request: the
         // interactions are real events, and losing them would corrupt the
         // history for the user's *next* request.
-        let prefix = sh.sessions.append(req.user_id, &req.recent_items);
+        let prefix = sh.sessions.append(user_id, recent_items);
 
-        let mut st = sh.queue.lock().unwrap();
+        let st = sh.queue.lock().unwrap();
         if st.closed {
             return Err(ServeError::Shutdown);
         }
@@ -182,7 +245,7 @@ impl<R: Ranker + Send + Sync + 'static> Client<R> {
             sh.metrics.record_rejected_queue_full();
             return Err(ServeError::QueueFull { depth: st.q.len() });
         }
-        if let Some(d) = req.deadline {
+        if let Some(d) = deadline {
             // The soonest this request's batch can flush: immediately, if it
             // completes a batch; otherwise up to a full window from now. A
             // deadline inside that window is unmeetable in the worst case —
@@ -198,24 +261,77 @@ impl<R: Ranker + Send + Sync + 'static> Client<R> {
                 return Err(ServeError::DeadlineUnmeetable);
             }
         }
-        let (tx, rx) = mpsc::channel();
-        st.q.push_back(Pending {
-            prefix,
-            candidates: req.candidates,
-            deadline: req.deadline,
-            submitted: now,
-            tx,
-        });
+        Ok((prefix, st))
+    }
+
+    /// Push an admitted request and wake the scheduler.
+    fn enqueue(&self, mut st: std::sync::MutexGuard<'_, QueueState>, pending: Pending) {
+        let sh = &*self.shared;
+        st.q.push_back(pending);
         sh.depth.store(st.q.len() as u64, Ordering::Relaxed);
         sh.metrics.record_submitted();
         drop(st);
         sh.notify.notify_all();
+    }
+
+    /// Resolve the session, run admission control, and enqueue. Returns
+    /// immediately with a handle; the response arrives when the request's
+    /// batch flushes and scores.
+    pub fn submit(&self, req: RecRequest) -> Result<ResponseHandle, ServeError> {
+        let now = Instant::now();
+        if req.candidates.is_empty() {
+            return Err(ServeError::EmptyCandidates);
+        }
+        let (prefix, st) = self.admit(req.user_id, &req.recent_items, req.deadline, now)?;
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(
+            st,
+            Pending {
+                prefix,
+                deadline: req.deadline,
+                submitted: now,
+                work: Work::Score {
+                    candidates: req.candidates,
+                    tx,
+                },
+            },
+        );
         Ok(ResponseHandle { rx })
     }
 
     /// Submit and block for the answer.
     pub fn recommend(&self, req: RecRequest) -> Result<RecResponse, ServeError> {
         self.submit(req)?.wait()
+    }
+
+    /// Submit a full-catalog top-k request. Shares the queue, scheduler,
+    /// admission control, and deadline discipline with [`submit`](Self::submit);
+    /// requires a server started with [`Server::start_recommender`].
+    pub fn submit_topk(&self, req: TopKRequest) -> Result<TopKHandle, ServeError> {
+        let now = Instant::now();
+        if self.shared.topk.is_none() {
+            return Err(ServeError::TopKUnsupported);
+        }
+        if req.k == 0 {
+            return Err(ServeError::EmptyCandidates);
+        }
+        let (prefix, st) = self.admit(req.user_id, &req.recent_items, req.deadline, now)?;
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(
+            st,
+            Pending {
+                prefix,
+                deadline: req.deadline,
+                submitted: now,
+                work: Work::TopK { k: req.k, tx },
+            },
+        );
+        Ok(TopKHandle { rx })
+    }
+
+    /// Submit a full-catalog top-k request and block for the answer.
+    pub fn recommend_topk(&self, req: TopKRequest) -> Result<TopKResponse, ServeError> {
+        self.submit_topk(req)?.wait()
     }
 
     /// Current queue depth (approximate between lock acquisitions).
@@ -230,46 +346,89 @@ fn score_batch<R: Ranker>(sh: &Shared<R>, batch: Vec<Pending>) {
     let _span = delrec_obs::span!("serve.score_batch");
     let now = Instant::now();
     // Shed queue-expired requests — they are answered with an error, never
-    // scored, never silently dropped.
+    // scored, never silently dropped — then split the survivors by protocol:
+    // candidate-scoring requests coalesce into one batched forward, top-k
+    // requests each run the full retrieve + re-rank pipeline.
     let mut live = Vec::with_capacity(batch.len());
+    let mut topk_live = Vec::new();
     for p in batch {
         if p.deadline.is_some_and(|d| d <= now) {
             sh.metrics.record_shed_expired();
-            let _ = p.tx.send(Err(ServeError::DeadlineExpired));
-        } else {
+            p.work.send_err(ServeError::DeadlineExpired);
+        } else if matches!(p.work, Work::Score { .. }) {
             live.push(p);
+        } else {
+            topk_live.push(p);
         }
     }
-    if live.is_empty() {
-        return;
-    }
-    let requests: Vec<ScoreRequest<'_>> = live
-        .iter()
-        .map(|p| (p.prefix.as_slice(), p.candidates.as_slice()))
-        .collect();
-    let rows = sh.model.score_candidates_batch(&requests);
-    debug_assert_eq!(rows.len(), live.len(), "one score row per live request");
-    let done = Instant::now();
-    let batch_size = live.len();
-    sh.metrics.record_batch(batch_size as u64);
-    for (p, scores) in live.into_iter().zip(rows) {
-        if p.deadline.is_some_and(|d| d <= done) {
-            // Expired mid-forward: the contract is "never silently answered
-            // late", so the scores are discarded and the client told why.
-            sh.metrics.record_timed_out();
-            let _ = p.tx.send(Err(ServeError::DeadlineExpired));
-            continue;
+    if !live.is_empty() {
+        let requests: Vec<ScoreRequest<'_>> = live
+            .iter()
+            .map(|p| {
+                let Work::Score { candidates, .. } = &p.work else {
+                    unreachable!("partitioned above")
+                };
+                (p.prefix.as_slice(), candidates.as_slice())
+            })
+            .collect();
+        let rows = sh.model.score_candidates_batch(&requests);
+        debug_assert_eq!(rows.len(), live.len(), "one score row per live request");
+        let done = Instant::now();
+        let batch_size = live.len();
+        sh.metrics.record_batch(batch_size as u64);
+        for (p, scores) in live.into_iter().zip(rows) {
+            let Work::Score { tx, .. } = p.work else {
+                unreachable!("partitioned above")
+            };
+            if p.deadline.is_some_and(|d| d <= done) {
+                // Expired mid-forward: the contract is "never silently
+                // answered late", so the scores are discarded and the client
+                // told why.
+                sh.metrics.record_timed_out();
+                let _ = tx.send(Err(ServeError::DeadlineExpired));
+                continue;
+            }
+            let ranking = ranking_of(&scores);
+            sh.metrics
+                .record_completed(done - p.submitted, now - p.submitted);
+            let _ = tx.send(Ok(RecResponse {
+                scores,
+                ranking,
+                batch_size,
+                queue_wait: now - p.submitted,
+                latency: done - p.submitted,
+            }));
         }
-        let ranking = ranking_of(&scores);
-        sh.metrics
-            .record_completed(done - p.submitted, now - p.submitted);
-        let _ = p.tx.send(Ok(RecResponse {
-            scores,
-            ranking,
-            batch_size,
-            queue_wait: now - p.submitted,
-            latency: done - p.submitted,
-        }));
+    }
+    if !topk_live.is_empty() {
+        // Admission rejects top-k requests on servers without a handler, so
+        // one is guaranteed here. The pipeline's own spans
+        // (`retrieval.scan`, `retrieval.topk`, `rerank`) fire inside the
+        // handler call; this span bounds the serving-side stage.
+        let topk = sh
+            .topk
+            .as_ref()
+            .expect("top-k request admitted without a handler");
+        let _span = delrec_obs::span!("serve.topk_batch");
+        for p in topk_live {
+            let Work::TopK { k, tx } = p.work else {
+                unreachable!("partitioned above")
+            };
+            let items = topk(&p.prefix, k);
+            let done = Instant::now();
+            if p.deadline.is_some_and(|d| d <= done) {
+                sh.metrics.record_timed_out();
+                let _ = tx.send(Err(ServeError::DeadlineExpired));
+                continue;
+            }
+            sh.metrics
+                .record_completed(done - p.submitted, now - p.submitted);
+            let _ = tx.send(Ok(TopKResponse {
+                items,
+                queue_wait: now - p.submitted,
+                latency: done - p.submitted,
+            }));
+        }
     }
 }
 
@@ -322,11 +481,18 @@ pub struct Server<R: Ranker + Send + Sync + 'static> {
 
 impl<R: Ranker + Send + Sync + 'static> Server<R> {
     /// Spawn the scheduler (and worker pool, if configured) over `model`.
+    /// Serves the candidate-scoring protocol only; [`TopKRequest`]s are
+    /// rejected with [`ServeError::TopKUnsupported`].
     pub fn start(model: Arc<R>, cfg: ServeConfig) -> Self {
+        Self::start_inner(model, cfg, None)
+    }
+
+    fn start_inner(model: Arc<R>, cfg: ServeConfig, topk: Option<TopKFn>) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         assert!(cfg.max_queue >= 1, "max_queue must be at least 1");
         let shared = Arc::new(Shared {
             model,
+            topk,
             sessions: SessionStore::new(cfg.session_shards, cfg.max_history),
             cfg,
             queue: Mutex::new(QueueState {
@@ -386,6 +552,19 @@ impl<R: Ranker + Send + Sync + 'static> Server<R> {
             shared,
             scheduler: Some(scheduler),
         }
+    }
+
+    /// Spawn a server that additionally serves the full-catalog protocol:
+    /// [`TopKRequest`]s run `model.recommend_top_k` over the resolved session
+    /// history inside the same queue, batching, and deadline discipline as
+    /// candidate scoring. One server answers both request shapes.
+    pub fn start_recommender(model: Arc<R>, cfg: ServeConfig) -> Self
+    where
+        R: TopKRecommender,
+    {
+        let handler = Arc::clone(&model);
+        let topk: TopKFn = Arc::new(move |prefix, k| handler.recommend_top_k(prefix, k));
+        Self::start_inner(model, cfg, Some(topk))
     }
 
     /// A submission handle. Clone freely across client threads.

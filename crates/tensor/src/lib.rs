@@ -36,7 +36,7 @@ pub use infer::{fast_exp, fast_gelu, fast_sigmoid, fast_tanh, InferCtx, MathMode
 pub use ops::{
     gemm, gemm_auto, gemm_packed, gemm_packed_q8, matmul_raw, matmul_raw_sparse,
     matmul_raw_strided, pack_b, pack_b_q8, pack_b_transposed, pack_b_transposed_q8, quantize_pack,
-    transpose_into, PackedB, QuantizedPanel, MR, NR,
+    transpose_into, PackedB, QuantizedPanel, AUTO_PACK_MIN_MACS, MR, NR,
 };
 pub use params::{Ctx, ParamId, ParamStore};
 pub use shape::Shape;

@@ -40,13 +40,20 @@ pub const NR: usize = 8;
 /// offloads, so smaller products stay serial on the calling thread.
 const PAR_MIN_MACS_PER_TASK: usize = 64 * 1024;
 
-/// Minimum multiply-accumulates for [`gemm_auto`] to pay for a packing pass:
-/// packing allocates and writes `⌈n/NR⌉·k·NR` floats before a single MAC
-/// runs, and below a few thousand MACs [`matmul_raw`] finishes in less time
-/// than that data movement. Mirrors [`PAR_MIN_MACS_PER_TASK`] an order of
+/// Minimum multiply-accumulates for an auto-dispatching GEMM to pay for a
+/// per-call packing pass: packing allocates and writes `⌈n/NR⌉·k·NR` floats
+/// (f32 panels) or codes-plus-scales (q8 panels) before a single MAC runs,
+/// and below a few thousand MACs [`matmul_raw`] finishes in less time than
+/// that data movement. Mirrors [`PAR_MIN_MACS_PER_TASK`] an order of
 /// magnitude down — an allocation plus a copy is far cheaper than a
 /// fork/join handshake, but not free.
-const AUTO_PACK_MIN_MACS: usize = 8 * 1024;
+///
+/// This is the *single* named threshold for every pack-or-not decision: the
+/// f32 [`gemm_auto`] dispatch consults it directly, and q8 callers reuse it
+/// when deciding whether a one-shot product is worth quantize-packing
+/// (long-lived panels — LM weight packs, the retrieval item index — pack
+/// unconditionally because the cost amortizes over every later call).
+pub const AUTO_PACK_MIN_MACS: usize = 8 * 1024;
 
 /// A right-hand GEMM operand repacked into `NR`-wide column panels.
 ///
@@ -1039,6 +1046,33 @@ mod tests {
         for &(m, k, n) in &[(2usize, 5usize, 4usize), (16, 16, 48)] {
             let a = fill(10 + m as u64, m * k);
             let b = fill(20 + n as u64, k * n);
+            let mut want = vec![0.0f32; m * n];
+            matmul_raw(&a, &b, &mut want, m, k, n);
+            let mut got = vec![0.0f32; m * n];
+            gemm_auto(&a, &b, &mut got, m, k, n);
+            assert_eq!(
+                want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_auto_agrees_at_the_pack_threshold_boundary() {
+        // Shapes pinned to straddle AUTO_PACK_MIN_MACS by name, so a future
+        // retune of the threshold keeps exercising both dispatch arms right
+        // at the boundary instead of silently testing one arm twice.
+        let k = 16usize;
+        let m_at = AUTO_PACK_MIN_MACS / (k * NR * 2) + 1; // packs (m ≥ 8, n ≥ NR)
+        for &(m, n) in &[(m_at, NR * 2), (7, AUTO_PACK_MIN_MACS / k)] {
+            assert_eq!(
+                (m * k * n >= AUTO_PACK_MIN_MACS) && m >= 8,
+                m == m_at,
+                "shape ({m},{k},{n}) no longer straddles the threshold"
+            );
+            let a = fill(31 + m as u64, m * k);
+            let b = fill(37 + n as u64, k * n);
             let mut want = vec![0.0f32; m * n];
             matmul_raw(&a, &b, &mut want, m, k, n);
             let mut got = vec![0.0f32; m * n];

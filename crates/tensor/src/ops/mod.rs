@@ -16,7 +16,8 @@ mod softmax;
 
 pub use gemm::{
     gemm, gemm_auto, gemm_packed, gemm_packed_q8, matmul_raw_strided, pack_b, pack_b_q8,
-    pack_b_transposed, pack_b_transposed_q8, quantize_pack, PackedB, QuantizedPanel, MR, NR,
+    pack_b_transposed, pack_b_transposed_q8, quantize_pack, PackedB, QuantizedPanel,
+    AUTO_PACK_MIN_MACS, MR, NR,
 };
 pub use matmul::{matmul_raw, matmul_raw_sparse, transpose_into};
 

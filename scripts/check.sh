@@ -14,6 +14,9 @@ cargo clippy -p delrec-tensor --all-targets -- -D warnings
 # The thread pool underpins every parallel path and owns the only unsafe
 # lifetime erasure in the workspace; lint it (tests included) at -D warnings.
 cargo clippy -p delrec-par --all-targets -- -D warnings
+# The retrieval crate pins the full-catalog scan's determinism contract;
+# lint it (tests and proptests included) at the same bar.
+cargo clippy -p delrec-retrieval --all-targets -- -D warnings
 # The whole suite must pass single-threaded (pool runs inline) and
 # multi-threaded (parallel paths engage); results are bitwise-identical
 # either way, so both runs use the same expectations.
@@ -25,6 +28,12 @@ DELREC_THREADS=4 cargo test -q
 # test file most sensitive to the parallel drivers' partitioning.
 DELREC_THREADS=1 cargo test -q -p delrec-lm --test quantized_pack
 DELREC_THREADS=4 cargo test -q -p delrec-lm --test quantized_pack
+
+# The retrieval suite (deterministic top-k tie-breaking, scan-vs-serial
+# bitwise agreement, thread-invariance proptests) must hold at both pool
+# sizes explicitly — its catalogs are sized to engage the parallel driver.
+DELREC_THREADS=1 cargo test -q -p delrec-retrieval
+DELREC_THREADS=4 cargo test -q -p delrec-retrieval
 
 # Smoke-run the inference-engine benchmark: asserts the grad-free engine's
 # exact-mode scores are bitwise identical to the tape before timing anything.
@@ -54,3 +63,9 @@ cargo run --release -q -p delrec-bench --bin par -- --scale smoke --out "$(mktem
 # (>= 3.5x), the eval-metric drift budget (|delta| < 1e-2), and bitwise
 # thread-count determinism before timing anything.
 cargo run --release -q -p delrec-bench --bin quant -- --scale smoke --out "$(mktemp -d)"
+
+# Smoke-run the retrieval benchmark: asserts the full-catalog stage's
+# recall@{50,100} floors, the end-to-end HR/NDCG budget vs the
+# oracle-candidate protocol, and bitwise thread-count determinism of both
+# retrieval and recommend before timing the scan sweep.
+cargo run --release -q -p delrec-bench --bin retrieval -- --scale smoke --out "$(mktemp -d)"

@@ -28,6 +28,11 @@
 //! * [`par`] — the shared scoped thread pool (sized by `DELREC_THREADS`)
 //!   under GEMM, batch scoring, eval, and serving; parallel results are
 //!   bitwise identical to serial at every thread count.
+//! * [`retrieval`] — the full-catalog candidate generator: a packed-GEMM
+//!   item-embedding index (f32 or int8 panels), a recency-weighted user
+//!   encoder, and a deterministic top-k — the stage under
+//!   `core::Recommender`'s `recommend(history) -> top-k` with no candidate
+//!   list.
 //!
 //! ## Quickstart
 //!
@@ -63,5 +68,6 @@ pub use delrec_eval as eval;
 pub use delrec_lm as lm;
 pub use delrec_obs as obs;
 pub use delrec_par as par;
+pub use delrec_retrieval as retrieval;
 pub use delrec_seqrec as seqrec;
 pub use delrec_tensor as tensor;
