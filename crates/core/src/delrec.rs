@@ -441,6 +441,16 @@ impl Ranker for DelRec {
         "delrec"
     }
 
+    /// The `ParamStore` version — bumped by any parameter write, and the
+    /// exact key this model's weight packs, prefix caches, and retrieval
+    /// index invalidate on. Two `DelRec`s carrying the same parameter bits
+    /// may still differ here (e.g. a save→load round-trip replays the same
+    /// writes, a refit makes more); equal versions on one store lineage mean
+    /// bitwise-equal scores.
+    fn model_version(&self) -> u64 {
+        self.lm.store().version()
+    }
+
     fn score_candidates(&self, prefix: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
         if self.infer_enabled {
             return self

@@ -208,4 +208,8 @@ impl Ranker for Recommender {
     fn score_candidates_batch(&self, requests: &[ScoreRequest<'_>]) -> Vec<Vec<f32>> {
         self.model.score_candidates_batch(requests)
     }
+
+    fn model_version(&self) -> u64 {
+        self.model.model_version()
+    }
 }

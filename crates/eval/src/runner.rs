@@ -27,6 +27,18 @@ pub trait Ranker {
             .map(|&(prefix, candidates)| self.score_candidates(prefix, candidates))
             .collect()
     }
+
+    /// A version handle for this model's parameters: any parameter change
+    /// must be visible as a different value, and two handles with equal
+    /// values must score bitwise-identically. Model-backed rankers report
+    /// their parameter-store version (the same key their weight-pack /
+    /// prefix-cache / retriever-index invalidation uses); the serving
+    /// runtime's hot-swap registry records it per published generation so a
+    /// repack (same version, new caches) is distinguishable from a refit.
+    /// Stateless test doubles may keep the default `0`.
+    fn model_version(&self) -> u64 {
+        0
+    }
 }
 
 /// Anything that can produce a best-first top-k over the *whole catalog*

@@ -7,7 +7,12 @@
 //! through per-request response channels. Around that core:
 //!
 //! - [`SessionStore`] — sharded, lock-striped per-user histories so requests
-//!   send only interaction deltas;
+//!   send only interaction deltas; optionally durable via per-shard
+//!   write-ahead logs with snapshot compaction ([`SessionStore::persistent`] /
+//!   [`SessionStore::recover`]);
+//! - [`ModelRegistry`] — atomic model hot-swap: [`Server::publish`] installs a
+//!   newly fitted model for subsequent batches while in-flight batches drain
+//!   on the generation they loaded at flush;
 //! - deadline-aware admission control — requests whose deadline cannot be met
 //!   are rejected at submit or shed at flush, never silently answered late;
 //! - [`Metrics`] — lock-free counters plus log-bucketed latency histograms
@@ -20,11 +25,15 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod registry;
 pub mod request;
 pub mod server;
 pub mod session;
+pub mod wal;
 
 pub use metrics::{LogHistogram, Metrics, MetricsSnapshot};
+pub use registry::{ModelRegistry, PublishedModel};
 pub use request::{ranking_of, RecRequest, RecResponse, ServeError, TopKRequest, TopKResponse};
-pub use server::{Client, ResponseHandle, ServeConfig, Server, TopKHandle};
+pub use server::{Client, PersistConfig, ResponseHandle, ServeConfig, Server, TopKHandle};
 pub use session::SessionStore;
+pub use wal::{WalManifest, WalOptions};

@@ -37,7 +37,7 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Duration;
 
-use delrec_obs::{Counter, Histogram};
+use delrec_obs::{Counter, Gauge, Histogram};
 
 /// Concurrent log-bucketed histogram of durations: a [`Duration`]-typed view
 /// over a nanosecond [`delrec_obs::Histogram`] (four sub-buckets per power
@@ -111,6 +111,8 @@ pub struct Metrics {
     timed_out: Arc<Counter>,
     batches: Arc<Counter>,
     batched_requests: Arc<Counter>,
+    publishes: Arc<Counter>,
+    active_model_seq: Arc<Gauge>,
     latency: LogHistogram,
     queue_wait: LogHistogram,
 }
@@ -137,6 +139,8 @@ impl Metrics {
             timed_out: reg.counter(&name("timed_out")),
             batches: reg.counter(&name("batches")),
             batched_requests: reg.counter(&name("batched_requests")),
+            publishes: reg.counter(&name("swap.publishes")),
+            active_model_seq: reg.gauge(&name("swap.active_seq")),
             latency: LogHistogram::registered(&name("latency_ns")),
             queue_wait: LogHistogram::registered(&name("queue_wait_ns")),
             namespace,
@@ -188,6 +192,14 @@ impl Metrics {
         self.completed.incr_release();
     }
 
+    /// A new model generation was published. The gauge carries the publish
+    /// sequence now being handed to freshly flushed batches; in-flight
+    /// batches keep scoring on the generation they loaded at flush.
+    pub fn record_publish(&self, seq: u64) {
+        self.publishes.incr();
+        self.active_model_seq.set(seq as f64);
+    }
+
     /// A batch of `size` live requests flushed. The occupancy numerator is
     /// published before the batch count (both `Release`), and the snapshot
     /// reads them in the opposite order, so an observed batch always has its
@@ -217,6 +229,7 @@ impl Metrics {
         let submitted = self.submitted.get_acquire();
         let rejected_queue_full = self.rejected_queue_full.get();
         let rejected_deadline = self.rejected_deadline.get();
+        let model_publishes = self.publishes.get();
         MetricsSnapshot {
             submitted,
             completed,
@@ -225,6 +238,7 @@ impl Metrics {
             shed_expired,
             timed_out,
             batches,
+            model_publishes,
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
@@ -257,6 +271,9 @@ pub struct MetricsSnapshot {
     pub timed_out: u64,
     /// Batches flushed.
     pub batches: u64,
+    /// Model generations published over the server's lifetime (excludes the
+    /// generation it started with).
+    pub model_publishes: u64,
     /// Mean requests per flushed batch.
     pub mean_batch_size: f64,
     /// Mean submit-to-response latency.

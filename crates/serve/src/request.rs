@@ -82,6 +82,10 @@ pub struct TopKResponse {
     /// smaller [`ItemId`]) — bitwise identical to calling the recommender's
     /// `recommend_top_k` directly on the session history.
     pub items: Vec<(ItemId, f32)>,
+    /// Publish sequence of the model generation that answered (0 = the model
+    /// the server started with). The server *acknowledges* the version here;
+    /// hot-swap tests verify the items against exactly this generation.
+    pub model_seq: u64,
     /// Time spent queued before the request's batch flushed.
     pub queue_wait: Duration,
     /// Total submit-to-response latency as the server measured it.
@@ -100,6 +104,13 @@ pub struct RecResponse {
     pub ranking: Vec<usize>,
     /// How many requests shared this response's forward pass (diagnostics).
     pub batch_size: usize,
+    /// Publish sequence of the model generation that scored this batch (0 =
+    /// the model the server started with; each [`Server::publish`] adds one).
+    /// Every response from one batch carries the same value — a hot swap
+    /// never splits a batch across generations.
+    ///
+    /// [`Server::publish`]: crate::Server::publish
+    pub model_seq: u64,
     /// Time spent queued before the batch flushed.
     pub queue_wait: Duration,
     /// Total submit-to-response latency as the server measured it.

@@ -22,10 +22,13 @@
 //! knob, never a numerics knob.
 
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::registry::{ModelRegistry, TopKFn};
 use crate::request::{ranking_of, RecRequest, RecResponse, ServeError, TopKRequest, TopKResponse};
 use crate::session::SessionStore;
+use crate::wal::WalOptions;
 use delrec_eval::{Ranker, ScoreRequest, TopKRecommender};
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -53,6 +56,21 @@ pub struct ServeConfig {
     pub session_shards: usize,
     /// Most-recent interactions kept per session.
     pub max_history: usize,
+    /// Session durability. `None` (the default) keeps sessions in memory
+    /// only; `Some` write-ahead logs every session mutation under this
+    /// directory and replays it on start, so restarting a server with the
+    /// same directory recovers every session bitwise (see
+    /// [`SessionStore::persistent`]).
+    pub persistence: Option<PersistConfig>,
+}
+
+/// Where and how a server's session store persists.
+#[derive(Clone, Debug)]
+pub struct PersistConfig {
+    /// WAL directory (created if absent, recovered if present).
+    pub dir: PathBuf,
+    /// Log framing/compaction knobs.
+    pub wal: WalOptions,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +82,7 @@ impl Default for ServeConfig {
             num_workers: 0,
             session_shards: 16,
             max_history: 50,
+            persistence: None,
         }
     }
 }
@@ -78,14 +97,18 @@ impl ServeConfig {
             ..Self::default()
         }
     }
-}
 
-/// The full-catalog recommendation handler a `start_recommender` server
-/// captures from its model: `(session history, k) -> top-k items`. Stored
-/// type-erased so the queue, scheduler, and scoring paths stay monomorphized
-/// over plain [`Ranker`]s.
-type TopKFn =
-    Arc<dyn Fn(&[delrec_data::ItemId], usize) -> Vec<(delrec_data::ItemId, f32)> + Send + Sync>;
+    /// Persist sessions under `dir` with default WAL options. Starting a
+    /// server on an existing directory recovers its sessions first — the
+    /// whole recover-on-start story is "same config, same dir".
+    pub fn with_persistence(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persistence = Some(PersistConfig {
+            dir: dir.into(),
+            wal: WalOptions::default(),
+        });
+        self
+    }
+}
 
 /// What a queued request wants scored, plus its response path.
 enum Work {
@@ -127,14 +150,21 @@ struct QueueState {
     closed: bool,
 }
 
+/// Derives a full-catalog top-k handler from a model generation, so
+/// [`Server::publish`] can rebuild the handler alongside each swap.
+type TopKFactory<R> = Arc<dyn Fn(&Arc<R>) -> TopKFn + Send + Sync>;
+
 /// State shared by clients, the scheduler, and the workers.
 struct Shared<R> {
-    model: Arc<R>,
-    /// Present only on servers started with `start_recommender`; admission
-    /// rejects [`TopKRequest`]s with [`ServeError::TopKUnsupported`] when
-    /// absent, so the scoring path may rely on it once a top-k request is
-    /// queued.
-    topk: Option<TopKFn>,
+    /// The hot-swappable model: batches load the current generation once at
+    /// flush and drain on it, so a publish never splits a batch.
+    models: ModelRegistry<R>,
+    /// How to derive a full-catalog handler from a model — captured by
+    /// `start_recommender` so [`Server::publish`] can rebuild the handler
+    /// for each new generation. Its presence is the server-level "supports
+    /// top-k" bit admission checks; absent, [`TopKRequest`]s are rejected
+    /// with [`ServeError::TopKUnsupported`].
+    topk_factory: Option<TopKFactory<R>>,
     cfg: ServeConfig,
     queue: Mutex<QueueState>,
     /// Signalled on submit and on shutdown; the scheduler waits on it.
@@ -309,7 +339,7 @@ impl<R: Ranker + Send + Sync + 'static> Client<R> {
     /// requires a server started with [`Server::start_recommender`].
     pub fn submit_topk(&self, req: TopKRequest) -> Result<TopKHandle, ServeError> {
         let now = Instant::now();
-        if self.shared.topk.is_none() {
+        if self.shared.topk_factory.is_none() {
             return Err(ServeError::TopKUnsupported);
         }
         if req.k == 0 {
@@ -342,8 +372,15 @@ impl<R: Ranker + Send + Sync + 'static> Client<R> {
 
 /// Score one flushed batch and deliver every response. Runs on the scheduler
 /// thread (`num_workers = 0`) or on a pool worker.
+///
+/// The model generation is loaded **once**, here, and held for the whole
+/// batch: a concurrent [`Server::publish`] can land at any point and this
+/// batch still scores every row — candidate and top-k alike — against the
+/// generation it started with (the hot-swap "no mixed-version batch"
+/// guarantee).
 fn score_batch<R: Ranker>(sh: &Shared<R>, batch: Vec<Pending>) {
     let _span = delrec_obs::span!("serve.score_batch");
+    let published = sh.models.current();
     let now = Instant::now();
     // Shed queue-expired requests — they are answered with an error, never
     // scored, never silently dropped — then split the survivors by protocol:
@@ -371,7 +408,7 @@ fn score_batch<R: Ranker>(sh: &Shared<R>, batch: Vec<Pending>) {
                 (p.prefix.as_slice(), candidates.as_slice())
             })
             .collect();
-        let rows = sh.model.score_candidates_batch(&requests);
+        let rows = published.model.score_candidates_batch(&requests);
         debug_assert_eq!(rows.len(), live.len(), "one score row per live request");
         let done = Instant::now();
         let batch_size = live.len();
@@ -395,17 +432,19 @@ fn score_batch<R: Ranker>(sh: &Shared<R>, batch: Vec<Pending>) {
                 scores,
                 ranking,
                 batch_size,
+                model_seq: published.seq,
                 queue_wait: now - p.submitted,
                 latency: done - p.submitted,
             }));
         }
     }
     if !topk_live.is_empty() {
-        // Admission rejects top-k requests on servers without a handler, so
-        // one is guaranteed here. The pipeline's own spans
-        // (`retrieval.scan`, `retrieval.topk`, `rerank`) fire inside the
-        // handler call; this span bounds the serving-side stage.
-        let topk = sh
+        // Admission rejects top-k requests on servers without a handler
+        // factory, and every published generation of such a server carries a
+        // handler. The pipeline's own spans (`retrieval.scan`,
+        // `retrieval.topk`, `rerank`) fire inside the handler call; this
+        // span bounds the serving-side stage.
+        let topk = published
             .topk
             .as_ref()
             .expect("top-k request admitted without a handler");
@@ -425,6 +464,7 @@ fn score_batch<R: Ranker>(sh: &Shared<R>, batch: Vec<Pending>) {
                 .record_completed(done - p.submitted, now - p.submitted);
             let _ = tx.send(Ok(TopKResponse {
                 items,
+                model_seq: published.seq,
                 queue_wait: now - p.submitted,
                 latency: done - p.submitted,
             }));
@@ -487,13 +527,21 @@ impl<R: Ranker + Send + Sync + 'static> Server<R> {
         Self::start_inner(model, cfg, None)
     }
 
-    fn start_inner(model: Arc<R>, cfg: ServeConfig, topk: Option<TopKFn>) -> Self {
+    fn start_inner(model: Arc<R>, cfg: ServeConfig, topk_factory: Option<TopKFactory<R>>) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         assert!(cfg.max_queue >= 1, "max_queue must be at least 1");
+        let sessions = match &cfg.persistence {
+            None => SessionStore::new(cfg.session_shards, cfg.max_history),
+            Some(p) => {
+                SessionStore::persistent(cfg.session_shards, cfg.max_history, &p.dir, p.wal.clone())
+                    .unwrap_or_else(|e| panic!("session persistence at {}: {e}", p.dir.display()))
+            }
+        };
+        let topk = topk_factory.as_ref().map(|f| f(&model));
         let shared = Arc::new(Shared {
-            model,
-            topk,
-            sessions: SessionStore::new(cfg.session_shards, cfg.max_history),
+            models: ModelRegistry::new(model, topk),
+            topk_factory,
+            sessions,
             cfg,
             queue: Mutex::new(QueueState {
                 q: VecDeque::new(),
@@ -562,9 +610,35 @@ impl<R: Ranker + Send + Sync + 'static> Server<R> {
     where
         R: TopKRecommender,
     {
-        let handler = Arc::clone(&model);
-        let topk: TopKFn = Arc::new(move |prefix, k| handler.recommend_top_k(prefix, k));
-        Self::start_inner(model, cfg, Some(topk))
+        // A *factory*, not a captured handler: publish rebuilds the top-k
+        // closure for each new generation so swapped models serve the
+        // full-catalog protocol too.
+        let factory = Arc::new(|m: &Arc<R>| {
+            let handler = Arc::clone(m);
+            let f: TopKFn = Arc::new(move |prefix, k| handler.recommend_top_k(prefix, k));
+            f
+        });
+        Self::start_inner(model, cfg, Some(factory))
+    }
+
+    /// Atomically publish `model` as the new serving generation and return
+    /// its publish sequence (the `model_seq` subsequent responses carry).
+    ///
+    /// Safe under live traffic: batches flushed before this call drain on
+    /// the generation they loaded; batches flushed after see only `model`.
+    /// No request is ever scored by a mixture, and untouched sessions score
+    /// bitwise-identically across a publish of a repacked (parameter-equal)
+    /// model — pinned by `tests/hot_swap.rs` and gated by `bench/bin/soak`.
+    pub fn publish(&self, model: Arc<R>) -> u64 {
+        let topk = self.shared.topk_factory.as_ref().map(|f| f(&model));
+        let seq = self.shared.models.publish(model, topk);
+        self.shared.metrics.record_publish(seq);
+        seq
+    }
+
+    /// The hot-swap registry (current generation, publish sequence).
+    pub fn registry(&self) -> &ModelRegistry<R> {
+        &self.shared.models
     }
 
     /// A submission handle. Clone freely across client threads.

@@ -1,0 +1,702 @@
+//! Per-shard write-ahead logging for the [`SessionStore`](crate::SessionStore).
+//!
+//! Durability follows the classic WAL discipline, one log per lock stripe so
+//! the write path inherits the store's sharding: an append acquires its
+//! shard's lock, encodes one CRC-framed record, writes it to that shard's log
+//! file, and only then mutates the in-memory map. Recovery replays the other
+//! direction — load the shard's snapshot (if any), then apply every log
+//! record past the snapshot's sequence watermark — and rebuilds a state
+//! **bitwise identical** to the in-memory view at the moment of the last
+//! acknowledged append.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <dir>/wal.meta          manifest: shard count + per-user history bound
+//! <dir>/shard-NNN.log     append-only record stream for stripe NNN
+//! <dir>/shard-NNN.snap    latest compacted snapshot of stripe NNN
+//! ```
+//!
+//! **Log record** (all integers little-endian):
+//!
+//! ```text
+//! [len: u32][crc32: u32][payload: len bytes]
+//! payload = [seq: u64][tag: u8][user: u64][tag 0 only: n: u32, item: u32 × n]
+//! ```
+//!
+//! `tag 0` appends `n` items to `user`'s history (truncating to the store's
+//! `max_len`); `tag 1` removes the session. `seq` increases by one per record
+//! within a shard and makes replay idempotent against snapshots.
+//!
+//! **Snapshot**: `[b"DSNP"][crc32: u32][body_len: u64][body]` where the body
+//! is `[watermark: u64][n_users: u64]` followed by `[user: u64][n: u32][item:
+//! u32 × n]` per user in ascending user order. A snapshot is written to a
+//! temp file and atomically renamed over the old one, then the log is
+//! truncated; `watermark` (the seq of the last record folded in) keeps a
+//! crash between those two steps from double-applying the tail.
+//!
+//! # Torn tails
+//!
+//! A crash mid-write leaves a partial record at the end of a log. Replay
+//! stops at the first record whose header is short, whose length is
+//! implausible, or whose CRC fails, truncates the file back to the last
+//! intact record, and counts the event in `serve.wal.torn_tails`. Everything
+//! *acknowledged* (i.e. whose `append` returned) was fully written before the
+//! in-memory state changed, so a torn tail only ever discards the un-acked
+//! write in progress.
+//!
+//! Metrics: `serve.wal.{appends,append_bytes,snapshots,records_recovered,`
+//! `torn_tails,recoveries}`; spans `serve.wal.{append,snapshot,recover}`.
+
+use delrec_data::ItemId;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Maximum plausible record payload. Real records are bounded by the delta
+/// length of a single `append` call; anything larger in a length header is
+/// corruption, and replay treats it as a torn tail instead of allocating.
+const MAX_RECORD: u32 = 16 << 20;
+
+const SNAP_MAGIC: &[u8; 4] = b"DSNP";
+const META_MAGIC: &[u8; 4] = b"DWM1";
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE), table-driven, built at compile time — the framing checksum
+// for log records, snapshots, and the manifest.
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE 802.3) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian encode/decode helpers over a byte cursor.
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A decode cursor; every read is bounds-checked so corrupt payloads fail
+/// cleanly instead of panicking.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Options and manifest
+// ---------------------------------------------------------------------------
+
+/// Durability knobs for a persistent session store.
+#[derive(Clone, Debug)]
+pub struct WalOptions {
+    /// Compact a shard (snapshot + truncate its log) once the log grows past
+    /// this many bytes. Small values snapshot aggressively; `u64::MAX`
+    /// disables compaction entirely (useful in fault-injection tests that
+    /// need a 1:1 op-to-record mapping).
+    pub snapshot_bytes: u64,
+    /// `fsync` the log after every record. Off by default: the tests and
+    /// benches run on tmpfs where it buys nothing, and the bitwise-recovery
+    /// guarantee is about *write ordering*, which the append path already
+    /// enforces. A deployment on real disks that must survive power loss (not
+    /// just process death) turns this on and pays the latency.
+    pub fsync: bool,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            snapshot_bytes: 64 * 1024,
+            fsync: false,
+        }
+    }
+}
+
+/// The manifest a WAL directory carries so [`recover`](crate::SessionStore::recover)
+/// can rebuild the store without being told its shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalManifest {
+    /// Lock-stripe (and log-file) count; a power of two.
+    pub shards: u32,
+    /// Per-user history bound the logged deltas were truncated against.
+    pub max_len: u64,
+}
+
+impl WalManifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(12);
+        put_u32(&mut body, self.shards);
+        put_u64(&mut body, self.max_len);
+        let mut out = Vec::with_capacity(body.len() + 8);
+        out.extend_from_slice(META_MAGIC);
+        put_u32(&mut out, crc32(&body));
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn decode(buf: &[u8]) -> io::Result<Self> {
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, format!("wal.meta: {m}"));
+        let mut c = Cursor::new(buf);
+        if c.take(4) != Some(META_MAGIC) {
+            return Err(bad("bad magic"));
+        }
+        let crc = c.u32().ok_or_else(|| bad("truncated"))?;
+        let body = &buf[c.pos..];
+        if crc32(body) != crc {
+            return Err(bad("checksum mismatch"));
+        }
+        let mut c = Cursor::new(body);
+        let shards = c.u32().ok_or_else(|| bad("truncated body"))?;
+        let max_len = c.u64().ok_or_else(|| bad("truncated body"))?;
+        if !c.done() || shards == 0 || !shards.is_power_of_two() || max_len == 0 {
+            return Err(bad("malformed body"));
+        }
+        Ok(WalManifest { shards, max_len })
+    }
+
+    /// Read the manifest of an existing WAL directory.
+    pub fn read(dir: &Path) -> io::Result<Self> {
+        let buf = std::fs::read(dir.join("wal.meta"))?;
+        Self::decode(&buf)
+    }
+
+    fn write(&self, dir: &Path) -> io::Result<()> {
+        write_atomic(&dir.join("wal.meta"), &self.encode())
+    }
+}
+
+/// Write `bytes` to `path` via a temp file + rename, so the file is either
+/// the old version or the complete new one — never a torn hybrid.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// Log records
+// ---------------------------------------------------------------------------
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum WalOp {
+    /// Append `items` to `user`'s history (then truncate to `max_len`).
+    Append { user: u64, items: Vec<ItemId> },
+    /// Drop `user`'s session.
+    Remove { user: u64 },
+}
+
+fn encode_record(seq: u64, op: &WalOp) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32);
+    put_u64(&mut payload, seq);
+    match op {
+        WalOp::Append { user, items } => {
+            payload.push(0);
+            put_u64(&mut payload, *user);
+            put_u32(&mut payload, items.len() as u32);
+            for it in items {
+                put_u32(&mut payload, it.0);
+            }
+        }
+        WalOp::Remove { user } => {
+            payload.push(1);
+            put_u64(&mut payload, *user);
+        }
+    }
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode_payload(payload: &[u8]) -> Option<(u64, WalOp)> {
+    let mut c = Cursor::new(payload);
+    let seq = c.u64()?;
+    let op = match c.u8()? {
+        0 => {
+            let user = c.u64()?;
+            let n = c.u32()? as usize;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(ItemId(c.u32()?));
+            }
+            WalOp::Append { user, items }
+        }
+        1 => WalOp::Remove { user: c.u64()? },
+        _ => return None,
+    };
+    if !c.done() {
+        return None; // trailing garbage inside a CRC-valid frame: corrupt
+    }
+    Some((seq, op))
+}
+
+/// Replay outcome for one shard log.
+struct Replayed {
+    /// Records applied (seq past the watermark).
+    applied: u64,
+    /// Byte length of the intact prefix; anything past it is a torn tail.
+    valid_len: u64,
+    /// Highest record seq seen (including pre-watermark records).
+    max_seq: u64,
+    /// Whether the log ended in a torn/corrupt record.
+    torn: bool,
+}
+
+/// Walk `buf` record by record, applying every op with `seq > watermark`.
+fn replay_log(buf: &[u8], watermark: u64, mut apply: impl FnMut(&WalOp)) -> Replayed {
+    let mut pos = 0usize;
+    let mut out = Replayed {
+        applied: 0,
+        valid_len: 0,
+        max_seq: watermark,
+        torn: false,
+    };
+    loop {
+        let rest = &buf[pos..];
+        if rest.is_empty() {
+            return out; // clean end
+        }
+        if rest.len() < 8 {
+            out.torn = true;
+            return out; // partial header
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if len == 0 || len > MAX_RECORD || rest.len() - 8 < len as usize {
+            out.torn = true;
+            return out; // implausible length or partial payload
+        }
+        let payload = &rest[8..8 + len as usize];
+        if crc32(payload) != crc {
+            out.torn = true;
+            return out; // torn mid-payload (or bit rot)
+        }
+        let Some((seq, op)) = decode_payload(payload) else {
+            out.torn = true;
+            return out; // CRC-valid but malformed: treat as end of log
+        };
+        if seq > watermark {
+            apply(&op);
+            out.applied += 1;
+        }
+        out.max_seq = out.max_seq.max(seq);
+        pos += 8 + len as usize;
+        out.valid_len = pos as u64;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+fn encode_snapshot(watermark: u64, map: &HashMap<u64, Vec<ItemId>>) -> Vec<u8> {
+    let mut users: Vec<_> = map.keys().copied().collect();
+    users.sort_unstable();
+    let mut body = Vec::with_capacity(16 + map.len() * 16);
+    put_u64(&mut body, watermark);
+    put_u64(&mut body, users.len() as u64);
+    for u in users {
+        let hist = &map[&u];
+        put_u64(&mut body, u);
+        put_u32(&mut body, hist.len() as u32);
+        for it in hist {
+            put_u32(&mut body, it.0);
+        }
+    }
+    let mut out = Vec::with_capacity(body.len() + 16);
+    out.extend_from_slice(SNAP_MAGIC);
+    put_u32(&mut out, crc32(&body));
+    put_u64(&mut out, body.len() as u64);
+    out.extend_from_slice(&body);
+    out
+}
+
+fn decode_snapshot(buf: &[u8]) -> io::Result<(u64, HashMap<u64, Vec<ItemId>>)> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {m}"));
+    let mut c = Cursor::new(buf);
+    if c.take(4) != Some(SNAP_MAGIC) {
+        return Err(bad("bad magic"));
+    }
+    let crc = c.u32().ok_or_else(|| bad("truncated header"))?;
+    let body_len = c.u64().ok_or_else(|| bad("truncated header"))? as usize;
+    let body = c.take(body_len).ok_or_else(|| bad("truncated body"))?;
+    if !c.done() {
+        return Err(bad("trailing bytes"));
+    }
+    if crc32(body) != crc {
+        return Err(bad("checksum mismatch"));
+    }
+    let mut c = Cursor::new(body);
+    let watermark = c.u64().ok_or_else(|| bad("short body"))?;
+    let n_users = c.u64().ok_or_else(|| bad("short body"))?;
+    let mut map = HashMap::with_capacity(n_users.min(1 << 20) as usize);
+    for _ in 0..n_users {
+        let user = c.u64().ok_or_else(|| bad("short user"))?;
+        let n = c.u32().ok_or_else(|| bad("short user"))? as usize;
+        let mut hist = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            hist.push(ItemId(c.u32().ok_or_else(|| bad("short history"))?));
+        }
+        map.insert(user, hist);
+    }
+    if !c.done() {
+        return Err(bad("oversized body"));
+    }
+    Ok((watermark, map))
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard WAL handle
+// ---------------------------------------------------------------------------
+
+/// The write-ahead log of one session shard: an open append handle plus the
+/// bookkeeping that drives compaction. Lives *inside* the shard's mutex, so
+/// record sequencing is exactly the shard's mutation order.
+pub(crate) struct ShardWal {
+    log: File,
+    log_path: PathBuf,
+    snap_path: PathBuf,
+    /// Sequence number the next record gets.
+    next_seq: u64,
+    /// Seq of the last record folded into the on-disk snapshot.
+    watermark: u64,
+    /// Bytes currently in the log file (intact prefix only).
+    log_bytes: u64,
+    opts: WalOptions,
+}
+
+impl ShardWal {
+    /// Append one record (write-ahead: call this *before* mutating the
+    /// in-memory map). Returns the record's sequence number.
+    pub(crate) fn append(&mut self, op: &WalOp) -> io::Result<u64> {
+        let _span = delrec_obs::span!("serve.wal.append");
+        let seq = self.next_seq;
+        let rec = encode_record(seq, op);
+        self.log.write_all(&rec)?;
+        if self.opts.fsync {
+            self.log.sync_data()?;
+        }
+        self.next_seq += 1;
+        self.log_bytes += rec.len() as u64;
+        delrec_obs::counter!("serve.wal.appends").incr();
+        delrec_obs::counter!("serve.wal.append_bytes").add(rec.len() as u64);
+        Ok(seq)
+    }
+
+    /// Whether the log has outgrown the compaction threshold.
+    pub(crate) fn wants_snapshot(&self) -> bool {
+        self.log_bytes >= self.opts.snapshot_bytes
+    }
+
+    /// Compact: snapshot `map` (the shard's current state) atomically, then
+    /// truncate the log. The snapshot's watermark is `next_seq - 1`, the last
+    /// record already folded into `map`; a crash after the rename but before
+    /// the truncate replays the stale tail into a no-op thanks to the
+    /// watermark check.
+    pub(crate) fn snapshot(&mut self, map: &HashMap<u64, Vec<ItemId>>) -> io::Result<()> {
+        let _span = delrec_obs::span!("serve.wal.snapshot");
+        let watermark = self.next_seq.saturating_sub(1);
+        write_atomic(&self.snap_path, &encode_snapshot(watermark, map))?;
+        self.watermark = watermark;
+        self.log.set_len(0)?;
+        self.log.seek(SeekFrom::Start(0))?;
+        self.log_bytes = 0;
+        delrec_obs::counter!("serve.wal.snapshots").incr();
+        Ok(())
+    }
+
+    /// Open (or create) shard `idx` under `dir`, replaying snapshot + log
+    /// into a fresh map. The log is truncated back to its intact prefix so
+    /// subsequent appends never interleave with a torn tail.
+    pub(crate) fn open(
+        dir: &Path,
+        idx: usize,
+        max_len: usize,
+        opts: &WalOptions,
+    ) -> io::Result<(HashMap<u64, Vec<ItemId>>, ShardWal)> {
+        let log_path = dir.join(format!("shard-{idx:03}.log"));
+        let snap_path = dir.join(format!("shard-{idx:03}.snap"));
+        // A leftover temp file is a snapshot that never committed; the real
+        // snapshot (if any) is still intact. Drop the orphan.
+        let _ = std::fs::remove_file(snap_path.with_extension("tmp"));
+
+        let (watermark, mut map) = match std::fs::read(&snap_path) {
+            Ok(buf) => decode_snapshot(&buf)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => (0, HashMap::new()),
+            Err(e) => return Err(e),
+        };
+
+        let mut log = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&log_path)?;
+        let mut buf = Vec::new();
+        log.read_to_end(&mut buf)?;
+        let replayed = replay_log(&buf, watermark, |op| apply_op(&mut map, max_len, op));
+        if replayed.torn {
+            delrec_obs::counter!("serve.wal.torn_tails").incr();
+        }
+        if replayed.valid_len < buf.len() as u64 {
+            log.set_len(replayed.valid_len)?;
+        }
+        log.seek(SeekFrom::Start(replayed.valid_len))?;
+        delrec_obs::counter!("serve.wal.records_recovered").add(replayed.applied);
+
+        Ok((
+            map,
+            ShardWal {
+                log,
+                log_path,
+                snap_path,
+                next_seq: replayed.max_seq + 1,
+                watermark,
+                log_bytes: replayed.valid_len,
+                opts: opts.clone(),
+            },
+        ))
+    }
+
+    /// The log file's path (diagnostics and fault-injection tests).
+    #[allow(dead_code)]
+    pub(crate) fn log_path(&self) -> &Path {
+        &self.log_path
+    }
+}
+
+/// Apply one op to a shard map with the store's truncation rule — the single
+/// definition both the live `append` path and replay go through, so recovery
+/// is the same computation as the original mutation.
+pub(crate) fn apply_op(map: &mut HashMap<u64, Vec<ItemId>>, max_len: usize, op: &WalOp) {
+    match op {
+        WalOp::Append { user, items } => {
+            let hist = map.entry(*user).or_default();
+            hist.extend_from_slice(items);
+            if hist.len() > max_len {
+                hist.drain(..hist.len() - max_len);
+            }
+        }
+        WalOp::Remove { user } => {
+            map.remove(user);
+        }
+    }
+}
+
+/// Create-or-open a WAL directory: ensure it exists, then write the manifest
+/// (new directory) or verify it (existing one).
+pub(crate) fn open_dir(dir: &Path, shards: u32, max_len: u64) -> io::Result<WalManifest> {
+    std::fs::create_dir_all(dir)?;
+    let want = WalManifest { shards, max_len };
+    match WalManifest::read(dir) {
+        Ok(found) => {
+            if found != want {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "WAL at {} was written with shards={}, max_len={}; \
+                         refusing to reopen with shards={}, max_len={}",
+                        dir.display(),
+                        found.shards,
+                        found.max_len,
+                        want.shards,
+                        want.max_len
+                    ),
+                ));
+            }
+            Ok(found)
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            want.write(dir)?;
+            Ok(want)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let op = WalOp::Append {
+            user: 42,
+            items: vec![ItemId(1), ItemId(7), ItemId(u32::MAX)],
+        };
+        let rec = encode_record(9, &op);
+        let len = u32::from_le_bytes(rec[..4].try_into().unwrap()) as usize;
+        assert_eq!(len + 8, rec.len());
+        let (seq, decoded) = decode_payload(&rec[8..]).unwrap();
+        assert_eq!(seq, 9);
+        assert_eq!(decoded, op);
+    }
+
+    #[test]
+    fn replay_stops_at_corrupt_crc_and_reports_valid_prefix() {
+        let mut buf = Vec::new();
+        buf.extend(encode_record(
+            1,
+            &WalOp::Append {
+                user: 1,
+                items: vec![ItemId(5)],
+            },
+        ));
+        let first_len = buf.len() as u64;
+        buf.extend(encode_record(2, &WalOp::Remove { user: 1 }));
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF; // corrupt the second record's payload
+        let mut n = 0;
+        let r = replay_log(&buf, 0, |_| n += 1);
+        assert!(r.torn);
+        assert_eq!(n, 1);
+        assert_eq!(r.valid_len, first_len);
+        assert_eq!(r.max_seq, 1);
+    }
+
+    #[test]
+    fn replay_skips_records_at_or_below_watermark() {
+        let mut buf = Vec::new();
+        for seq in 1..=4u64 {
+            buf.extend(encode_record(
+                seq,
+                &WalOp::Append {
+                    user: 0,
+                    items: vec![ItemId(seq as u32)],
+                },
+            ));
+        }
+        let mut applied = Vec::new();
+        let r = replay_log(&buf, 2, |op| {
+            if let WalOp::Append { items, .. } = op {
+                applied.push(items[0].0);
+            }
+        });
+        assert!(!r.torn);
+        assert_eq!(applied, vec![3, 4]);
+        assert_eq!(r.max_seq, 4);
+        assert_eq!(r.applied, 2);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_state_and_watermark() {
+        let mut map = HashMap::new();
+        map.insert(3, vec![ItemId(1), ItemId(2)]);
+        map.insert(1, vec![ItemId(9)]);
+        let buf = encode_snapshot(17, &map);
+        let (wm, decoded) = decode_snapshot(&buf).unwrap();
+        assert_eq!(wm, 17);
+        assert_eq!(decoded, map);
+    }
+
+    #[test]
+    fn snapshot_rejects_flipped_bit() {
+        let mut map = HashMap::new();
+        map.insert(1, vec![ItemId(2)]);
+        let mut buf = encode_snapshot(1, &map);
+        let last = buf.len() - 1;
+        buf[last] ^= 1;
+        assert!(decode_snapshot(&buf).is_err());
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_validation() {
+        let m = WalManifest {
+            shards: 8,
+            max_len: 50,
+        };
+        assert_eq!(WalManifest::decode(&m.encode()).unwrap(), m);
+        let mut bad = m.encode();
+        bad[6] ^= 1;
+        assert!(WalManifest::decode(&bad).is_err());
+        // Non-power-of-two shard counts never come from our writer.
+        let forged = WalManifest {
+            shards: 3,
+            max_len: 50,
+        }
+        .encode();
+        assert!(WalManifest::decode(&forged).is_err());
+    }
+}

@@ -52,6 +52,16 @@ enum Fate {
 }
 
 fn run_case(total: usize, batch: usize, shed_mod: usize, timeout_mod: usize) {
+    run_case_with_publishes(total, batch, shed_mod, timeout_mod, 0);
+}
+
+fn run_case_with_publishes(
+    total: usize,
+    batch: usize,
+    shed_mod: usize,
+    timeout_mod: usize,
+    publishes: usize,
+) {
     let fate = move |i: usize| {
         if shed_mod > 0 && i % shed_mod == shed_mod - 1 {
             Fate::Shed
@@ -64,17 +74,47 @@ fn run_case(total: usize, batch: usize, shed_mod: usize, timeout_mod: usize) {
     let m = Arc::new(Metrics::new());
     let stop = Arc::new(AtomicBool::new(false));
 
-    // Checker: hammer snapshots for the whole run.
+    // Checker: hammer snapshots for the whole run. Swap events add a
+    // stateful invariant on top of `check`'s per-snapshot ones: the publish
+    // count is monotone across snapshots and never exceeds what the
+    // publisher thread has actually recorded.
     let checker = {
         let m = Arc::clone(&m);
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || -> Result<u64, String> {
             let mut taken = 0u64;
+            let mut last_publishes = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                check(&m.snapshot())?;
+                let s = m.snapshot();
+                check(&s)?;
+                if s.model_publishes < last_publishes {
+                    return Err(format!(
+                        "model_publishes went backwards: {} then {} ({s:?})",
+                        last_publishes, s.model_publishes
+                    ));
+                }
+                if s.model_publishes > publishes as u64 {
+                    return Err(format!(
+                        "model_publishes {} > {} ever recorded ({s:?})",
+                        s.model_publishes, publishes
+                    ));
+                }
+                last_publishes = s.model_publishes;
                 taken += 1;
             }
             Ok(taken)
+        })
+    };
+
+    // Publisher: replay `Server::publish`'s metrics event (dense sequence
+    // numbers) interleaved with the scoring traffic.
+    let publisher = {
+        let m = Arc::clone(&m);
+        std::thread::spawn(move || {
+            for seq in 1..=publishes as u64 {
+                m.record_publish(seq);
+                std::thread::yield_now();
+            }
         })
     };
 
@@ -142,6 +182,7 @@ fn run_case(total: usize, batch: usize, shed_mod: usize, timeout_mod: usize) {
         c.join().unwrap();
     }
     worker.join().unwrap();
+    publisher.join().unwrap();
     stop.store(true, Ordering::Relaxed);
     let taken = checker
         .join()
@@ -157,6 +198,7 @@ fn run_case(total: usize, batch: usize, shed_mod: usize, timeout_mod: usize) {
     assert_eq!(s.shed_expired, want_shed);
     assert_eq!(s.timed_out, want_timeout);
     assert_eq!(s.completed, total as u64 - want_shed - want_timeout);
+    assert_eq!(s.model_publishes, publishes as u64);
     check(&s).unwrap();
 }
 
@@ -169,8 +211,9 @@ proptest! {
         batch in 1usize..=16,
         shed_mod in 0usize..5,
         timeout_mod in 0usize..5,
+        publishes in 0usize..8,
     ) {
-        run_case(total, batch, shed_mod, timeout_mod);
+        run_case_with_publishes(total, batch, shed_mod, timeout_mod, publishes);
     }
 }
 

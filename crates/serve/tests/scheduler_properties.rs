@@ -130,6 +130,7 @@ proptest! {
             num_workers: 0,
             session_shards: 4,
             max_history,
+            persistence: None,
         });
         let client = server.client();
 
@@ -186,6 +187,7 @@ proptest! {
             num_workers: 0,
             session_shards: 4,
             max_history: 10,
+            persistence: None,
         });
         let client = server.client();
         let budget = Duration::from_micros(budget_us);

@@ -1,0 +1,358 @@
+//! Crash/recovery property tests for the session-store write-ahead log.
+//!
+//! The strategy: drive a persistent single-shard store (compaction disabled,
+//! so ops map 1:1 onto log records) with random append/remove traffic while
+//! maintaining a shadow map, then simulate a crash at **every** record
+//! boundary — and mid-record, for the torn-tail path — by truncating a copy
+//! of the log and recovering from it. The recovered state must equal the
+//! shadow replay of exactly the ops whose records survived the cut; with no
+//! cut at all it must be bitwise identical to the pre-crash in-memory view.
+
+use delrec_data::ItemId;
+use delrec_serve::{SessionStore, WalOptions};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fresh per-test directory under the system temp dir (the repo vendors no
+/// tempdir crate); callers remove it when the test passes.
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "delrec-walrec-{}-{}-{}",
+        std::process::id(),
+        tag,
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Fault-injection knobs: no size-triggered compaction, so every logged op is
+/// exactly one record and crash points are enumerable.
+fn no_compaction() -> WalOptions {
+    WalOptions {
+        snapshot_bytes: u64::MAX,
+        fsync: false,
+    }
+}
+
+fn ids(xs: &[u32]) -> Vec<ItemId> {
+    xs.iter().map(|&x| ItemId(x)).collect()
+}
+
+/// One op that made it into the log (removes of absent users are not logged,
+/// so the driver only records ops the store acknowledged durably).
+#[derive(Clone, Debug)]
+enum LoggedOp {
+    Append { user: u64, items: Vec<u32> },
+    Remove { user: u64 },
+}
+
+/// The store's documented mutation semantics, replayed client-side.
+fn shadow_apply(shadow: &mut HashMap<u64, Vec<ItemId>>, max_len: usize, op: &LoggedOp) {
+    match op {
+        LoggedOp::Append { user, items } => {
+            let hist = shadow.entry(*user).or_default();
+            hist.extend(items.iter().map(|&x| ItemId(x)));
+            if hist.len() > max_len {
+                hist.drain(..hist.len() - max_len);
+            }
+        }
+        LoggedOp::Remove { user } => {
+            shadow.remove(user);
+        }
+    }
+}
+
+/// Expected `SessionStore::dump()` after replaying the first `k` logged ops
+/// on top of `base` (the state already folded into the snapshot, if any).
+fn expect_dump(
+    base: &HashMap<u64, Vec<ItemId>>,
+    ops: &[LoggedOp],
+    k: usize,
+    max_len: usize,
+) -> Vec<(u64, Vec<ItemId>)> {
+    let mut shadow = base.clone();
+    for op in &ops[..k] {
+        shadow_apply(&mut shadow, max_len, op);
+    }
+    let mut want: Vec<(u64, Vec<ItemId>)> = shadow.into_iter().collect();
+    want.sort_unstable_by_key(|(u, _)| *u);
+    want
+}
+
+/// Byte offsets of record boundaries in a shard log: `offsets[j]` is the
+/// length of a log holding exactly the first `j` records.
+fn record_boundaries(log: &[u8]) -> Vec<usize> {
+    let mut offsets = vec![0usize];
+    let mut pos = 0usize;
+    while pos + 8 <= log.len() {
+        let len = u32::from_le_bytes(log[pos..pos + 4].try_into().unwrap()) as usize;
+        assert!(
+            pos + 8 + len <= log.len(),
+            "master log must end on a record boundary"
+        );
+        pos += 8 + len;
+        offsets.push(pos);
+    }
+    assert_eq!(pos, log.len(), "master log must end on a record boundary");
+    offsets
+}
+
+/// Deterministic xorshift; proptest's generated scalars seed it.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Build a crash-site directory: the manifest and snapshot are copied intact
+/// (both are written atomically, so a crash never tears them) and the log is
+/// cut at `cut` bytes — a record boundary for a clean crash, mid-record for a
+/// torn tail.
+fn crash_site(meta: &[u8], snap: Option<&[u8]>, log: &[u8], cut: usize, tag: &str) -> PathBuf {
+    let dir = tmp_dir(tag);
+    std::fs::write(dir.join("wal.meta"), meta).unwrap();
+    if let Some(s) = snap {
+        std::fs::write(dir.join("shard-000.snap"), s).unwrap();
+    }
+    std::fs::write(dir.join("shard-000.log"), &log[..cut]).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole property: for random traffic, a crash at **any** record
+    /// boundary (and any mid-record cut) recovers to exactly the prefix of
+    /// acknowledged ops whose records survived — per-user histories bitwise
+    /// equal to the shadow replay — and a full log recovers the pre-crash
+    /// in-memory state bitwise. Covers empty-log (0 ops / cut at 0),
+    /// snapshot-only (snapshot after the last op), and snapshot+tail cases
+    /// in one sweep.
+    #[test]
+    fn recovery_matches_shadow_at_every_crash_point(
+        seed in 0u64..10_000,
+        n_ops in 0usize..=24,
+        max_len in 1usize..=8,
+        snap_choice in 0usize..=25,
+    ) {
+        let master = tmp_dir("master");
+        let store = SessionStore::persistent(1, max_len, &master, no_compaction()).unwrap();
+        prop_assert!(store.is_persistent());
+
+        // Snapshot after `snap_after` ops (> n_ops means never).
+        let snap_after = snap_choice;
+        let mut logged: Vec<LoggedOp> = Vec::new();
+        let mut shadow: HashMap<u64, Vec<ItemId>> = HashMap::new();
+        // State folded into the snapshot, and how many logged ops it covers.
+        let mut snap_base: HashMap<u64, Vec<ItemId>> = HashMap::new();
+        let mut snap_ops = 0usize;
+        let mut snapped = false;
+
+        let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for i in 0..n_ops {
+            if i == snap_after {
+                store.snapshot_all().unwrap();
+                snap_base = shadow.clone();
+                snap_ops = logged.len();
+                snapped = true;
+            }
+            let r = xorshift(&mut rng);
+            let user = r % 4;
+            if r.is_multiple_of(7) {
+                // Removes of absent users are answered from memory and never
+                // logged; only acknowledged removes enter the op list.
+                if store.remove(user) {
+                    shadow.remove(&user);
+                    logged.push(LoggedOp::Remove { user });
+                }
+            } else {
+                let len = (r >> 8) % 4;
+                let items: Vec<u32> =
+                    (0..len).map(|j| ((r >> 16) as u32).wrapping_add(j as u32)).collect();
+                store.append(user, &ids(&items));
+                let op = LoggedOp::Append { user, items };
+                shadow_apply(&mut shadow, max_len, &op);
+                logged.push(op);
+            }
+        }
+        if n_ops > 0 && snap_after == n_ops {
+            // Snapshot-only case: everything compacted, log empty.
+            store.snapshot_all().unwrap();
+            snap_base = shadow.clone();
+            snap_ops = logged.len();
+            snapped = true;
+        }
+        let pre_crash = store.dump();
+        drop(store); // the crash: no further writes reach the directory
+
+        let meta = std::fs::read(master.join("wal.meta")).unwrap();
+        let log = std::fs::read(master.join("shard-000.log")).unwrap();
+        let snap = if snapped {
+            Some(std::fs::read(master.join("shard-000.snap")).unwrap())
+        } else {
+            prop_assert!(!master.join("shard-000.snap").exists());
+            None
+        };
+
+        let boundaries = record_boundaries(&log);
+        let tail_ops = &logged[snap_ops..];
+        prop_assert_eq!(boundaries.len() - 1, tail_ops.len(),
+            "one record per op past the snapshot");
+
+        for (j, &cut) in boundaries.iter().enumerate() {
+            // Clean crash: the log holds exactly the first j tail records.
+            let site = crash_site(&meta, snap.as_deref(), &log, cut, "clean");
+            let rec = SessionStore::recover(&site).unwrap();
+            prop_assert_eq!(rec.max_len(), max_len);
+            prop_assert_eq!(
+                rec.dump(),
+                expect_dump(&snap_base, tail_ops, j, max_len),
+                "clean crash after record {} diverged", j
+            );
+            drop(rec);
+            std::fs::remove_dir_all(&site).unwrap();
+
+            // Torn crash: cut strictly inside record j+1 (header or payload).
+            if j + 1 < boundaries.len() {
+                let rec_len = boundaries[j + 1] - cut;
+                let torn_cut = cut + 1 + (xorshift(&mut rng) as usize % (rec_len - 1));
+                let site = crash_site(&meta, snap.as_deref(), &log, torn_cut, "torn");
+                let before = delrec_obs::counter!("serve.wal.torn_tails").get();
+                let rec = SessionStore::recover(&site).unwrap();
+                let after = delrec_obs::counter!("serve.wal.torn_tails").get();
+                prop_assert!(after > before, "torn tail must be counted");
+                prop_assert_eq!(
+                    rec.dump(),
+                    expect_dump(&snap_base, tail_ops, j, max_len),
+                    "torn crash inside record {} diverged", j + 1
+                );
+                // Recovery truncated the torn tail away; the next reopen is
+                // clean and sees the same state.
+                drop(rec);
+                let again = SessionStore::recover(&site).unwrap();
+                prop_assert_eq!(again.dump(), expect_dump(&snap_base, tail_ops, j, max_len));
+                drop(again);
+                std::fs::remove_dir_all(&site).unwrap();
+            }
+        }
+
+        // No crash at all: recovery is bitwise the pre-crash in-memory view.
+        let rec = SessionStore::recover(&master).unwrap();
+        prop_assert_eq!(rec.dump(), pre_crash);
+        drop(rec);
+        std::fs::remove_dir_all(&master).unwrap();
+    }
+
+    /// Multi-shard stores with live size-triggered compaction recover the
+    /// same state a clean reopen sees: random traffic with a tiny compaction
+    /// threshold (so snapshots race through mid-stream), then recover and
+    /// compare against the pre-drop dump. Exercises per-shard watermarks and
+    /// snapshot/log interleaving that the single-shard sweep pins per-record.
+    #[test]
+    fn compacting_multi_shard_store_reopens_bitwise(
+        seed in 0u64..10_000,
+        n_ops in 1usize..=200,
+        shards in 1usize..=8,
+        snapshot_bytes in 32u64..=512,
+    ) {
+        let dir = tmp_dir("multi");
+        let opts = WalOptions { snapshot_bytes, fsync: false };
+        let store = SessionStore::persistent(shards, 6, &dir, opts.clone()).unwrap();
+        let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for _ in 0..n_ops {
+            let r = xorshift(&mut rng);
+            let user = r % 32;
+            if r.is_multiple_of(9) {
+                store.remove(user);
+            } else {
+                let items: Vec<ItemId> =
+                    (0..1 + (r >> 8) % 3).map(|j| ItemId((r >> 16) as u32 ^ j as u32)).collect();
+                store.append(user, &items);
+            }
+        }
+        let want = store.dump();
+        drop(store);
+        let rec = SessionStore::recover_with(&dir, opts).unwrap();
+        prop_assert_eq!(rec.num_shards(), shards.max(1).next_power_of_two());
+        prop_assert_eq!(rec.dump(), want);
+        drop(rec);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// A brand-new persistent directory recovers to an empty store (empty-log
+/// case, explicitly — the sweep also hits it at `n_ops = 0`).
+#[test]
+fn empty_log_recovers_empty() {
+    let dir = tmp_dir("empty");
+    let store = SessionStore::persistent(4, 10, &dir, WalOptions::default()).unwrap();
+    assert!(store.is_empty());
+    drop(store);
+    let rec = SessionStore::recover(&dir).unwrap();
+    assert!(rec.is_empty());
+    assert_eq!(rec.num_shards(), 4);
+    assert_eq!(rec.max_len(), 10);
+    assert!(rec.is_persistent());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A recovered store is live: it keeps logging to the same directory, and a
+/// second recovery sees the post-recovery appends too.
+#[test]
+fn recovered_store_keeps_logging() {
+    let dir = tmp_dir("live");
+    let store = SessionStore::persistent(2, 10, &dir, WalOptions::default()).unwrap();
+    store.append(1, &ids(&[10, 11]));
+    drop(store);
+
+    let rec = SessionStore::recover(&dir).unwrap();
+    assert_eq!(rec.history(1), Some(ids(&[10, 11])));
+    rec.append(1, &ids(&[12]));
+    rec.append(2, &ids(&[20]));
+    assert!(rec.remove(2));
+    drop(rec);
+
+    let rec2 = SessionStore::recover(&dir).unwrap();
+    assert_eq!(rec2.dump(), vec![(1, ids(&[10, 11, 12]))]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Reopening a WAL directory with a mismatched shape is refused — the logged
+/// deltas were truncated against the original `max_len`, so replaying them
+/// under another bound would silently produce different histories.
+#[test]
+fn mismatched_reopen_is_refused() {
+    let dir = tmp_dir("mismatch");
+    drop(SessionStore::persistent(4, 10, &dir, WalOptions::default()).unwrap());
+    for (shards, max_len) in [(4, 20), (8, 10)] {
+        match SessionStore::persistent(shards, max_len, &dir, WalOptions::default()) {
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidInput),
+            Ok(_) => panic!("mismatched reopen ({shards}, {max_len}) must be refused"),
+        }
+    }
+    // The matching shape still opens.
+    assert!(SessionStore::persistent(4, 10, &dir, WalOptions::default()).is_ok());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A leftover snapshot temp file (crash between snapshot write and rename)
+/// is discarded on recovery; the previous snapshot and the full log tail
+/// still reconstruct the acknowledged state.
+#[test]
+fn orphan_snapshot_tmp_is_ignored() {
+    let dir = tmp_dir("orphan");
+    let store = SessionStore::persistent(1, 10, &dir, WalOptions::default()).unwrap();
+    store.append(7, &ids(&[1, 2, 3]));
+    drop(store);
+    // Simulate a crash mid-snapshot: a garbage temp file next to the log.
+    std::fs::write(dir.join("shard-000.tmp"), b"half-written snapshot").unwrap();
+    let rec = SessionStore::recover(&dir).unwrap();
+    assert_eq!(rec.history(7), Some(ids(&[1, 2, 3])));
+    assert!(!dir.join("shard-000.tmp").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -35,6 +35,12 @@ DELREC_THREADS=4 cargo test -q -p delrec-lm --test quantized_pack
 DELREC_THREADS=1 cargo test -q -p delrec-retrieval
 DELREC_THREADS=4 cargo test -q -p delrec-retrieval
 
+# The serving suite (WAL crash/recovery proptests, hot-swap bitwise
+# generation pinning, scheduler/metrics invariants) must hold at both pool
+# sizes explicitly — its worker and client threads race the swap path.
+DELREC_THREADS=1 cargo test -q -p delrec-serve
+DELREC_THREADS=4 cargo test -q -p delrec-serve
+
 # Smoke-run the inference-engine benchmark: asserts the grad-free engine's
 # exact-mode scores are bitwise identical to the tape before timing anything.
 cargo run --release -q -p delrec-bench --bin infer -- --scale smoke --out "$(mktemp -d)"
@@ -43,6 +49,12 @@ cargo run --release -q -p delrec-bench --bin infer -- --scale smoke --out "$(mkt
 # non-zero number of completed requests and zero bitwise mismatches between
 # served responses and direct scoring before any throughput is reported.
 cargo run --release -q -p delrec-bench --bin serve -- --scale smoke --out "$(mktemp -d)"
+
+# Smoke-run the durability soak: sustained open-loop traffic across a live
+# model hot-swap and a simulated kill/recover, gating zero lost sessions,
+# bitwise WAL recovery, bitwise swap transparency for untouched sessions,
+# a consistent request ledger, and bounded p99.
+cargo run --release -q -p delrec-bench --bin soak -- --scale smoke --out "$(mktemp -d)"
 
 # Smoke-run the observability benchmark: asserts disabled-mode span/counter
 # overhead stays under 2% of the hot scoring path and that the batch-32

@@ -70,4 +70,5 @@ pub use delrec_obs as obs;
 pub use delrec_par as par;
 pub use delrec_retrieval as retrieval;
 pub use delrec_seqrec as seqrec;
+pub use delrec_serve as serve;
 pub use delrec_tensor as tensor;
