@@ -14,24 +14,38 @@
 //! 3. **Sweep** — open-loop arrivals over {batch window} × {offered load},
 //!    with a per-request deadline; reports throughput, p50/p95/p99 latency,
 //!    mean batch occupancy, and how much the deadline machinery shed.
+//! 4. **Top-k serving** — the full-catalog `recommend(history) -> top-k`
+//!    protocol through the same scheduler: a bitwise gate against direct
+//!    `recommend_top_k` calls, then naive-loop vs coalesced floods. A
+//!    coalesced top-k batch is ONE `recommend_top_k_batch` call — one
+//!    catalog GEMM and one flattened re-rank for the whole flush — so the
+//!    shared fixed cost here is the catalog scan itself, not just engine
+//!    setup. Both throughput curves land in the JSON.
+//!
+//! Every phase runs against one fitted model wrapped in a [`Recommender`]:
+//! it serves the candidate-scoring protocol by delegation and the top-k
+//! protocol natively, so one warm fit feeds all four phases.
 //!
 //! Writes `BENCH_serve.json`.
 
 use delrec_bench::harness::{fit_delrec, ScoringWorkload};
 use delrec_bench::{banner, write_json, CliArgs, ExperimentContext};
-use delrec_core::{DelRec, LmPreset, TeacherKind};
+use delrec_core::{LmPreset, Recommender, TeacherKind};
 use delrec_data::synthetic::DatasetProfile;
+use delrec_data::ItemId;
 use delrec_eval::json::Json;
 use delrec_eval::report::Table;
-use delrec_eval::Ranker;
-use delrec_serve::{RecRequest, ServeConfig, Server};
+use delrec_eval::{Ranker, TopKQuery, TopKRecommender};
+use delrec_serve::{RecRequest, ServeConfig, Server, TopKRequest};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+const TOPK_K: usize = 10;
 
 /// Closed-loop flood: submit everything as fast as admission allows, wait for
 /// all responses, return (requests/sec, snapshot, responses).
 fn flood(
-    model: &Arc<DelRec>,
+    model: &Arc<Recommender>,
     cfg: ServeConfig,
     work: &ScoringWorkload,
 ) -> (f64, delrec_serve::MetricsSnapshot, Vec<Vec<f32>>) {
@@ -56,6 +70,41 @@ fn flood(
         .collect();
     let rps = work.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
     (rps, server.shutdown(), responses)
+}
+
+/// Closed-loop flood of the full-catalog protocol: every request asks for the
+/// top [`TOPK_K`] over the whole catalog, one fresh session per request.
+#[allow(clippy::type_complexity)]
+fn flood_topk(
+    model: &Arc<Recommender>,
+    cfg: ServeConfig,
+    work: &ScoringWorkload,
+) -> (f64, delrec_serve::MetricsSnapshot, Vec<Vec<(ItemId, f32)>>) {
+    let server = Server::start_recommender(Arc::clone(model), cfg);
+    let client = server.client();
+    let start = Instant::now();
+    let handles: Vec<_> = (0..work.len())
+        .map(|i| {
+            client
+                .submit_topk(TopKRequest {
+                    user_id: i as u64,
+                    recent_items: work.prefix(i).to_vec(),
+                    k: TOPK_K,
+                    deadline: None,
+                })
+                .expect("deep queue, no deadline: always admitted")
+        })
+        .collect();
+    let responses: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("deadline-free requests complete").items)
+        .collect();
+    let rps = work.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    (rps, server.shutdown(), responses)
+}
+
+fn bits(ranked: &[(ItemId, f32)]) -> Vec<(u32, u32)> {
+    ranked.iter().map(|&(id, s)| (id.0, s.to_bits())).collect()
 }
 
 /// One sweep cell's results.
@@ -101,7 +150,7 @@ impl SweepCell {
 
 /// Open-loop run at a target arrival rate with a latency deadline.
 fn open_loop(
-    model: &Arc<DelRec>,
+    model: &Arc<Recommender>,
     window: Duration,
     offered_rps: f64,
     budget: Duration,
@@ -170,7 +219,11 @@ fn main() {
         args.scale
     ));
     let ctx = ExperimentContext::new(DatasetProfile::MovieLens100K, args.scale, args.seed);
-    let model = Arc::new(fit_delrec(&ctx, TeacherKind::SASRec, LmPreset::Large));
+    let model = Arc::new(Recommender::new(fit_delrec(
+        &ctx,
+        TeacherKind::SASRec,
+        LmPreset::Large,
+    )));
 
     let n = match args.scale.to_string().as_str() {
         "smoke" => 96,
@@ -293,8 +346,106 @@ fn main() {
         }
     }
 
+    // Phase 4 — top-k serving. Gate: flood under aggressive coalescing and
+    // compare every answer bitwise against a direct `recommend_top_k` on the
+    // mirrored session history. Bitwise or bust, before any timing.
+    eprintln!("[gate] top-k bitwise correctness under coalescing …");
+    let (_, topk_gate_snap, topk_served) = flood_topk(
+        &model,
+        ServeConfig {
+            max_batch: 32,
+            batch_window: Duration::from_millis(10),
+            max_queue: 4096,
+            ..ServeConfig::default()
+        },
+        &work,
+    );
+    let mut topk_mismatches = 0usize;
+    for (i, items) in topk_served.iter().enumerate() {
+        let prefix = work.prefix(i);
+        let keep = prefix.len().min(ServeConfig::default().max_history);
+        let hist = &prefix[prefix.len() - keep..];
+        if bits(items) != bits(&model.recommend_top_k(hist, TOPK_K)) {
+            topk_mismatches += 1;
+        }
+    }
+    assert_eq!(
+        topk_mismatches, 0,
+        "served top-k must be bitwise identical to direct recommend_top_k"
+    );
+    assert!(
+        topk_gate_snap.completed as usize == n && topk_gate_snap.mean_topk_batch_size > 1.0,
+        "top-k gate must observe coalescing: {topk_gate_snap:?}"
+    );
+    eprintln!(
+        "[gate] {n} top-k requests, 0 mismatches, mean top-k batch {:.1} over {} batches",
+        topk_gate_snap.mean_topk_batch_size, topk_gate_snap.topk_batches
+    );
+
+    // Saturation: naive-loop vs coalesced top-k serving, plus the
+    // model-layer ceiling (direct recommend_top_k_batch in chunks of 32 vs a
+    // direct solo loop, no server in the path). Best of three.
+    let mut topk_naive_rps = 0.0f64;
+    let mut topk_batched_rps = 0.0f64;
+    let mut topk_direct_loop_rps = 0.0f64;
+    let mut topk_direct_batch_rps = 0.0f64;
+    for _ in 0..3 {
+        topk_naive_rps = topk_naive_rps.max(flood_topk(&model, ServeConfig::naive_loop(), &work).0);
+        topk_batched_rps = topk_batched_rps.max(
+            flood_topk(
+                &model,
+                ServeConfig {
+                    max_batch: 32,
+                    batch_window: Duration::from_millis(2),
+                    max_queue: 4096,
+                    ..ServeConfig::default()
+                },
+                &work,
+            )
+            .0,
+        );
+        let t = Instant::now();
+        for i in 0..work.len() {
+            std::hint::black_box(model.recommend_top_k(work.prefix(i), TOPK_K));
+        }
+        topk_direct_loop_rps =
+            topk_direct_loop_rps.max(n as f64 / t.elapsed().as_secs_f64().max(1e-9));
+        let t = Instant::now();
+        let queries: Vec<TopKQuery<'_>> =
+            (0..work.len()).map(|i| (work.prefix(i), TOPK_K)).collect();
+        for chunk in queries.chunks(32) {
+            std::hint::black_box(model.recommend_top_k_batch(chunk));
+        }
+        topk_direct_batch_rps =
+            topk_direct_batch_rps.max(n as f64 / t.elapsed().as_secs_f64().max(1e-9));
+    }
+    let topk_speedup = topk_batched_rps / topk_naive_rps;
+    let topk_ceiling = topk_direct_batch_rps / topk_direct_loop_rps;
+    let mut topk_table = Table::new(["top-k path", "req/s", "vs naive"]);
+    topk_table.row(vec![
+        "served naive B=1".into(),
+        format!("{topk_naive_rps:.1}"),
+        "1.00x".into(),
+    ]);
+    topk_table.row(vec![
+        "served coalesced B=32/2ms".into(),
+        format!("{topk_batched_rps:.1}"),
+        format!("{topk_speedup:.2}x"),
+    ]);
+    topk_table.row(vec![
+        "direct B=1 loop (no server)".into(),
+        format!("{topk_direct_loop_rps:.1}"),
+        format!("{:.2}x", topk_direct_loop_rps / topk_naive_rps),
+    ]);
+    topk_table.row(vec![
+        "direct batch-32 calls (ceiling)".into(),
+        format!("{topk_direct_batch_rps:.1}"),
+        format!("{:.2}x", topk_direct_batch_rps / topk_naive_rps),
+    ]);
+
     println!("{}", table.to_markdown());
     println!("{}", sweep_table.to_markdown());
+    println!("{}", topk_table.to_markdown());
 
     let blob = Json::obj([
         ("experiment", Json::from("serve")),
@@ -320,6 +471,28 @@ fn main() {
             ]),
         ),
         ("sweep", Json::arr(sweep)),
+        (
+            "topk",
+            Json::obj([
+                ("k", Json::from(TOPK_K)),
+                ("checked", Json::from(n)),
+                ("bitwise_mismatches", Json::from(topk_mismatches)),
+                (
+                    "gate_mean_topk_batch_size",
+                    Json::from(topk_gate_snap.mean_topk_batch_size),
+                ),
+                (
+                    "gate_topk_batches",
+                    Json::from(topk_gate_snap.topk_batches as usize),
+                ),
+                ("naive_rps", Json::from(topk_naive_rps)),
+                ("batched_rps", Json::from(topk_batched_rps)),
+                ("speedup", Json::from(topk_speedup)),
+                ("direct_loop_rps", Json::from(topk_direct_loop_rps)),
+                ("direct_batch_rps", Json::from(topk_direct_batch_rps)),
+                ("model_batch_ceiling", Json::from(topk_ceiling)),
+            ]),
+        ),
     ]);
     write_json(&args.out, "BENCH_serve", &blob).expect("write results");
 }

@@ -18,7 +18,7 @@
 
 use crate::delrec::DelRec;
 use delrec_data::ItemId;
-use delrec_eval::{score_candidates_chunked, Ranker, ScoreRequest, TopKRecommender};
+use delrec_eval::{score_candidates_chunked, Ranker, ScoreRequest, TopKQuery, TopKRecommender};
 use delrec_lm::MiniLm;
 use delrec_retrieval::{sort_ranked, IndexFormat, Retriever};
 use delrec_tensor::MathMode;
@@ -122,22 +122,32 @@ impl Recommender {
     /// Export the `[n_items, d_model]` item-embedding matrix from the LM:
     /// row `j` is the mean token embedding of item `j`'s title — computed
     /// once per parameter-store version, then packed into the index.
+    ///
+    /// Each lane fills a disjoint row range; a row is an independent title
+    /// forward, so lane count changes scheduling only and the exported
+    /// matrix is bitwise identical to a serial per-item loop.
     fn export_embeddings(lm: &MiniLm, items: &crate::prompt::ItemTokens) -> (Vec<f32>, usize) {
         let _span = delrec_obs::span!("retrieval.export");
         let dim = lm.cfg.d_model;
         let n_items = items.len();
-        let mut emb = Vec::with_capacity(n_items * dim);
-        for j in 0..n_items {
-            let title = items.title(ItemId(j as u32));
-            if title.is_empty() {
-                // Untokenizable title: a zero row scores 0 against every
+        let mut emb = vec![0.0f32; n_items * dim];
+        let pool = delrec_par::current();
+        let item_ranges = delrec_par::partition(n_items, pool.lanes());
+        let row_ranges: Vec<_> = item_ranges
+            .iter()
+            .map(|r| r.start * dim..r.end * dim)
+            .collect();
+        pool.for_each_range(&mut emb, &row_ranges, |i, rows| {
+            for (row, j) in rows.chunks_exact_mut(dim).zip(item_ranges[i].clone()) {
+                let title = items.title(ItemId(j as u32));
+                // Untokenizable title: the zero row scores 0 against every
                 // query and sorts purely by id — never recommended, never a
                 // panic.
-                emb.resize(emb.len() + dim, 0.0);
-            } else {
-                emb.extend_from_slice(&lm.title_embedding(title));
+                if !title.is_empty() {
+                    row.copy_from_slice(&lm.title_embedding(title));
+                }
             }
-        }
+        });
         (emb, dim)
     }
 
@@ -150,15 +160,31 @@ impl Recommender {
             MathMode::Quantized => (1, IndexFormat::Q8),
             _ => (0, IndexFormat::F32),
         };
+        {
+            let slots = self.cache.slots.lock().unwrap();
+            if let Some(r) = &slots[slot] {
+                if r.index().version() == version {
+                    delrec_obs::counter!("retrieval.index.hit").incr();
+                    return Arc::clone(r);
+                }
+            }
+        }
+        // Build outside the lock: export + pack dominate a miss by orders of
+        // magnitude, and holding the mutex across them would stall every
+        // concurrent recommend — including hits on the *other* slot. Two
+        // threads can race past the miss and both build; the double-check
+        // below resolves it toward the first insert. Both builds are bitwise
+        // identical (same version, same embeddings), so discarding the
+        // loser's copy changes nothing but some wasted work under a race
+        // that only fires on simultaneous first-touch of a new version.
+        let (emb, dim) = Self::export_embeddings(self.model.lm(), self.model.items());
+        let built = Arc::new(Retriever::build(emb, dim, version, format));
         let mut slots = self.cache.slots.lock().unwrap();
         if let Some(r) = &slots[slot] {
             if r.index().version() == version {
-                delrec_obs::counter!("retrieval.index.hit").incr();
                 return Arc::clone(r);
             }
         }
-        let (emb, dim) = Self::export_embeddings(self.model.lm(), self.model.items());
-        let built = Arc::new(Retriever::build(emb, dim, version, format));
         slots[slot] = Some(Arc::clone(&built));
         built
     }
@@ -185,11 +211,84 @@ impl Recommender {
         ranked.truncate(k);
         ranked
     }
+
+    /// Serve a whole batch of histories through one pipeline pass: one
+    /// retriever pin, one `[B, d] × [d, n_items]` catalog scan, and one
+    /// re-rank batch covering every request's candidate chunks. Row `i` is
+    /// bitwise identical to [`recommend`](Self::recommend)`(histories[i],
+    /// k)` at every thread count and batch size.
+    pub fn recommend_batch(&self, histories: &[&[ItemId]], k: usize) -> Vec<Vec<(ItemId, f32)>> {
+        let requests: Vec<TopKQuery<'_>> = histories.iter().map(|&h| (h, k)).collect();
+        self.recommend_batch_impl(&requests)
+    }
+
+    /// The batched pipeline behind [`recommend_batch`](Self::recommend_batch)
+    /// and the [`TopKRecommender::recommend_top_k_batch`] override, with a
+    /// per-request `k`.
+    ///
+    /// Per-row equivalence with the sequential path holds stage by stage:
+    /// the batched scan's row `i` is the m=1 scan of history `i` (fixed
+    /// accumulation order per output element), per-row top-k is a pure
+    /// function of that row, and the flattened re-rank scores each
+    /// `(history, chunk)` request identically to the per-request chunk loop
+    /// (`score_candidates_batch` row `i` ≡ `score_candidates(request i)`,
+    /// pinned since the batched-scoring protocol landed).
+    fn recommend_batch_impl(&self, requests: &[TopKQuery<'_>]) -> Vec<Vec<(ItemId, f32)>> {
+        for &(_, k) in requests {
+            assert!(k > 0, "k must be positive");
+        }
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let _span = delrec_obs::span!("recommend.batch");
+        let retriever = self.retriever();
+        let histories: Vec<&[ItemId]> = requests.iter().map(|&(h, _)| h).collect();
+        let ns: Vec<usize> = requests
+            .iter()
+            .map(|&(_, k)| self.cfg.retrieve_n.max(k))
+            .collect();
+        let retrieved = retriever.retrieve_batch_each(&histories, &ns);
+        let id_lists: Vec<Vec<ItemId>> = retrieved
+            .iter()
+            .map(|rows| rows.iter().map(|&(id, _)| id).collect())
+            .collect();
+        // One re-rank batch for the whole request set: every request's
+        // rerank_chunk-sized candidate slices, flattened in request order.
+        let chunk = self.cfg.rerank_chunk;
+        let mut flat: Vec<ScoreRequest<'_>> = Vec::new();
+        for (ids, &h) in id_lists.iter().zip(&histories) {
+            for group in ids.chunks(chunk) {
+                flat.push((h, group));
+            }
+        }
+        let rerank = delrec_obs::span!("rerank");
+        let scored = self.model.score_candidates_batch(&flat);
+        drop(rerank);
+        let mut out = Vec::with_capacity(requests.len());
+        let mut row = 0;
+        for (ids, &(_, k)) in id_lists.iter().zip(requests) {
+            let n_chunks = ids.len().div_ceil(chunk);
+            let mut scores = Vec::with_capacity(ids.len());
+            for group in &scored[row..row + n_chunks] {
+                scores.extend_from_slice(group);
+            }
+            row += n_chunks;
+            let mut ranked: Vec<(ItemId, f32)> = ids.iter().copied().zip(scores).collect();
+            sort_ranked(&mut ranked);
+            ranked.truncate(k);
+            out.push(ranked);
+        }
+        out
+    }
 }
 
 impl TopKRecommender for Recommender {
     fn recommend_top_k(&self, prefix: &[ItemId], k: usize) -> Vec<(ItemId, f32)> {
         self.recommend(prefix, k)
+    }
+
+    fn recommend_top_k_batch(&self, requests: &[TopKQuery<'_>]) -> Vec<Vec<(ItemId, f32)>> {
+        self.recommend_batch_impl(requests)
     }
 }
 

@@ -18,6 +18,6 @@ pub use retrieval::{
 };
 pub use runner::{
     evaluate, evaluate_examples, evaluate_examples_par, evaluate_par, score_candidates_chunked,
-    EvalConfig, FnRanker, Ranker, ScoreRequest, TopKRecommender,
+    EvalConfig, FnRanker, Ranker, ScoreRequest, TopKQuery, TopKRecommender,
 };
 pub use ttest::{paired_t_test, TTestResult};

@@ -8,6 +8,10 @@ use delrec_data::{CandidateSampler, Dataset, ItemId, Split};
 /// One history + candidate set awaiting scores (a batched-scoring request).
 pub type ScoreRequest<'a> = (&'a [ItemId], &'a [ItemId]);
 
+/// One history + requested depth awaiting a full-catalog top-k (a batched
+/// top-k request).
+pub type TopKQuery<'a> = (&'a [ItemId], usize);
+
 /// Anything that can order a candidate set given a user history.
 pub trait Ranker {
     /// Display name.
@@ -52,6 +56,19 @@ pub trait Ranker {
 pub trait TopKRecommender {
     /// The `k` best items for this history, best first, with their scores.
     fn recommend_top_k(&self, prefix: &[ItemId], k: usize) -> Vec<(ItemId, f32)>;
+
+    /// Serve several `(history, k)` requests at once; row `i` answers
+    /// `requests[i]`. The default loops [`Self::recommend_top_k`], so every
+    /// recommender keeps identical semantics; pipeline-backed recommenders
+    /// override it to share one catalog scan and one re-rank batch across
+    /// the whole request set. Overrides must return each row bitwise
+    /// identical to the sequential call.
+    fn recommend_top_k_batch(&self, requests: &[TopKQuery<'_>]) -> Vec<Vec<(ItemId, f32)>> {
+        requests
+            .iter()
+            .map(|&(prefix, k)| self.recommend_top_k(prefix, k))
+            .collect()
+    }
 }
 
 /// Adapter turning a closure into a [`Ranker`] — used to wrap full-catalog

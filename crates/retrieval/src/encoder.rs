@@ -68,6 +68,17 @@ impl UserEncoder {
     /// start rather than a panic.
     pub fn encode(&self, history: &[ItemId]) -> Vec<f32> {
         let mut q = vec![0.0f32; self.dim];
+        self.encode_into(history, &mut q);
+        q
+    }
+
+    /// [`encode`](Self::encode) into a caller-provided `dim`-length buffer
+    /// (overwritten, not accumulated into) — the batch path encodes `B`
+    /// queries into one `[B, dim]` matrix without `B` row allocations. Same
+    /// arithmetic in the same order as `encode`, bit for bit.
+    pub fn encode_into(&self, history: &[ItemId], out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "query buffer shape");
+        out.fill(0.0);
         // Oldest-to-newest with weight decay^(age): one fixed accumulation
         // order, so the query — and everything downstream — is bitwise
         // reproducible for a given history.
@@ -78,12 +89,11 @@ impl UserEncoder {
             }
             let w = self.decay.powi(age as i32);
             let row = &self.emb[j * self.dim..(j + 1) * self.dim];
-            for (acc, &v) in q.iter_mut().zip(row) {
+            for (acc, &v) in out.iter_mut().zip(row) {
                 *acc += w * v;
             }
         }
-        l2_normalize_rows(&mut q, self.dim);
-        q
+        l2_normalize_rows(out, self.dim);
     }
 }
 

@@ -164,19 +164,39 @@ impl ItemIndex {
     }
 
     /// Score `m` queries (row-major `[m, dim]`) against every item into a
-    /// zeroed row-major `[m, n_items]` score matrix.
+    /// zeroed row-major `[m, n_items]` score matrix — **one** blocked GEMM
+    /// call, so the packed panels stream from memory once for all `m` rows
+    /// instead of once per query.
+    ///
+    /// Row `i` of the output is bitwise identical to an `m = 1` scan of
+    /// query `i`: each output score is one fixed left-associated k-order dot
+    /// product, and the kernel's row blocking only chooses which register
+    /// tile computes it, never the accumulation order.
     pub fn scan_batch_into(&self, queries: &[f32], m: usize, out: &mut [f32]) {
         assert_eq!(queries.len(), m * self.dim, "query matrix shape");
         assert_eq!(out.len(), m * self.n_items, "score matrix shape");
+        if m == 0 {
+            return;
+        }
         let _span = delrec_obs::span!("retrieval.scan");
         self.panel.scan(queries, self.dim, out, m);
         delrec_obs::counter!("retrieval.scan.items").add((m * self.n_items) as u64);
+        delrec_obs::counter!("retrieval.scan.rows").add(m as u64);
+        delrec_obs::counter!("retrieval.scan.batches").incr();
     }
 
     /// Convenience: allocate and fill a score row for one query.
     pub fn scan(&self, query: &[f32]) -> Vec<f32> {
         let mut out = vec![0.0f32; self.n_items];
         self.scan_into(query, &mut out);
+        out
+    }
+
+    /// Convenience: allocate and fill a `[m, n_items]` score matrix for `m`
+    /// row-major queries (see [`scan_batch_into`](Self::scan_batch_into)).
+    pub fn scan_batch(&self, queries: &[f32], m: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * self.n_items];
+        self.scan_batch_into(queries, m, &mut out);
         out
     }
 }

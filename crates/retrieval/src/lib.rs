@@ -30,9 +30,16 @@ pub mod topk;
 
 pub use encoder::{UserEncoder, DEFAULT_DECAY};
 pub use index::{l2_normalize_rows, IndexFormat, ItemIndex};
-pub use topk::{sort_ranked, top_k};
+pub use topk::{sort_ranked, top_k, TopKScratch};
 
 use delrec_data::ItemId;
+
+/// Queries per scan block in [`Retriever::retrieve_batch_each`]: bounds the
+/// transient `[rows, n_items]` score matrix (128 rows × a 1M-item catalog is
+/// 512 MB of f32 — blocks keep it at that ceiling no matter how large a
+/// batch callers hand in). Blocking is invisible in the output: each row's
+/// scan and selection depend only on that row.
+const SCAN_BLOCK_ROWS: usize = 128;
 
 /// Index + encoder composed into the retrieval stage: history in,
 /// best-first `(item, score)` candidates out.
@@ -67,6 +74,61 @@ impl Retriever {
         let query = self.encoder.encode(history);
         let scores = self.index.scan(&query);
         top_k(&scores, n)
+    }
+
+    /// Retrieve candidates for `B` histories through **one** catalog scan:
+    /// all queries are encoded into a `[B, dim]` matrix and scored in a
+    /// single blocked `[B, dim] × [dim, n_items]` GEMM, so the packed item
+    /// panels stream from memory once for the whole batch instead of once
+    /// per user. Row `i` of the result is bitwise identical to
+    /// `retrieve(histories[i], n)` — at every thread count and batch size —
+    /// because each output score's accumulation order and each row's top-k
+    /// selection depend only on that row's own query.
+    pub fn retrieve_batch(&self, histories: &[&[ItemId]], n: usize) -> Vec<Vec<(ItemId, f32)>> {
+        let ns = vec![n; histories.len()];
+        self.retrieve_batch_each(histories, &ns)
+    }
+
+    /// [`retrieve_batch`](Self::retrieve_batch) with a per-history retrieval
+    /// depth (`ns[i]` candidates for `histories[i]`). The scan cost is
+    /// independent of the depths — one GEMM covers the batch regardless —
+    /// so mixed-depth callers (e.g. a serving batch coalescing requests with
+    /// different `k`) still share the panel traversal.
+    pub fn retrieve_batch_each(
+        &self,
+        histories: &[&[ItemId]],
+        ns: &[usize],
+    ) -> Vec<Vec<(ItemId, f32)>> {
+        assert_eq!(histories.len(), ns.len(), "one depth per history");
+        let b = histories.len();
+        let mut out = Vec::with_capacity(b);
+        if b == 0 {
+            return out;
+        }
+        let dim = self.index.dim();
+        let n_items = self.index.len();
+        let rows = b.min(SCAN_BLOCK_ROWS);
+        let mut queries = vec![0.0f32; rows * dim];
+        let mut scores = vec![0.0f32; rows * n_items];
+        // Heap and scratch buffers live across all rows of the batch.
+        let mut scratch = TopKScratch::new();
+        let mut start = 0;
+        while start < b {
+            let end = (start + SCAN_BLOCK_ROWS).min(b);
+            let m = end - start;
+            for (i, h) in histories[start..end].iter().enumerate() {
+                self.encoder
+                    .encode_into(h, &mut queries[i * dim..(i + 1) * dim]);
+            }
+            let block = &mut scores[..m * n_items];
+            block.fill(0.0);
+            self.index.scan_batch_into(&queries[..m * dim], m, block);
+            for (i, &n) in ns[start..end].iter().enumerate() {
+                out.push(scratch.top_k(&block[i * n_items..(i + 1) * n_items], n));
+            }
+            start = end;
+        }
+        out
     }
 }
 

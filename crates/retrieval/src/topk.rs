@@ -13,7 +13,7 @@ use std::collections::BinaryHeap;
 
 /// `(score, item)` with the *reversed* retrieval order, so the max-heap's
 /// root is the worst element currently kept — a classic bounded top-k heap.
-#[derive(PartialEq)]
+#[derive(Clone, Copy, PartialEq)]
 struct Worst(f32, u32);
 
 impl Eq for Worst {}
@@ -34,30 +34,72 @@ impl Ord for Worst {
     }
 }
 
+/// Reusable bounded-heap workspace for top-k selection.
+///
+/// Each [`top_k`] call used to allocate its heap fresh; on the batched scan
+/// path that is a per-row cost × B per flush. A scratch owns the heap's
+/// backing buffer and lends it to every [`TopKScratch::top_k`] call, so a
+/// whole batch of rows selects through one allocation (the buffer grows to
+/// the largest `k + 1` seen and stays there).
+///
+/// The selected list is a pure function of `(scores, k)` under the total
+/// order — scratch reuse can't change a bit of the output, only where the
+/// heap's storage lives.
+#[derive(Default)]
+pub struct TopKScratch {
+    buf: Vec<Worst>,
+}
+
+impl TopKScratch {
+    /// Empty scratch; the first selection sizes the buffer.
+    pub fn new() -> Self {
+        TopKScratch { buf: Vec::new() }
+    }
+
+    /// The `k` best-scoring items of `scores` (item `j`'s score at index
+    /// `j`), best first; ties in score order by ascending [`ItemId`].
+    /// Returns fewer than `k` entries only when the catalog itself is
+    /// smaller than `k`. Identical to the free [`top_k`] — same selection,
+    /// same order, same bits — but reuses this scratch's heap buffer.
+    pub fn top_k(&mut self, scores: &[f32], k: usize) -> Vec<(ItemId, f32)> {
+        let _span = delrec_obs::span!("retrieval.topk");
+        let k = k.min(scores.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        debug_assert!(self.buf.is_empty(), "scratch buffer returned dirty");
+        self.buf.reserve(k + 1);
+        // `BinaryHeap::from` on an empty Vec heapifies nothing and keeps the
+        // allocation; `into_vec` below hands it back.
+        let mut heap = BinaryHeap::from(std::mem::take(&mut self.buf));
+        for (j, &s) in scores.iter().enumerate() {
+            let cand = Worst(s, j as u32);
+            if heap.len() < k {
+                heap.push(cand);
+            } else if cand < *heap.peek().expect("non-empty at capacity") {
+                heap.pop();
+                heap.push(cand);
+            }
+        }
+        let mut buf = heap.into_vec();
+        let mut out: Vec<(ItemId, f32)> = buf.iter().map(|&Worst(s, j)| (ItemId(j), s)).collect();
+        buf.clear();
+        self.buf = buf;
+        // Heap pop order is worst-first and heap-internal layout is not a
+        // contract; sort the k survivors with the same total order, best
+        // first.
+        sort_ranked(&mut out);
+        out
+    }
+}
+
 /// The `k` best-scoring items of `scores` (item `j`'s score at index `j`),
 /// best first; ties in score order by ascending [`ItemId`]. Returns fewer
 /// than `k` entries only when the catalog itself is smaller than `k`.
+/// One-shot form of [`TopKScratch::top_k`]; batch callers selecting many
+/// rows should hold a scratch instead.
 pub fn top_k(scores: &[f32], k: usize) -> Vec<(ItemId, f32)> {
-    let _span = delrec_obs::span!("retrieval.topk");
-    let k = k.min(scores.len());
-    if k == 0 {
-        return Vec::new();
-    }
-    let mut heap = BinaryHeap::with_capacity(k + 1);
-    for (j, &s) in scores.iter().enumerate() {
-        let cand = Worst(s, j as u32);
-        if heap.len() < k {
-            heap.push(cand);
-        } else if cand < *heap.peek().expect("non-empty at capacity") {
-            heap.pop();
-            heap.push(cand);
-        }
-    }
-    let mut out: Vec<(ItemId, f32)> = heap.into_iter().map(|Worst(s, j)| (ItemId(j), s)).collect();
-    // Heap pop order is worst-first and heap-internal layout is not a
-    // contract; sort the k survivors with the same total order, best first.
-    sort_ranked(&mut out);
-    out
+    TopKScratch::new().top_k(scores, k)
 }
 
 /// Sort `(item, score)` pairs best-first under the retrieval order: score
@@ -110,5 +152,21 @@ mod tests {
     fn k_zero_and_empty_scores_are_empty() {
         assert!(top_k(&[0.5], 0).is_empty());
         assert!(top_k(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_selection_across_varied_rows() {
+        let rows: [&[f32]; 4] = [
+            &[0.1, 0.9, -0.3, 0.5, 0.7],
+            &[0.5, 0.5, 0.5, 0.5],
+            &[-0.0, 0.0],
+            &[0.2],
+        ];
+        let mut scratch = TopKScratch::new();
+        for (i, row) in rows.iter().enumerate() {
+            for k in [0, 1, 2, 10] {
+                assert_eq!(scratch.top_k(row, k), top_k(row, k), "row {i}, k {k}");
+            }
+        }
     }
 }

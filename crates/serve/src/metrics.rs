@@ -19,6 +19,10 @@
 //! * `completed + timed_out ≤ batched_requests`
 //! * `batched_requests ≥ batches` (so `mean_batch_size ≥ 1` once a batch
 //!   flushed)
+//! * `topk_batched_requests ≤ batched_requests` and `topk_batched_requests ≥
+//!   topk_batches` (so `mean_topk_batch_size ≥ 1` once a top-k batch
+//!   flushed) — top-k batches ride the shared batch ledger *and* their own
+//!   `topk_batch.*` pair
 //!
 //! The guarantee comes from a write/read ordering discipline rather than a
 //! lock. Writers publish with `Release` increments in dependency order: a
@@ -111,6 +115,8 @@ pub struct Metrics {
     timed_out: Arc<Counter>,
     batches: Arc<Counter>,
     batched_requests: Arc<Counter>,
+    topk_batches: Arc<Counter>,
+    topk_batched_requests: Arc<Counter>,
     publishes: Arc<Counter>,
     active_model_seq: Arc<Gauge>,
     latency: LogHistogram,
@@ -139,6 +145,8 @@ impl Metrics {
             timed_out: reg.counter(&name("timed_out")),
             batches: reg.counter(&name("batches")),
             batched_requests: reg.counter(&name("batched_requests")),
+            topk_batches: reg.counter(&name("topk_batch.batches")),
+            topk_batched_requests: reg.counter(&name("topk_batch.requests")),
             publishes: reg.counter(&name("swap.publishes")),
             active_model_seq: reg.gauge(&name("swap.active_seq")),
             latency: LogHistogram::registered(&name("latency_ns")),
@@ -209,6 +217,26 @@ impl Metrics {
         self.batches.incr_release();
     }
 
+    /// A coalesced top-k batch of `size` live requests went through one
+    /// handler call. Top-k batches ride the shared `batches` /
+    /// `batched_requests` ledger (their completions land in `completed`, so
+    /// the `completed + timed_out ≤ batched_requests` invariant must count
+    /// them) *and* their own `topk_batch.*` pair for occupancy of the
+    /// batched-pipeline path specifically.
+    ///
+    /// Write order is load-bearing twice over: each pair's occupancy
+    /// numerator precedes its batch count (so each mean can never dip below
+    /// one), and the top-k pair lands strictly inside the shared pair — a
+    /// snapshot that observes a top-k request always also observes it in
+    /// `batched_requests`, keeping `topk_batched_requests ≤
+    /// batched_requests`.
+    pub fn record_topk_batch(&self, size: u64) {
+        self.batched_requests.add_release(size);
+        self.topk_batched_requests.add_release(size);
+        self.topk_batches.incr_release();
+        self.batches.incr_release();
+    }
+
     /// Point-in-time copy of every counter plus derived quantiles.
     ///
     /// One pass, in the documented order — sinks first, then batch counts,
@@ -220,8 +248,13 @@ impl Metrics {
         let completed = self.completed.get_acquire();
         let timed_out = self.timed_out.get_acquire();
         let shed_expired = self.shed_expired.get_acquire();
-        // 2. Batch count before its occupancy numerator.
+        // 2. Each batch count before its occupancy numerator, and the top-k
+        //    pair before the shared pair it nests inside (see
+        //    `record_topk_batch` for why this read order pairs with that
+        //    write order).
         let batches = self.batches.get_acquire();
+        let topk_batches = self.topk_batches.get_acquire();
+        let topk_batched_requests = self.topk_batched_requests.get_acquire();
         let batched_requests = self.batched_requests.get_acquire();
         // 3. Sources last: by now every implied upstream increment is
         //    visible. Admission rejections have no cross-counter invariant
@@ -238,11 +271,17 @@ impl Metrics {
             shed_expired,
             timed_out,
             batches,
+            topk_batches,
             model_publishes,
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
                 batched_requests as f64 / batches as f64
+            },
+            mean_topk_batch_size: if topk_batches == 0 {
+                0.0
+            } else {
+                topk_batched_requests as f64 / topk_batches as f64
             },
             latency_mean: self.latency.mean(),
             latency_p50: self.latency.quantile(0.50),
@@ -269,13 +308,18 @@ pub struct MetricsSnapshot {
     pub shed_expired: u64,
     /// Requests that expired during scoring.
     pub timed_out: u64,
-    /// Batches flushed.
+    /// Batches flushed (coalesced top-k batches included).
     pub batches: u64,
+    /// Coalesced top-k batches (each one handler call over a flushed set of
+    /// [`TopKRequest`](crate::TopKRequest)s). Also counted in `batches`.
+    pub topk_batches: u64,
     /// Model generations published over the server's lifetime (excludes the
     /// generation it started with).
     pub model_publishes: u64,
     /// Mean requests per flushed batch.
     pub mean_batch_size: f64,
+    /// Mean top-k requests per coalesced top-k batch.
+    pub mean_topk_batch_size: f64,
     /// Mean submit-to-response latency.
     pub latency_mean: Duration,
     /// Median latency.

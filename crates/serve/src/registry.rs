@@ -32,10 +32,13 @@ use delrec_eval::Ranker;
 use std::sync::{Arc, Mutex};
 
 /// The full-catalog recommendation handler a `start_recommender` server
-/// derives from its model: `(session history, k) -> top-k items`. Stored
-/// type-erased so the queue, scheduler, and scoring paths stay monomorphized
-/// over plain [`Ranker`]s.
-pub(crate) type TopKFn = Arc<dyn Fn(&[ItemId], usize) -> Vec<(ItemId, f32)> + Send + Sync>;
+/// derives from its model: a *batch* of `(session history, k)` requests in,
+/// one answer row per request out — so a flushed top-k batch reaches the
+/// pipeline's batched scan/re-rank path in one call. Stored type-erased so
+/// the queue, scheduler, and scoring paths stay monomorphized over plain
+/// [`Ranker`]s.
+pub(crate) type TopKFn =
+    Arc<dyn Fn(&[(&[ItemId], usize)]) -> Vec<Vec<(ItemId, f32)>> + Send + Sync>;
 
 /// One published model generation: everything a batch needs, bundled so a
 /// single `Arc` load pins a consistent view.

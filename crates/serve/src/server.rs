@@ -441,7 +441,10 @@ fn score_batch<R: Ranker>(sh: &Shared<R>, batch: Vec<Pending>) {
     if !topk_live.is_empty() {
         // Admission rejects top-k requests on servers without a handler
         // factory, and every published generation of such a server carries a
-        // handler. The pipeline's own spans (`retrieval.scan`,
+        // handler. The whole flushed set goes through **one** handler call —
+        // one batched catalog scan, one re-rank batch — against the single
+        // generation this batch pinned above; a publish landing mid-call
+        // never mixes into it. The pipeline's own spans (`retrieval.scan`,
         // `retrieval.topk`, `rerank`) fire inside the handler call; this
         // span bounds the serving-side stage.
         let topk = published
@@ -449,13 +452,26 @@ fn score_batch<R: Ranker>(sh: &Shared<R>, batch: Vec<Pending>) {
             .as_ref()
             .expect("top-k request admitted without a handler");
         let _span = delrec_obs::span!("serve.topk_batch");
-        for p in topk_live {
-            let Work::TopK { k, tx } = p.work else {
+        let requests: Vec<(&[delrec_data::ItemId], usize)> = topk_live
+            .iter()
+            .map(|p| {
+                let Work::TopK { k, .. } = &p.work else {
+                    unreachable!("partitioned above")
+                };
+                (p.prefix.as_slice(), *k)
+            })
+            .collect();
+        let rows = topk(&requests);
+        debug_assert_eq!(rows.len(), topk_live.len(), "one answer row per request");
+        let done = Instant::now();
+        sh.metrics.record_topk_batch(topk_live.len() as u64);
+        for (p, items) in topk_live.into_iter().zip(rows) {
+            let Work::TopK { tx, .. } = p.work else {
                 unreachable!("partitioned above")
             };
-            let items = topk(&p.prefix, k);
-            let done = Instant::now();
             if p.deadline.is_some_and(|d| d <= done) {
+                // Expired mid-pipeline: same "never silently answered late"
+                // contract as the scoring path.
                 sh.metrics.record_timed_out();
                 let _ = tx.send(Err(ServeError::DeadlineExpired));
                 continue;
@@ -603,8 +619,10 @@ impl<R: Ranker + Send + Sync + 'static> Server<R> {
     }
 
     /// Spawn a server that additionally serves the full-catalog protocol:
-    /// [`TopKRequest`]s run `model.recommend_top_k` over the resolved session
-    /// history inside the same queue, batching, and deadline discipline as
+    /// [`TopKRequest`]s run `model.recommend_top_k_batch` over the resolved
+    /// session histories — the whole flushed batch in one call, so a
+    /// pipeline-backed recommender coalesces every request into one catalog
+    /// scan — inside the same queue, batching, and deadline discipline as
     /// candidate scoring. One server answers both request shapes.
     pub fn start_recommender(model: Arc<R>, cfg: ServeConfig) -> Self
     where
@@ -615,7 +633,7 @@ impl<R: Ranker + Send + Sync + 'static> Server<R> {
         // full-catalog protocol too.
         let factory = Arc::new(|m: &Arc<R>| {
             let handler = Arc::clone(m);
-            let f: TopKFn = Arc::new(move |prefix, k| handler.recommend_top_k(prefix, k));
+            let f: TopKFn = Arc::new(move |requests| handler.recommend_top_k_batch(requests));
             f
         });
         Self::start_inner(model, cfg, Some(factory))

@@ -204,6 +204,100 @@ proptest! {
         prop_assert_eq!(active, Some(delrec_obs::MetricValue::Gauge(published as f64)));
     }
 
+    /// Coalesced top-k batches under publish churn: concurrent clients flood
+    /// top-k requests while the publisher swaps generations; every response's
+    /// items must be exactly its acknowledged generation's top-k. The
+    /// scheduler answers a whole flushed batch from **one** handler call
+    /// against the generation pinned at flush, so a single row computed by a
+    /// different generation than its batch's acknowledged `model_seq` — a
+    /// mixed-generation top-k batch — would fail the bitwise check here.
+    #[test]
+    fn coalesced_topk_batches_never_mix_generations(
+        n_clients in 1usize..=3,
+        reqs_per_client in 5usize..=25,
+        publishes in 1usize..=8,
+        max_batch in 1usize..=8,
+        window_us in prop_oneof![Just(0u64), 1u64..=500],
+    ) {
+        let max_history = 8;
+        let server = Arc::new(Server::start_recommender(
+            Arc::new(VersionedRanker { version: VERSION_BASE }),
+            ServeConfig {
+                max_batch,
+                batch_window: Duration::from_micros(window_us),
+                max_queue: 8192,
+                num_workers: 0,
+                session_shards: 4,
+                max_history,
+                persistence: None,
+            },
+        ));
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let publisher = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut published = 0;
+                while published < publishes && !stop.load(Ordering::Relaxed) {
+                    published += 1;
+                    server.publish(Arc::new(VersionedRanker {
+                        version: VERSION_BASE + published as u64,
+                    }));
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                published as u64
+            })
+        };
+
+        let clients: Vec<_> = (0..n_clients as u64)
+            .map(|c| {
+                let client = server.client();
+                std::thread::spawn(move || {
+                    let mut hist = Vec::new();
+                    let mut out = Vec::new();
+                    for i in 0..reqs_per_client as u32 {
+                        let delta = ids(&[c as u32 * 10_000 + i]);
+                        let expected_hist = replay_session(&mut hist, &delta, max_history);
+                        let h = client
+                            .submit_topk(TopKRequest {
+                                user_id: c,
+                                recent_items: delta,
+                                k: 5,
+                                deadline: None,
+                            })
+                            .expect("deep queue, no deadline: always admitted");
+                        out.push((h, expected_hist));
+                    }
+                    out
+                })
+            })
+            .collect();
+
+        let mut max_seq_seen = 0u64;
+        for c in clients {
+            for (h, hist) in c.join().unwrap() {
+                let resp = h.wait().expect("deadline-free requests always answer");
+                let want = expected_topk(VERSION_BASE + resp.model_seq, &hist, 5);
+                prop_assert_eq!(&resp.items, &want,
+                    "top-k row mixed into a foreign generation (seq {})", resp.model_seq);
+                max_seq_seen = max_seq_seen.max(resp.model_seq);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let published = publisher.join().unwrap();
+        prop_assert!(max_seq_seen <= published,
+            "a response acknowledged seq {} but only {} were published",
+            max_seq_seen, published);
+
+        // The coalesced ledger stays consistent under swap churn.
+        let snap = server.metrics().snapshot();
+        let total = (n_clients * reqs_per_client) as u64;
+        prop_assert_eq!(snap.completed, total);
+        prop_assert!(snap.topk_batches >= 1 && snap.topk_batches <= total);
+        prop_assert!(snap.mean_topk_batch_size >= 1.0);
+    }
+
     /// Repacked publishes are bitwise invisible: a parameter-identical model
     /// (same `model_version`, fresh instance) swapped in any number of times
     /// never changes a response bit for untouched sessions.

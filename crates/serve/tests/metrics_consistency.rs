@@ -20,8 +20,8 @@ use delrec_serve::{Metrics, MetricsSnapshot};
 use proptest::prelude::*;
 
 /// The cross-counter invariants a consistent snapshot must satisfy.
-/// `batched_requests` is reconstructed from `mean_batch_size · batches`
-/// (exact in f64 for any realistic count).
+/// `batched_requests` (and its top-k twin) are reconstructed from
+/// `mean_batch_size · batches` (exact in f64 for any realistic count).
 fn check(s: &MetricsSnapshot) -> Result<(), String> {
     let sinks = s.completed + s.shed_expired + s.timed_out;
     if sinks > s.submitted {
@@ -40,6 +40,18 @@ fn check(s: &MetricsSnapshot) -> Result<(), String> {
     if s.batches > 0 && s.mean_batch_size < 1.0 {
         return Err(format!("mean_batch_size {} < 1 ({s:?})", s.mean_batch_size));
     }
+    let topk_batched = (s.mean_topk_batch_size * s.topk_batches as f64).round() as u64;
+    if topk_batched > batched_requests {
+        return Err(format!(
+            "topk_batched_requests {topk_batched} > batched_requests {batched_requests} ({s:?})"
+        ));
+    }
+    if s.topk_batches > 0 && s.mean_topk_batch_size < 1.0 {
+        return Err(format!(
+            "mean_topk_batch_size {} < 1 ({s:?})",
+            s.mean_topk_batch_size
+        ));
+    }
     Ok(())
 }
 
@@ -52,7 +64,7 @@ enum Fate {
 }
 
 fn run_case(total: usize, batch: usize, shed_mod: usize, timeout_mod: usize) {
-    run_case_with_publishes(total, batch, shed_mod, timeout_mod, 0);
+    run_case_with_publishes(total, batch, shed_mod, timeout_mod, 0, 0);
 }
 
 fn run_case_with_publishes(
@@ -61,6 +73,7 @@ fn run_case_with_publishes(
     shed_mod: usize,
     timeout_mod: usize,
     publishes: usize,
+    topk_mod: usize,
 ) {
     let fate = move |i: usize| {
         if shed_mod > 0 && i % shed_mod == shed_mod - 1 {
@@ -138,8 +151,10 @@ fn run_case_with_publishes(
     drop(tx);
 
     // Worker: drain into batches of up to `batch`, replaying score_batch's
-    // event order — shed first, then batch accounting, then per-request
-    // sinks.
+    // event order — shed first, then per-protocol sections (candidate
+    // scoring, then top-k), each with its batch accounting before its
+    // per-request sinks. Requests with `i % topk_mod == 0` replay the
+    // coalesced top-k path.
     let worker = {
         let m = Arc::clone(&m);
         std::thread::spawn(move || loop {
@@ -155,24 +170,33 @@ fn run_case_with_publishes(
                 }
             }
             let mut live = Vec::with_capacity(chunk.len());
+            let mut topk_live = Vec::new();
             for i in chunk {
                 if fate(i) == Fate::Shed {
                     m.record_shed_expired();
+                } else if topk_mod > 0 && i % topk_mod == 0 {
+                    topk_live.push(i);
                 } else {
                     live.push(i);
                 }
             }
-            if live.is_empty() {
-                continue;
+            let sink = |i: usize| match fate(i) {
+                Fate::TimeOut => m.record_timed_out(),
+                _ => m.record_completed(
+                    Duration::from_nanos(100 + i as u64),
+                    Duration::from_nanos(50 + i as u64),
+                ),
+            };
+            if !live.is_empty() {
+                m.record_batch(live.len() as u64);
+                for i in live {
+                    sink(i);
+                }
             }
-            m.record_batch(live.len() as u64);
-            for i in live {
-                match fate(i) {
-                    Fate::TimeOut => m.record_timed_out(),
-                    _ => m.record_completed(
-                        Duration::from_nanos(100 + i as u64),
-                        Duration::from_nanos(50 + i as u64),
-                    ),
+            if !topk_live.is_empty() {
+                m.record_topk_batch(topk_live.len() as u64);
+                for i in topk_live {
+                    sink(i);
                 }
             }
         })
@@ -212,8 +236,9 @@ proptest! {
         shed_mod in 0usize..5,
         timeout_mod in 0usize..5,
         publishes in 0usize..8,
+        topk_mod in 0usize..4,
     ) {
-        run_case_with_publishes(total, batch, shed_mod, timeout_mod, publishes);
+        run_case_with_publishes(total, batch, shed_mod, timeout_mod, publishes, topk_mod);
     }
 }
 
@@ -223,4 +248,6 @@ fn edge_shapes() {
     run_case(1, 1, 0, 0); // single request
     run_case(64, 64, 1, 0); // everything sheds, batches never flush
     run_case(64, 8, 0, 1); // everything times out
+    run_case_with_publishes(64, 8, 0, 0, 0, 1); // pure top-k traffic
+    run_case_with_publishes(128, 4, 2, 3, 2, 2); // mixed protocols + churn
 }

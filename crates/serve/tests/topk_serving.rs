@@ -5,8 +5,9 @@
 //! recommendation path.
 
 use delrec_data::ItemId;
-use delrec_eval::{Ranker, ScoreRequest, TopKRecommender};
+use delrec_eval::{Ranker, ScoreRequest, TopKQuery, TopKRecommender};
 use delrec_serve::{RecRequest, ServeConfig, ServeError, Server, TopKRequest};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -53,6 +54,40 @@ impl TopKRecommender for HashRecommender {
         all.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0 .0.cmp(&b.0 .0)));
         all.truncate(k);
         all
+    }
+}
+
+/// [`HashRecommender`] plus a record of the largest request set a single
+/// `recommend_top_k_batch` call received — the observable that pins the
+/// scheduler actually coalescing top-k requests into one handler call
+/// instead of looping the solo path.
+struct BatchTrackingRecommender {
+    inner: HashRecommender,
+    max_handler_batch: AtomicU64,
+}
+
+impl Ranker for BatchTrackingRecommender {
+    fn name(&self) -> &str {
+        "batch-tracking-recommender"
+    }
+
+    fn score_candidates(&self, prefix: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
+        self.inner.score_candidates(prefix, candidates)
+    }
+}
+
+impl TopKRecommender for BatchTrackingRecommender {
+    fn recommend_top_k(&self, prefix: &[ItemId], k: usize) -> Vec<(ItemId, f32)> {
+        self.inner.recommend_top_k(prefix, k)
+    }
+
+    fn recommend_top_k_batch(&self, requests: &[TopKQuery<'_>]) -> Vec<Vec<(ItemId, f32)>> {
+        self.max_handler_batch
+            .fetch_max(requests.len() as u64, Ordering::Relaxed);
+        requests
+            .iter()
+            .map(|&(p, k)| self.inner.recommend_top_k(p, k))
+            .collect()
     }
 }
 
@@ -164,6 +199,63 @@ fn plain_server_rejects_topk_and_zero_k_is_rejected_up_front() {
         .expect_err("k = 0 asks for nothing");
     assert_eq!(err, ServeError::EmptyCandidates);
     rec.shutdown();
+}
+
+#[test]
+fn flooded_topk_requests_coalesce_into_one_handler_call() {
+    let model = Arc::new(BatchTrackingRecommender {
+        inner: HashRecommender { n_items: 150 },
+        max_handler_batch: AtomicU64::new(0),
+    });
+    // A wide window so only the size trigger flushes: 24 requests submitted
+    // back-to-back must land as coalesced batches of max_batch, never solo.
+    let cfg = ServeConfig {
+        max_batch: 8,
+        batch_window: Duration::from_millis(200),
+        ..ServeConfig::default()
+    };
+    let server = Server::start_recommender(Arc::clone(&model), cfg);
+    let client = server.client();
+
+    let mut pending = Vec::new();
+    for u in 0..24u64 {
+        let history = vec![ItemId((u % 7) as u32), ItemId((u * 13 % 50) as u32)];
+        let handle = client
+            .submit_topk(TopKRequest {
+                user_id: 100 + u,
+                recent_items: history.clone(),
+                k: 6,
+                deadline: None,
+            })
+            .expect("admitted");
+        pending.push((u, history, handle));
+    }
+    for (u, history, handle) in pending {
+        let resp = handle.wait().expect("served");
+        assert_eq!(
+            bits(&resp.items),
+            bits(&model.inner.recommend_top_k(&history, 6)),
+            "user {u}: coalesced answer must be bitwise identical to direct"
+        );
+    }
+
+    let coalesced = model.max_handler_batch.load(Ordering::Relaxed);
+    assert!(
+        coalesced > 1,
+        "the handler must see whole batches, got max {coalesced}"
+    );
+    let snap = server.shutdown();
+    assert!(
+        snap.topk_batches >= 1 && snap.topk_batches < 24,
+        "24 requests must flush in fewer than 24 top-k batches, got {}",
+        snap.topk_batches
+    );
+    assert!(
+        snap.mean_topk_batch_size > 1.0,
+        "mean top-k batch size {} must show coalescing",
+        snap.mean_topk_batch_size
+    );
+    assert_eq!(snap.completed, 24);
 }
 
 #[test]

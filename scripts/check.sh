@@ -41,13 +41,22 @@ DELREC_THREADS=4 cargo test -q -p delrec-retrieval
 DELREC_THREADS=1 cargo test -q -p delrec-serve
 DELREC_THREADS=4 cargo test -q -p delrec-serve
 
+# The top-k serving suite (coalesced batches bitwise vs direct calls, no
+# mixed-generation top-k batch under hot-swap, topk batch ledger) must hold
+# at both pool sizes explicitly — the coalesced path runs one batched
+# retrieve + re-rank per flush, so it leans on the parallel drivers.
+DELREC_THREADS=1 cargo test -q -p delrec-serve --test topk_serving
+DELREC_THREADS=4 cargo test -q -p delrec-serve --test topk_serving
+
 # Smoke-run the inference-engine benchmark: asserts the grad-free engine's
 # exact-mode scores are bitwise identical to the tape before timing anything.
 cargo run --release -q -p delrec-bench --bin infer -- --scale smoke --out "$(mktemp -d)"
 
-# Smoke-run the serving-runtime benchmark: its correctness gate asserts a
+# Smoke-run the serving-runtime benchmark: its correctness gates assert a
 # non-zero number of completed requests and zero bitwise mismatches between
-# served responses and direct scoring before any throughput is reported.
+# served responses and direct scoring — for both the candidate-scoring and
+# the coalesced full-catalog top-k protocols — before any throughput is
+# reported.
 cargo run --release -q -p delrec-bench --bin serve -- --scale smoke --out "$(mktemp -d)"
 
 # Smoke-run the durability soak: sustained open-loop traffic across a live
@@ -78,6 +87,8 @@ cargo run --release -q -p delrec-bench --bin quant -- --scale smoke --out "$(mkt
 
 # Smoke-run the retrieval benchmark: asserts the full-catalog stage's
 # recall@{50,100} floors, the end-to-end HR/NDCG budget vs the
-# oracle-candidate protocol, and bitwise thread-count determinism of both
-# retrieval and recommend before timing the scan sweep.
+# oracle-candidate protocol, bitwise thread-count determinism of both
+# retrieval and recommend, and the batched-≡-sequential gate (retrieve_batch
+# and recommend_batch vs the m=1 loop at B {1,5,32}, both formats) before
+# timing the scan sweep and the coalesced-vs-sequential scan.
 cargo run --release -q -p delrec-bench --bin retrieval -- --scale smoke --out "$(mktemp -d)"
